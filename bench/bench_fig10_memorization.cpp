@@ -1,0 +1,72 @@
+// Figure 10: memorization as a function of parameter count and epochs.
+//
+// Scaled-down reproduction of §VIII-C: a family of GPT models (standing in
+// for TinyLlama-1B .. Llama-405B) is continued-pretrained on a bucketed
+// corpus — buckets repeated for 0 (control), 1, 4 and 6 epochs — and probed
+// for verbatim reproduction of each document's final tokens. Like the
+// paper, small models average more trials than large ones.
+//
+// Paper shape: memorization is near-zero for small models at any epoch
+// count, emerges with capacity, grows with epochs, and the control bucket
+// stays at baseline. (Catastrophic single-pass memorization appears only at
+// the top of the family, and only weakly at this scale.)
+
+#include <iostream>
+
+#include "axonn/base/table.hpp"
+#include "axonn/base/units.hpp"
+#include "axonn/train/memorization.hpp"
+
+int main() {
+  using namespace axonn;
+  using namespace axonn::train;
+
+  std::cout << "== Figure 10: memorization vs model size and epochs ==\n\n";
+  Table table({"Model", "Params", "Trials", "EM 0 Ep (control)", "EM 1 Ep",
+               "EM 4 Ep", "EM 6 Ep", "Acc 0 Ep", "Acc 6 Ep"});
+
+  const auto zoo = memorization_model_zoo();
+  for (std::size_t i = 0; i < zoo.size(); ++i) {
+    // Paper: five trials at small scale, three at 70B, one at 405B.
+    const int trials = i <= 2 ? 3 : (i == 3 ? 2 : 1);
+    std::vector<double> em(4, 0.0);
+    std::vector<double> acc(4, 0.0);
+    std::uint64_t params = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      MemorizationConfig config;
+      config.model = zoo[i].model;
+      config.trial = trial;
+      config.finalize();
+      const auto result =
+          run_memorization_experiment_serial(zoo[i].name, config);
+      params = result.parameter_count;
+      for (int b = 0; b < 4; ++b) {
+        em[static_cast<std::size_t>(b)] +=
+            result.exact_match_per_bucket[static_cast<std::size_t>(b)];
+        acc[static_cast<std::size_t>(b)] +=
+            result.probe_accuracy_per_bucket[static_cast<std::size_t>(b)];
+      }
+    }
+    for (auto& v : em) v = 100.0 * v / trials;
+    for (auto& v : acc) v = 100.0 * v / trials;
+    table.add_row({zoo[i].name,
+                   units::format_count(static_cast<double>(params)),
+                   Table::cell(trials), Table::cell(em[0], 0) + "%",
+                   Table::cell(em[1], 0) + "%", Table::cell(em[2], 0) + "%",
+                   Table::cell(em[3], 0) + "%", Table::cell(acc[0], 0) + "%",
+                   Table::cell(acc[3], 0) + "%"});
+    std::cout << "  finished " << zoo[i].name << " (" << trials
+              << " trial(s))\n";
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\nShape check: exact match stays ~0 for the control bucket\n"
+               "and for the smallest models, and rises with both epochs and\n"
+               "model size; the graded probe accuracy shows the same\n"
+               "emergence more smoothly (paper Fig. 10). Like the paper's\n"
+               "405B result, the top model can memorize SLOWER than the one\n"
+               "below it — one set of hyperparameters is used for every\n"
+               "size, and the largest is under-trained at that setting\n"
+               "(the paper makes the same observation in SVIII-C).\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 11: preventing memorization with the Goldfish loss (k=2, h=13).
+//
+// Re-runs the Fig. 10 protocol on the upper half of the model family with
+// the goldfish token mask enabled. Paper shape: exact-match rates collapse
+// to control-bucket levels even after six epochs of training.
+
+#include <iostream>
+
+#include "axonn/base/table.hpp"
+#include "axonn/train/memorization.hpp"
+
+int main() {
+  using namespace axonn;
+  using namespace axonn::train;
+
+  std::cout << "== Figure 11: Goldfish loss stops memorization (k=2, h=13) "
+               "==\n\n";
+  Table table({"Model", "Goldfish", "EM 0 Ep", "EM 1 Ep", "EM 4 Ep", "EM 6 Ep",
+               "Acc 6 Ep"});
+
+  const auto zoo = memorization_model_zoo();
+  // The study matters where memorization occurs (GPT-M/GPT-L; the top model
+  // is skipped — like the paper's 405B it is under-trained at the shared
+  // hyperparameters and single-trial EM of a 4-token probe is noise-bound:
+  // with k=2 there is a 1/16 chance the whole probe survives the mask).
+  for (std::size_t i = 2; i <= 3 && i < zoo.size(); ++i) {
+    const int trials = 3;
+    for (const bool goldfish : {false, true}) {
+      std::vector<double> em(4, 0.0);
+      double acc6 = 0.0;
+      for (int trial = 0; trial < trials; ++trial) {
+        MemorizationConfig config;
+        config.model = zoo[i].model;
+        config.trial = trial;
+        config.use_goldfish = goldfish;
+        config.goldfish = GoldfishConfig{.k = 2, .h = 13};
+        config.finalize();
+        const auto result =
+            run_memorization_experiment_serial(zoo[i].name, config);
+        for (int b = 0; b < 4; ++b) {
+          em[static_cast<std::size_t>(b)] +=
+              result.exact_match_per_bucket[static_cast<std::size_t>(b)];
+        }
+        acc6 += result.probe_accuracy_per_bucket[3];
+      }
+      for (auto& v : em) v = 100.0 * v / trials;
+      table.add_row({zoo[i].name, goldfish ? "on" : "off",
+                     Table::cell(em[0], 0) + "%", Table::cell(em[1], 0) + "%",
+                     Table::cell(em[2], 0) + "%", Table::cell(em[3], 0) + "%",
+                     Table::cell(100.0 * acc6 / trials, 0) + "%"});
+      std::cout << "  finished " << zoo[i].name << " (goldfish "
+                << (goldfish ? "on" : "off") << ")\n";
+    }
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\nShape check: with the goldfish mask on, exact-match rates\n"
+               "at 4 and 6 epochs drop to (or near) the control level, and\n"
+               "probe accuracy on trained buckets falls back toward the\n"
+               "grammar baseline (paper Fig. 11).\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 2: validation of the communication performance model.
+//
+// For GPT-20B on 32 GPUs and GPT-40B on 64 GPUs of Perlmutter, every grid
+// configuration is simulated ("observed" batch time) and independently
+// ranked by the analytical model (Eqs. 1-7). As in the paper, the ten
+// fastest observed configurations are labelled 'efficient'; the model works
+// if (most of) its top-10 are efficient — the paper reports 9/10.
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "common.hpp"
+
+namespace {
+
+void validate(const char* model_name, std::int64_t gpus) {
+  using namespace axonn;
+  using namespace axonn::bench;
+  const auto machine = sim::perlmutter();
+  const auto db = sim::IntraNodeBandwidthDB::profile(machine);
+  // The validation runs use a batch proportional to the small GPU count.
+  model::TrainingJob job{model::gpt_by_name(model_name),
+                         16.8e6 * static_cast<double>(gpus) / 4096.0, true};
+
+  const auto ranked = perf::rank_configurations(job, machine, db, gpus, true);
+  AXONN_CHECK(!ranked.empty());
+
+  // "Observed" batch time per configuration from the detailed simulator
+  // (with mild run-to-run noise, as on the real machine).
+  sim::SimOptions options;
+  options.overlap = sim::OverlapFlags::all();
+  options.noise_sigma = 0.02;
+  struct Entry {
+    sim::GridShape grid;
+    double predicted;
+    double observed;
+  };
+  std::vector<Entry> entries;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    options.noise_seed = 1234 + i;
+    const auto breakdown =
+        sim::simulate_iteration(job, machine, db, ranked[i].grid, options);
+    entries.push_back(
+        Entry{ranked[i].grid, ranked[i].predicted_comm_s, breakdown.total_s});
+  }
+
+  // Label the 10 fastest observed configurations 'efficient'.
+  std::vector<double> observed_sorted;
+  for (const auto& entry : entries) observed_sorted.push_back(entry.observed);
+  std::sort(observed_sorted.begin(), observed_sorted.end());
+  const double efficient_cutoff =
+      observed_sorted[std::min<std::size_t>(9, observed_sorted.size() - 1)];
+
+  std::cout << "-- " << model_name << " on " << gpus
+            << " GPUs of Perlmutter: " << entries.size()
+            << " feasible configurations --\n";
+  Table table({"Model rank", "Grid", "Predicted comm (s)", "Observed batch (s)",
+               "Efficient?"});
+  int efficient_in_top10 = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const bool efficient = entries[i].observed <= efficient_cutoff;
+    if (i < 10) {
+      if (efficient) ++efficient_in_top10;
+      table.add_row({Table::cell(static_cast<long long>(i + 1)),
+                     entries[i].grid.to_string(),
+                     Table::cell(entries[i].predicted, 3),
+                     Table::cell(entries[i].observed, 3),
+                     efficient ? "yes" : "no"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "Efficient configurations in the model's top-10: "
+            << efficient_in_top10 << "/10 (paper: 9/10)\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Figure 2: performance-model validation ==\n\n";
+  validate("GPT-20B", 32);
+  validate("GPT-40B", 64);
+  return 0;
+}

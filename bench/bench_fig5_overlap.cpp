@@ -1,0 +1,64 @@
+// Figure 5: impact of overlapping non-blocking collectives with computation
+// on 8,192 GCDs of Frontier — batch time broken into computation and
+// non-overlapped communication for Baseline -> +OAR -> +ORS -> +OAG.
+// The paper reports an 18.69% improvement over baseline for GPT-80B.
+
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace axonn;
+  using namespace axonn::bench;
+  const auto machine = sim::frontier();
+  const auto db = sim::IntraNodeBandwidthDB::profile(machine);
+
+  std::cout << "== Figure 5: batch time breakdown on 8,192 GCDs of Frontier "
+               "==\n\n";
+
+  for (const char* model_name : {"GPT-20B", "GPT-40B", "GPT-80B"}) {
+    const auto job = paper_job(model_name);
+    // The paper's methodology: simulate the perf model's top-10 and keep the
+    // fastest (here judged without overlap, the baseline being varied).
+    sim::SimOptions selection;
+    selection.overlap = sim::OverlapFlags::none();
+    const auto best = run_point(job, machine, db, 8192, selection);
+
+    struct Variant {
+      const char* label;
+      sim::OverlapFlags flags;
+    };
+    const Variant variants[] = {
+        {"Baseline", sim::OverlapFlags::none()},
+        {"+OAR", {true, false, false}},
+        {"+ORS", {true, true, false}},
+        {"+OAG", {true, true, true}},
+    };
+
+    std::cout << "-- " << model_name << " (grid " << best.grid.to_string()
+              << ") --\n";
+    Table table({"Variant", "Batch time (s)", "Computation (s)",
+                 "Non-overlapped comm (s)", "Improvement vs baseline"});
+    double baseline_total = 0;
+    for (const Variant& variant : variants) {
+      sim::SimOptions options;
+      options.overlap = variant.flags;
+      const auto breakdown =
+          sim::simulate_iteration(job, machine, db, best.grid, options);
+      if (variant.flags.all_reduce == false) baseline_total = breakdown.total_s;
+      const double improvement =
+          100.0 * (baseline_total - breakdown.total_s) / baseline_total;
+      table.add_row({variant.label, Table::cell(breakdown.total_s, 2),
+                     Table::cell(breakdown.compute_s, 2),
+                     Table::cell(breakdown.exposed_comm_s, 2),
+                     Table::cell(improvement, 1) + "%"});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Shape check: computation stays ~constant across variants;\n"
+               "non-overlapped communication shrinks with each optimization;\n"
+               "the improvement is largest for the largest model (paper:\n"
+               "18.69% for GPT-80B).\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 7: impact of AxoNN's performance optimizations on Frontier,
+// against a baseline of Megatron-style 1D tensor parallelism within a node
+// plus hybrid sharded data parallelism across nodes.
+//
+// Variants (cumulative, as in the paper's bars):
+//   Baseline      : gx = GPUs/node, Z-sharding for memory, rest data
+//   Perf model    : best of the model's top-10 3D configurations
+//   +Kernel tuning: automated NN/NT/TN selection (§V-C)
+//   +Comm overlap : OAR + ORS + OAG (§V-D)
+// Paper shape: 13-45% improvement from the perf model, 2-4% from tuning at
+// these sizes, largest overlap gains for GPT-80B on 8,192 GCDs (22%).
+
+#include <iostream>
+
+#include "common.hpp"
+
+namespace {
+
+// Baseline configuration: Megatron-like TP within the node; grow Z until
+// the model fits; everything else data parallelism.
+axonn::sim::GridShape baseline_grid(const axonn::model::TrainingJob& job,
+                                    const axonn::sim::MachineConfig& machine,
+                                    std::int64_t gpus) {
+  using namespace axonn;
+  const int gx = machine.gpus_per_node;
+  for (std::int64_t gz = 1; gx * gz <= gpus; gz *= 2) {
+    const auto gdata = gpus / (gx * gz);
+    if (gx * gz * gdata != gpus) continue;
+    const sim::GridShape grid{gx, 1, static_cast<int>(gz),
+                              static_cast<int>(gdata)};
+    if (sim::fits_in_memory(job, machine, grid)) return grid;
+  }
+  // Fall back to full sharding.
+  return sim::GridShape{gx, 1, static_cast<int>(gpus / gx), 1};
+}
+
+}  // namespace
+
+int main() {
+  using namespace axonn;
+  using namespace axonn::bench;
+  const auto machine = sim::frontier();
+  const auto db = sim::IntraNodeBandwidthDB::profile(machine);
+
+  std::cout << "== Figure 7: impact of performance optimizations on Frontier "
+               "==\n\n";
+
+  const WeakScalingPoint points[] = {{512, "GPT-5B"},
+                                     {1024, "GPT-10B"},
+                                     {2048, "GPT-20B"},
+                                     {4096, "GPT-40B"},
+                                     {8192, "GPT-80B"}};
+  for (const auto& point : points) {
+    const auto job = paper_job(point.model);
+
+    sim::SimOptions plain;
+    plain.overlap = sim::OverlapFlags::none();
+    sim::SimOptions tuned = plain;
+    tuned.kernel_tuning = true;
+    sim::SimOptions full = tuned;
+    full.overlap = sim::OverlapFlags::all();
+
+    const auto baseline =
+        run_config(job, machine, db, baseline_grid(job, machine, point.gpus),
+                   plain);
+    const auto perf_model = run_point(job, machine, db, point.gpus, plain);
+    const auto with_tuning =
+        run_config(job, machine, db, perf_model.grid, tuned);
+    const auto with_overlap =
+        run_config(job, machine, db, perf_model.grid, full);
+
+    std::cout << "-- " << point.model << " on " << point.gpus
+              << " GCDs (baseline grid "
+              << baseline.grid.to_string() << ", AxoNN grid "
+              << perf_model.grid.to_string() << ") --\n";
+    Table table({"Variant", "Batch (s)", "Compute (s)", "Comm (s)",
+                 "Improvement vs baseline"});
+    const PointResult* variants[] = {&baseline, &perf_model, &with_tuning,
+                                     &with_overlap};
+    const char* labels[] = {"Baseline (Megatron+FSDP-like)", "Perf model",
+                            "+Kernel tuning", "+Comm overlap"};
+    for (int i = 0; i < 4; ++i) {
+      const auto& b = variants[i]->breakdown;
+      const double improvement =
+          100.0 * (baseline.breakdown.total_s - b.total_s) /
+          baseline.breakdown.total_s;
+      table.add_row({labels[i], Table::cell(b.total_s, 2),
+                     Table::cell(b.compute_s, 2),
+                     Table::cell(b.exposed_comm_s, 2),
+                     Table::cell(improvement, 1) + "%"});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Shape check: the perf-model configuration cuts communication\n"
+               "sharply vs the baseline (paper: 13-45%); kernel tuning adds\n"
+               "a few percent at these sizes; overlap gains grow with scale.\n";
+  return 0;
+}

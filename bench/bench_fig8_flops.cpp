@@ -1,0 +1,45 @@
+// Figure 8: sustained bf16 flop/s of the weak-scaling runs on all three
+// machines. Paper headline points: 620.1 Pflop/s on 4,096 A100s, 1.381
+// Exaflop/s on 32,768 MI250X GCDs, 1.423 Exaflop/s on 6,144 H100s.
+
+#include <iostream>
+
+#include "common.hpp"
+
+namespace {
+
+void flops_series(const axonn::sim::MachineConfig& machine,
+                  const std::vector<axonn::bench::WeakScalingPoint>& series) {
+  using namespace axonn;
+  using namespace axonn::bench;
+  const auto db = sim::IntraNodeBandwidthDB::profile(machine);
+  std::cout << "-- " << machine.name << " --\n";
+  Table table({"# GPUs/GCDs", "Model", "Sustained flop/s", "Per-GPU Tflop/s"});
+  for (const auto& point : series) {
+    const auto result = run_point(paper_job(point.model), machine, db,
+                                  point.gpus, axonn_options());
+    table.add_row(
+        {Table::cell(point.gpus), point.model,
+         units::format_flops(result.flops_per_sec()),
+         Table::cell(result.flops_per_sec() /
+                         (units::kTeraflop * static_cast<double>(point.gpus)),
+                     1)});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace axonn;
+  using namespace axonn::bench;
+  std::cout << "== Figure 8: sustained bf16 flop/s (weak scaling) ==\n\n";
+  flops_series(sim::perlmutter(), perlmutter_series());
+  flops_series(sim::frontier(), frontier_series());
+  flops_series(sim::alps(), alps_series());
+  std::cout << "Shape check: near-linear growth in total flop/s with GPU\n"
+               "count up to 4-8K, sub-linear at 16K+ GCDs of Frontier; the\n"
+               "highest totals come from Alps (H100) and 32K-GCD Frontier.\n";
+  return 0;
+}

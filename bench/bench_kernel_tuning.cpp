@@ -1,0 +1,76 @@
+// §V-C: automated BLAS kernel tuning.
+//
+// Two parts:
+//  1. Simulated MI250X (Frontier) — the GPT-320B anecdote: the TN weight-
+//     gradient matmuls hit the pathological rocBLAS kernel at 6% of peak;
+//     tuning switches them to an ~8x faster mode and cuts per-batch compute
+//     from ~30s to ~13s in the paper.
+//  2. Real CPU kernels — the actual first-batch tuner (core::KernelTuner)
+//     timing NN/NT/TN variants of live matmuls and locking in the winner.
+
+#include <iostream>
+
+#include "axonn/core/kernel_tuner.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace axonn;
+  using namespace axonn::bench;
+
+  std::cout << "== Kernel tuning (S V-C) ==\n\n";
+  std::cout << "-- Part 1: GPT-320B on 32,768 GCDs of Frontier (simulated) "
+               "--\n";
+  const auto machine = sim::frontier();
+  const auto db = sim::IntraNodeBandwidthDB::profile(machine);
+  const auto job = paper_job("GPT-320B");
+  const auto best = perf::best_configuration(job, machine, db, 32768);
+
+  sim::SimOptions untuned;
+  untuned.overlap = sim::OverlapFlags::all();
+  sim::SimOptions tuned = untuned;
+  tuned.kernel_tuning = true;
+  const auto before = sim::simulate_iteration(job, machine, db, best.grid,
+                                              untuned);
+  const auto after = sim::simulate_iteration(job, machine, db, best.grid,
+                                             tuned);
+  Table part1({"Variant", "Compute time (s)", "Batch time (s)"});
+  part1.add_row({"Default modes (TN for dW)", Table::cell(before.compute_s, 2),
+                 Table::cell(before.total_s, 2)});
+  part1.add_row({"Tuned", Table::cell(after.compute_s, 2),
+                 Table::cell(after.total_s, 2)});
+  part1.print(std::cout);
+  std::cout << "Compute-time reduction: "
+            << Table::cell(100.0 * (before.compute_s - after.compute_s) /
+                               before.compute_s,
+                           1)
+            << "% (paper: 30.1 s -> 13.19 s, i.e. 56%)\n\n";
+
+  std::cout << "-- Part 2: real first-batch tuner on CPU kernels --\n";
+  core::KernelTuner tuner(/*timing_repeats=*/3);
+  Rng rng(11);
+  struct Case {
+    const char* label;
+    GemmMode mode;
+    std::size_t m, k, n;
+  };
+  const Case cases[] = {
+      {"fwd (NN)", GemmMode::kNN, 96, 128, 96},
+      {"dI (NT)", GemmMode::kNT, 96, 96, 128},
+      {"dW (TN)", GemmMode::kTN, 128, 96, 96},
+  };
+  Table part2({"Matmul", "Default kernel", "Chosen kernel", "Speedup"});
+  for (const Case& c : cases) {
+    const bool ta = c.mode == GemmMode::kTN;
+    const bool tb = c.mode == GemmMode::kNT;
+    const Matrix a = ta ? Matrix::randn(c.k, c.m, rng) : Matrix::randn(c.m, c.k, rng);
+    const Matrix b = tb ? Matrix::randn(c.n, c.k, rng) : Matrix::randn(c.k, c.n, rng);
+    const auto choice = tuner.tune(c.mode, a, b);
+    part2.add_row({c.label, to_string(c.mode), to_string(choice.kernel_mode),
+                   Table::cell(choice.speedup(), 2) + "x"});
+  }
+  part2.print(std::cout);
+  std::cout << "\n(The CPU kernels are far more uniform across modes than\n"
+               "rocBLAS on MI250X, so real speedups here are modest; the\n"
+               "decision machinery is identical.)\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Micro-benchmarks of the thread-rank communicator: ring collectives across
+// rank counts and message sizes (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "axonn/comm/thread_comm.hpp"
+
+namespace {
+
+using namespace axonn;
+
+void BM_AllReduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const auto elements = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    comm::run_ranks(ranks, [&](comm::Communicator& world) {
+      std::vector<float> buffer(elements, 1.0f);
+      world.all_reduce(buffer, comm::ReduceOp::kSum);
+      benchmark::DoNotOptimize(buffer.data());
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(elements) * ranks *
+                          static_cast<std::int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_AllReduce)
+    ->Args({2, 1 << 12})
+    ->Args({4, 1 << 12})
+    ->Args({8, 1 << 12})
+    ->Args({4, 1 << 16});
+
+void BM_AllGather(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const auto elements = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    comm::run_ranks(ranks, [&](comm::Communicator& world) {
+      std::vector<float> mine(elements, 1.0f);
+      std::vector<float> all(elements * static_cast<std::size_t>(ranks));
+      world.all_gather(mine, all);
+      benchmark::DoNotOptimize(all.data());
+    });
+  }
+}
+BENCHMARK(BM_AllGather)->Args({4, 1 << 12})->Args({8, 1 << 12});
+
+void BM_ReduceScatter(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const auto elements = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    comm::run_ranks(ranks, [&](comm::Communicator& world) {
+      std::vector<float> send(elements * static_cast<std::size_t>(ranks), 1.0f);
+      std::vector<float> recv(elements);
+      world.reduce_scatter(send, recv, comm::ReduceOp::kSum);
+      benchmark::DoNotOptimize(recv.data());
+    });
+  }
+}
+BENCHMARK(BM_ReduceScatter)->Args({4, 1 << 12})->Args({8, 1 << 12});
+
+void BM_NonblockingOverlap(benchmark::State& state) {
+  // The OAR pattern: iall_reduce in flight while computing.
+  const auto elements = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    comm::run_ranks(4, [&](comm::Communicator& world) {
+      std::vector<float> buffer(elements, 1.0f);
+      comm::Request req = world.iall_reduce(buffer, comm::ReduceOp::kSum);
+      double acc = 0;
+      for (int i = 0; i < 20000; ++i) acc += i % 7;
+      benchmark::DoNotOptimize(acc);
+      req.wait();
+      benchmark::DoNotOptimize(buffer.data());
+    });
+  }
+}
+BENCHMARK(BM_NonblockingOverlap)->Arg(1 << 14);
+
+void BM_CommunicatorSplit(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    comm::run_ranks(ranks, [&](comm::Communicator& world) {
+      auto sub = world.split(world.rank() % 2, world.rank());
+      benchmark::DoNotOptimize(sub.get());
+    });
+  }
+}
+BENCHMARK(BM_CommunicatorSplit)->Arg(8);
+
+}  // namespace
+

@@ -1,0 +1,50 @@
+// Micro-benchmarks of the real GEMM kernels in the three transpose modes —
+// the mode-performance differences the kernel tuner exploits.
+
+#include <benchmark/benchmark.h>
+
+#include "axonn/base/rng.hpp"
+#include "axonn/tensor/gemm.hpp"
+
+namespace {
+
+using namespace axonn;
+
+void BM_Gemm(benchmark::State& state, GemmMode mode) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = Matrix::randn(d, d, rng);
+  const Matrix b = Matrix::randn(d, d, rng);
+  Matrix c(d, d);
+  for (auto _ : state) {
+    gemm(mode, 1.0f, a, b, 0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * d * d * d * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_GemmNN(benchmark::State& state) { BM_Gemm(state, GemmMode::kNN); }
+void BM_GemmNT(benchmark::State& state) { BM_Gemm(state, GemmMode::kNT); }
+void BM_GemmTN(benchmark::State& state) { BM_Gemm(state, GemmMode::kTN); }
+
+BENCHMARK(BM_GemmNN)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_GemmNT)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_GemmTN)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmBf16(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const Matrix a = Matrix::randn(d, d, rng);
+  const Matrix b = Matrix::randn(d, d, rng);
+  Matrix c(d, d);
+  for (auto _ : state) {
+    gemm_bf16(GemmMode::kNN, 1.0f, a, b, 0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmBf16)->Arg(128);
+
+}  // namespace
+

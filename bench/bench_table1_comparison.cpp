@@ -1,0 +1,46 @@
+// Table I (AxoNN rows): largest-scale runs per machine with sustained
+// Pflop/s and % of advertised peak, next to the paper's published values.
+
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace axonn;
+  using namespace axonn::bench;
+
+  struct Row {
+    const char* machine;
+    const char* model;
+    std::int64_t gpus;
+    double paper_pct_peak;
+    double paper_pflops;
+  };
+  const Row rows[] = {
+      {"Perlmutter", "GPT-40B", 4096, 49.0, 620.1},
+      {"Frontier", "GPT-320B", 32768, 22.0, 1381.0},
+      {"Alps", "GPT-60B", 6144, 23.4, 1423.1},
+  };
+
+  std::cout << "== Table I (AxoNN rows): batch 16.8M tokens ==\n";
+  Table table({"Machine", "Model", "Scale", "Grid", "Sim Pflop/s",
+               "Sim % peak", "Paper Pflop/s", "Paper % peak"});
+  for (const Row& row : rows) {
+    const auto machine = sim::machine_by_name(row.machine);
+    const auto db = sim::IntraNodeBandwidthDB::profile(machine);
+    const auto job = paper_job(row.model);
+    const auto point =
+        run_point(job, machine, db, row.gpus, axonn_options());
+    table.add_row({row.machine, row.model, Table::cell(row.gpus),
+                   point.grid.to_string(),
+                   Table::cell(point.flops_per_sec() / units::kPetaflop, 1),
+                   Table::cell(point.pct_of(machine.advertised_peak_flops), 1),
+                   Table::cell(row.paper_pflops, 1),
+                   Table::cell(row.paper_pct_peak, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: Frontier's 32K-GCD point should show the\n"
+               "lowest % of peak (communication-bound), Perlmutter the\n"
+               "highest; total flop/s ordering Alps ~ Frontier > Perlmutter.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table II: architectural details of the GPT-style transformers, with the
+// exact analytical parameter count next to the nominal size.
+
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace axonn;
+  std::cout << "== Table II: GPT model zoo (paper: layers/hidden/heads as "
+               "listed; params nominal) ==\n";
+  Table table({"Model", "# Parameters (exact)", "# Layers", "Hidden-Size",
+               "# Heads", "FC params / block", "Eflop per 16.8M-token iter"});
+  for (const auto& config : model::gpt_zoo()) {
+    const model::TrainingJob job{config, 16.8e6, true};
+    table.add_row({config.name,
+                   units::format_count(
+                       static_cast<double>(config.parameter_count())),
+                   Table::cell(config.layers), Table::cell(config.hidden),
+                   Table::cell(config.heads),
+                   units::format_count(
+                       static_cast<double>(config.fc_params_per_block())),
+                   Table::cell(config.flops_per_iteration(16.8e6) /
+                                   units::kExaflop,
+                               1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nLlama-family architectures used by the memorization study "
+               "(§VIII-B):\n";
+  Table llama({"Model", "# Parameters (exact)", "# Layers", "Hidden-Size",
+               "# Heads", "Vocab"});
+  for (const auto& config : model::llama_zoo()) {
+    llama.add_row({config.name,
+                   units::format_count(
+                       static_cast<double>(config.parameter_count())),
+                   Table::cell(config.layers), Table::cell(config.hidden),
+                   Table::cell(config.heads), Table::cell(config.vocab)});
+  }
+  llama.print(std::cout);
+  return 0;
+}

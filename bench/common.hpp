@@ -1,0 +1,115 @@
+#pragma once
+
+// Shared driver used by the figure/table benches: runs one point of the
+// paper's evaluation (model, machine, GPU count) through the performance
+// model + detailed simulator, the way the paper runs its experiments —
+// rank all configurations with the analytical model, simulate the top-10,
+// keep the fastest.
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "axonn/base/table.hpp"
+#include "axonn/base/units.hpp"
+#include "axonn/model/gpt.hpp"
+#include "axonn/perf/comm_model.hpp"
+#include "axonn/sim/iteration.hpp"
+
+namespace axonn::bench {
+
+struct PointResult {
+  std::string model_name;
+  std::int64_t gpus = 0;
+  sim::GridShape grid;
+  sim::IterationBreakdown breakdown;
+  double model_flops = 0;  ///< Narayanan flops per iteration
+
+  double flops_per_sec() const { return model_flops / breakdown.total_s; }
+  double pct_of(double per_gpu_peak) const {
+    return 100.0 * flops_per_sec() /
+           (per_gpu_peak * static_cast<double>(gpus));
+  }
+};
+
+/// The paper's methodology for one scaling point: perf-model ranking,
+/// simulate the top `top_k` feasible configs, return the fastest.
+inline PointResult run_point(const model::TrainingJob& job,
+                             const sim::MachineConfig& machine,
+                             const sim::IntraNodeBandwidthDB& db,
+                             std::int64_t gpus,
+                             const sim::SimOptions& options = {},
+                             int top_k = 10) {
+  const auto ranked = perf::rank_configurations(job, machine, db, gpus, true);
+  AXONN_CHECK_MSG(!ranked.empty(), "no feasible configuration");
+  PointResult best;
+  best.model_name = job.model.name;
+  best.gpus = gpus;
+  bool first = true;
+  for (int i = 0; i < top_k && i < static_cast<int>(ranked.size()); ++i) {
+    const auto breakdown =
+        sim::simulate_iteration(job, machine, db, ranked[i].grid, options);
+    if (first || breakdown.total_s < best.breakdown.total_s) {
+      best.grid = ranked[i].grid;
+      best.breakdown = breakdown;
+      first = false;
+    }
+  }
+  best.model_flops = job.model.flops_per_iteration(
+      job.batch_tokens, job.activation_checkpointing);
+  return best;
+}
+
+/// Simulates one explicit configuration (for baselines and ablations).
+inline PointResult run_config(const model::TrainingJob& job,
+                              const sim::MachineConfig& machine,
+                              const sim::IntraNodeBandwidthDB& db,
+                              const sim::GridShape& grid,
+                              const sim::SimOptions& options = {}) {
+  PointResult out;
+  out.model_name = job.model.name;
+  out.gpus = grid.total();
+  out.grid = grid;
+  out.breakdown = sim::simulate_iteration(job, machine, db, grid, options);
+  out.model_flops = job.model.flops_per_iteration(
+      job.batch_tokens, job.activation_checkpointing);
+  return out;
+}
+
+/// The weak-scaling series of Fig. 6 / Fig. 8 / Table III.
+struct WeakScalingPoint {
+  std::int64_t gpus;
+  const char* model;
+};
+
+inline std::vector<WeakScalingPoint> perlmutter_series() {
+  return {{512, "GPT-5B"}, {1024, "GPT-10B"}, {2048, "GPT-20B"},
+          {4096, "GPT-40B"}};
+}
+
+inline std::vector<WeakScalingPoint> frontier_series() {
+  return {{512, "GPT-5B"},    {1024, "GPT-10B"},  {2048, "GPT-20B"},
+          {4096, "GPT-40B"},  {8192, "GPT-80B"},  {16384, "GPT-160B"},
+          {32768, "GPT-320B"}};
+}
+
+inline std::vector<WeakScalingPoint> alps_series() {
+  return {{1024, "GPT-10B"}, {2048, "GPT-20B"}, {4096, "GPT-40B"},
+          {6144, "GPT-60B"}};
+}
+
+inline model::TrainingJob paper_job(const std::string& model_name) {
+  return model::TrainingJob{model::gpt_by_name(model_name), 16.8e6, true};
+}
+
+/// Default simulator options for headline numbers: all of AxoNN's
+/// optimizations on (overlap + kernel tuning), as in the paper's results.
+inline sim::SimOptions axonn_options() {
+  sim::SimOptions options;
+  options.overlap = sim::OverlapFlags::all();
+  options.kernel_tuning = true;
+  return options;
+}
+
+}  // namespace axonn::bench

@@ -1,0 +1,50 @@
+// Memorization demo: watch a model memorize a document, then stop it with
+// the Goldfish loss (§VIII at demo scale).
+//
+// Trains the mid-size model of the study twice on the same bucketed corpus
+// — once normally, once with the goldfish token mask — and prints the
+// verbatim-reproduction probes side by side.
+
+#include <cstdio>
+
+#include "axonn/comm/thread_comm.hpp"
+#include "axonn/train/memorization.hpp"
+
+int main() {
+  using namespace axonn;
+  using namespace axonn::train;
+
+  const auto zoo = memorization_model_zoo();
+  const auto& entry = zoo[2];  // GPT-M
+
+  std::printf("Continued-pretraining %s twice on the bucketed corpus\n",
+              entry.name.c_str());
+  std::printf("(buckets repeated 0/1/4/6 epochs; probe: reproduce the last 4 "
+              "tokens)\n\n");
+
+  for (const bool goldfish : {false, true}) {
+    MemorizationConfig config;
+    config.model = entry.model;
+    config.use_goldfish = goldfish;
+    config.goldfish = GoldfishConfig{.k = 2, .h = 13};
+    config.finalize();
+
+    const auto result = run_memorization_experiment_serial(entry.name, config);
+    std::printf("%s (params %llu, %d steps, final loss %.2f):\n",
+                goldfish ? "WITH goldfish loss" : "Standard training",
+                static_cast<unsigned long long>(result.parameter_count),
+                result.total_steps, result.final_train_loss);
+    for (int b = 0; b < 4; ++b) {
+      std::printf("  bucket %d (%d epochs): exact match %5.1f%%, probe "
+                  "accuracy %5.1f%%\n",
+                  b, result.epochs_per_bucket[static_cast<std::size_t>(b)],
+                  100.0 * result.exact_match_per_bucket[static_cast<std::size_t>(b)],
+                  100.0 * result.probe_accuracy_per_bucket[static_cast<std::size_t>(b)]);
+    }
+    std::printf("\n");
+  }
+  std::printf("The goldfish mask (k=2: every other token dropped from the\n"
+              "loss, chosen by a context hash) leaves training intact but\n"
+              "removes the model's ability to replay documents verbatim.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Configuration explorer: the workflow of §V-B from a user's seat.
+//
+// Given a model, a machine and a GPU count (defaults: GPT-40B, Frontier,
+// 1024 GCDs; override on the command line), ranks every 4D grid with the
+// paper's performance model, then simulates the top candidates and reports
+// which one actually wins.
+//
+//   $ ./perf_explorer GPT-80B Frontier 8192
+
+#include <cstdlib>
+#include <iostream>
+
+#include "axonn/base/table.hpp"
+#include "axonn/base/units.hpp"
+#include "axonn/perf/comm_model.hpp"
+#include "axonn/sim/iteration.hpp"
+
+int main(int argc, char** argv) {
+  using namespace axonn;
+
+  const std::string model_name = argc > 1 ? argv[1] : "GPT-40B";
+  const std::string machine_name = argc > 2 ? argv[2] : "Frontier";
+  const std::int64_t gpus = argc > 3 ? std::atoll(argv[3]) : 1024;
+
+  const auto machine = sim::machine_by_name(machine_name);
+  const auto db = sim::IntraNodeBandwidthDB::profile(machine);
+  const model::TrainingJob job{model::gpt_by_name(model_name), 16.8e6, true};
+
+  std::cout << "Ranking 4D configurations for " << model_name << " on "
+            << gpus << " " << machine_name
+            << " GPUs/GCDs (batch 16.8M tokens)\n\n";
+
+  const auto ranked = perf::rank_configurations(job, machine, db, gpus, true);
+  if (ranked.empty()) {
+    std::cout << "No memory-feasible configuration at this scale — "
+                 "increase the GPU count.\n";
+    return 1;
+  }
+
+  sim::SimOptions options;
+  options.overlap = sim::OverlapFlags::all();
+  options.kernel_tuning = true;
+
+  Table table({"Rank", "Grid (Gx x Gy x Gz, data)", "Predicted comm (s)",
+               "Simulated batch (s)", "Sustained % of peak"});
+  double best_time = 0;
+  std::string best_grid;
+  for (std::size_t i = 0; i < 10 && i < ranked.size(); ++i) {
+    const auto breakdown =
+        sim::simulate_iteration(job, machine, db, ranked[i].grid, options);
+    const double flops =
+        job.model.flops_per_iteration(job.batch_tokens) / breakdown.total_s;
+    const double pct = 100.0 * flops /
+                       (machine.advertised_peak_flops *
+                        static_cast<double>(gpus));
+    if (best_time == 0 || breakdown.total_s < best_time) {
+      best_time = breakdown.total_s;
+      best_grid = ranked[i].grid.to_string();
+    }
+    table.add_row({Table::cell(static_cast<long long>(i + 1)),
+                   ranked[i].grid.to_string(),
+                   Table::cell(ranked[i].predicted_comm_s, 3),
+                   Table::cell(breakdown.total_s, 3), Table::cell(pct, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nBest configuration: " << best_grid << " at "
+            << units::format_duration_short(best_time) << " per batch ("
+            << ranked.size() << " feasible grids considered)\n";
+
+  const auto memory = model::memory_per_gpu(job, ranked.front().grid.gx,
+                                            ranked.front().grid.gy,
+                                            ranked.front().grid.gz,
+                                            ranked.front().grid.gdata);
+  std::cout << "Per-GPU memory at rank-1 grid: "
+            << Table::cell(memory.total() / units::kGB, 2) << " GB of "
+            << Table::cell(machine.dram_bytes / units::kGB, 0) << " GB ("
+            << Table::cell(100.0 * memory.total() / machine.dram_bytes, 1)
+            << "%)\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Scaling study: plan a training campaign the way §VII-C does.
+//
+// For a chosen model and machine, sweep GPU counts and print batch time,
+// sustained flop/s and the projected time to train on a token budget —
+// the "how many GCDs do I ask INCITE for?" question.
+//
+//   $ ./scaling_study GPT-80B Frontier 2e12
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "axonn/base/table.hpp"
+#include "axonn/base/units.hpp"
+#include "axonn/perf/comm_model.hpp"
+#include "axonn/sim/iteration.hpp"
+
+int main(int argc, char** argv) {
+  using namespace axonn;
+
+  const std::string model_name = argc > 1 ? argv[1] : "GPT-80B";
+  const std::string machine_name = argc > 2 ? argv[2] : "Frontier";
+  const double token_budget = argc > 3 ? std::atof(argv[3]) : 2e12;
+
+  const auto machine = sim::machine_by_name(machine_name);
+  const auto db = sim::IntraNodeBandwidthDB::profile(machine);
+  const model::TrainingJob job{model::gpt_by_name(model_name), 16.8e6, true};
+  const double iterations = token_budget / job.batch_tokens;
+
+  std::cout << "Campaign planning: " << model_name << " on " << machine_name
+            << ", " << units::format_count(token_budget) << " tokens\n\n";
+
+  sim::SimOptions options;
+  options.overlap = sim::OverlapFlags::all();
+  options.kernel_tuning = true;
+
+  Table table({"# GPUs/GCDs", "Grid", "Batch time", "Sustained",
+               "Time to solution", "GPU-hours"});
+  for (std::int64_t gpus = 128; gpus <= 16384; gpus *= 2) {
+    const auto ranked =
+        perf::rank_configurations(job, machine, db, gpus, true);
+    if (ranked.empty()) {
+      table.add_row({Table::cell(gpus), "does not fit", "-", "-", "-", "-"});
+      continue;
+    }
+    // The paper's methodology: simulate the model's top-10, keep the best.
+    sim::GridShape best_grid = ranked.front().grid;
+    sim::IterationBreakdown breakdown;
+    bool first = true;
+    for (std::size_t i = 0; i < 10 && i < ranked.size(); ++i) {
+      const auto candidate =
+          sim::simulate_iteration(job, machine, db, ranked[i].grid, options);
+      if (first || candidate.total_s < breakdown.total_s) {
+        breakdown = candidate;
+        best_grid = ranked[i].grid;
+        first = false;
+      }
+    }
+    const double total_seconds = breakdown.total_s * iterations;
+    const double flops =
+        job.model.flops_per_iteration(job.batch_tokens) / breakdown.total_s;
+    table.add_row(
+        {Table::cell(gpus), best_grid.to_string(),
+         units::format_duration_short(breakdown.total_s),
+         units::format_flops(flops),
+         units::format_duration_long(total_seconds),
+         units::format_count(total_seconds / 3600.0 *
+                             static_cast<double>(gpus))});
+  }
+  table.print(std::cout);
+  std::cout << "\nGPU-hours flat => perfect strong scaling; watch for the\n"
+               "knee where communication overheads make additional GPUs\n"
+               "cost more than they save.\n";
+  return 0;
+}

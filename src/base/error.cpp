@@ -1,0 +1,17 @@
+#include "axonn/base/error.hpp"
+
+#include <sstream>
+
+namespace axonn::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream oss;
+  oss << "AXONN_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    oss << " — " << msg;
+  }
+  throw Error(oss.str());
+}
+
+}  // namespace axonn::detail

@@ -1,0 +1,43 @@
+#pragma once
+
+// Error handling for AxoNN-CPP.
+//
+// Library code reports contract violations and unrecoverable conditions by
+// throwing axonn::Error. The AXONN_CHECK family mirrors the assert-style
+// macros common in HPC codebases but is always on: checks guard distributed
+// invariants (rank bounds, matching message sizes, grid factorizations) whose
+// violation would otherwise surface as silent data corruption.
+
+#include <stdexcept>
+#include <string>
+
+namespace axonn {
+
+/// Exception thrown on any AxoNN contract violation or runtime failure.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace axonn
+
+/// Always-on invariant check. Throws axonn::Error on failure.
+#define AXONN_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::axonn::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+    }                                                                      \
+  } while (false)
+
+/// Always-on invariant check with an explanatory message (std::string-able).
+#define AXONN_CHECK_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::axonn::detail::throw_check_failure(#expr, __FILE__, __LINE__, msg); \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,58 @@
+#pragma once
+
+// Minimal leveled logger.
+//
+// Benches and examples narrate progress through this logger rather than raw
+// std::cout so that verbosity is controlled centrally (AXONN_LOG_LEVEL env
+// var or set_level()). The logger is deliberately tiny: a single global
+// level, stderr output, and printf-free streaming.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace axonn::log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global log threshold; messages below it are discarded.
+void set_level(Level level);
+
+/// Current global threshold. Initialized from AXONN_LOG_LEVEL
+/// (debug|info|warn|error|off) on first use; defaults to kInfo.
+Level level();
+
+namespace detail {
+void emit(Level level, const std::string& message);
+bool enabled(Level level);
+
+class LineLogger {
+ public:
+  explicit LineLogger(Level level) : level_(level) {}
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+  ~LineLogger() { emit(level_, oss_.str()); }
+
+  template <typename T>
+  LineLogger& operator<<(const T& value) {
+    oss_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream oss_;
+};
+}  // namespace detail
+
+}  // namespace axonn::log
+
+#define AXONN_LOG(level_enum)                                  \
+  if (!::axonn::log::detail::enabled(level_enum)) {            \
+  } else                                                       \
+    ::axonn::log::detail::LineLogger(level_enum)
+
+#define AXONN_LOG_DEBUG AXONN_LOG(::axonn::log::Level::kDebug)
+#define AXONN_LOG_INFO AXONN_LOG(::axonn::log::Level::kInfo)
+#define AXONN_LOG_WARN AXONN_LOG(::axonn::log::Level::kWarn)
+#define AXONN_LOG_ERROR AXONN_LOG(::axonn::log::Level::kError)

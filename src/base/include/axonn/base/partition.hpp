@@ -1,0 +1,53 @@
+#pragma once
+
+// Block partitioning helpers.
+//
+// Both the ring collectives (which split a buffer into `nranks` chunks) and
+// the 2D matrix decompositions of the 3D PMM algorithm need the same
+// primitive: split n items into p nearly-equal contiguous parts, with the
+// remainder spread over the leading parts. Keeping it here guarantees the
+// communicator, the tensor layer and the performance model all agree on who
+// owns which elements.
+
+#include <cstddef>
+
+#include "axonn/base/error.hpp"
+
+namespace axonn {
+
+/// Half-open index range [begin, end).
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+  friend bool operator==(const Range&, const Range&) = default;
+};
+
+/// Range of part `index` when n items are split into `parts` contiguous
+/// blocks. Blocks differ in size by at most one; the first n % parts blocks
+/// get the extra element.
+inline Range chunk_range(std::size_t n, std::size_t parts, std::size_t index) {
+  AXONN_CHECK_MSG(parts > 0, "cannot partition into zero parts");
+  AXONN_CHECK_MSG(index < parts, "partition index out of range");
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  const std::size_t begin =
+      index * base + (index < extra ? index : extra);
+  const std::size_t size = base + (index < extra ? 1 : 0);
+  return Range{begin, begin + size};
+}
+
+/// Size of part `index` (convenience over chunk_range().size()).
+inline std::size_t chunk_size(std::size_t n, std::size_t parts,
+                              std::size_t index) {
+  return chunk_range(n, parts, index).size();
+}
+
+/// Largest chunk size in the partition (chunk 0 by construction).
+inline std::size_t max_chunk_size(std::size_t n, std::size_t parts) {
+  return chunk_size(n, parts, 0);
+}
+
+}  // namespace axonn

@@ -1,0 +1,49 @@
+#pragma once
+
+// ASCII table printer used by the bench binaries to emit the same rows the
+// paper's tables and figures report. Columns auto-size to content; numeric
+// cells are right-aligned, text cells left-aligned.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace axonn {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row. Rows shorter than the header are padded with blanks;
+  /// longer rows are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string cell(double value, int precision = 2);
+  static std::string cell(long long value);
+  static std::string cell(long value) {
+    return cell(static_cast<long long>(value));
+  }
+  static std::string cell(int value) { return cell(static_cast<long long>(value)); }
+  static std::string cell(std::size_t value) {
+    return cell(static_cast<long long>(value));
+  }
+
+  /// Renders the table with a header rule, e.g.
+  ///   Model     | # GPUs | Pflop/s
+  ///   ----------+--------+--------
+  ///   GPT-40B   |   4096 |   620.1
+  std::string to_string() const;
+
+  /// Streams to_string() to out (typically std::cout in benches).
+  void print(std::ostream& out) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace axonn

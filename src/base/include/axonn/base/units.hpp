@@ -1,0 +1,51 @@
+#pragma once
+
+// Unit helpers shared by the simulator, performance model and benches.
+//
+// The paper reports bandwidths in GB/s (decimal), memory in GB/GiB, flop/s in
+// Tflop/s–Exaflop/s, and token counts in millions. Keeping the conversions in
+// one place avoids the classic 1e9-vs-2^30 mixups.
+
+#include <cstdint>
+#include <string>
+
+namespace axonn::units {
+
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+inline constexpr double kTB = 1e12;
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+inline constexpr double kTeraflop = 1e12;
+inline constexpr double kPetaflop = 1e15;
+inline constexpr double kExaflop = 1e18;
+
+inline constexpr double kThousand = 1e3;
+inline constexpr double kMillion = 1e6;
+inline constexpr double kBillion = 1e9;
+inline constexpr double kTrillion = 1e12;
+
+inline constexpr double kSecondsPerDay = 86400.0;
+inline constexpr double kSecondsPerMonth = 86400.0 * 30.44;  // mean month
+
+/// "1.381 Exaflop/s", "620.1 Pflop/s", "113 Tflop/s" — picks the natural
+/// magnitude like the paper's prose.
+std::string format_flops(double flops_per_sec);
+
+/// "16.8M", "2.0T", "512" — compact count formatting for tokens/params.
+std::string format_count(double count);
+
+/// "25.5 days", "15 months", "4.2 years" — time-to-solution formatting.
+std::string format_duration_long(double seconds);
+
+/// "12.34 ms", "1.23 s" — per-iteration time formatting.
+std::string format_duration_short(double seconds);
+
+/// "25.0 GB/s" style bandwidth formatting (decimal GB).
+std::string format_bandwidth(double bytes_per_sec);
+
+}  // namespace axonn::units

@@ -1,0 +1,70 @@
+#include "axonn/base/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+namespace axonn::log {
+
+namespace {
+
+Level parse_level(std::string_view text) {
+  if (text == "debug") return Level::kDebug;
+  if (text == "info") return Level::kInfo;
+  if (text == "warn") return Level::kWarn;
+  if (text == "error") return Level::kError;
+  if (text == "off") return Level::kOff;
+  return Level::kInfo;
+}
+
+Level initial_level() {
+  if (const char* env = std::getenv("AXONN_LOG_LEVEL")) {
+    return parse_level(env);
+  }
+  return Level::kInfo;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> storage{static_cast<int>(initial_level())};
+  return storage;
+}
+
+const char* level_tag(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+std::mutex& emit_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+void set_level(Level level) {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+Level level() {
+  return static_cast<Level>(level_storage().load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+bool enabled(Level l) { return static_cast<int>(l) >= static_cast<int>(level()); }
+
+void emit(Level l, const std::string& message) {
+  std::lock_guard<std::mutex> lock(emit_mutex());
+  std::cerr << "[axonn " << level_tag(l) << "] " << message << '\n';
+}
+
+}  // namespace detail
+
+}  // namespace axonn::log

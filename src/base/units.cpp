@@ -1,0 +1,61 @@
+#include "axonn/base/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace axonn::units {
+
+namespace {
+
+std::string printf_string(const char* fmt, double value, const char* suffix) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), fmt, value, suffix);
+  return buffer;
+}
+
+}  // namespace
+
+std::string format_flops(double flops_per_sec) {
+  if (flops_per_sec >= kExaflop) {
+    return printf_string("%.3f %s", flops_per_sec / kExaflop, "Exaflop/s");
+  }
+  if (flops_per_sec >= kPetaflop) {
+    return printf_string("%.1f %s", flops_per_sec / kPetaflop, "Pflop/s");
+  }
+  if (flops_per_sec >= kTeraflop) {
+    return printf_string("%.1f %s", flops_per_sec / kTeraflop, "Tflop/s");
+  }
+  return printf_string("%.3g %s", flops_per_sec, "flop/s");
+}
+
+std::string format_count(double count) {
+  if (count >= kTrillion) return printf_string("%.1f%s", count / kTrillion, "T");
+  if (count >= kBillion) return printf_string("%.1f%s", count / kBillion, "B");
+  if (count >= kMillion) return printf_string("%.1f%s", count / kMillion, "M");
+  if (count >= kThousand) return printf_string("%.1f%s", count / kThousand, "K");
+  return printf_string("%.0f%s", count, "");
+}
+
+std::string format_duration_long(double seconds) {
+  const double days = seconds / kSecondsPerDay;
+  if (days < 60.0) {
+    return printf_string("%.1f %s", days, "days");
+  }
+  const double months = seconds / kSecondsPerMonth;
+  if (months < 24.0) {
+    return printf_string("%.1f %s", months, "months");
+  }
+  return printf_string("%.1f %s", months / 12.0, "years");
+}
+
+std::string format_duration_short(double seconds) {
+  if (seconds < 1e-3) return printf_string("%.1f %s", seconds * 1e6, "us");
+  if (seconds < 1.0) return printf_string("%.2f %s", seconds * 1e3, "ms");
+  return printf_string("%.2f %s", seconds, "s");
+}
+
+std::string format_bandwidth(double bytes_per_sec) {
+  return printf_string("%.1f %s", bytes_per_sec / kGB, "GB/s");
+}
+
+}  // namespace axonn::units

@@ -1,0 +1,196 @@
+#pragma once
+
+// Ring algorithms for all-gather, reduce-scatter and all-reduce.
+//
+// Assumption-1 of the paper's performance model is that these collectives
+// use the ring algorithm (Thakur et al. [28], Rabenseifner [29]); the wire
+// traffic of the implementations here is exactly what Eqs. 1–5 predict:
+//   all-gather      : each rank sends (p-1)/p of the full buffer
+//   reduce-scatter  : each rank sends (p-1)/p of the full buffer
+//   all-reduce      : reduce-scatter + all-gather = 2 (p-1)/p
+//
+// The algorithms are templates over a Transport so they can be unit-tested
+// against reference implementations and reused by any rank runtime. The
+// Transport contract:
+//   int rank() const; int size() const;
+//   void send_to(int dest_rank, std::span<const float> data);
+//   void recv_from(int src_rank, std::span<float> out);
+// send_to must be non-blocking (buffered) or at least not require the peer
+// to have posted a receive; recv_from blocks until the matching message
+// arrives. Messages between a fixed (src, dst) pair are delivered in order.
+
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "axonn/base/error.hpp"
+#include "axonn/base/partition.hpp"
+#include "axonn/comm/communicator.hpp"
+
+namespace axonn::comm {
+
+namespace detail {
+
+inline float reduce_one(ReduceOp op, float a, float b) {
+  switch (op) {
+    case ReduceOp::kSum: return a + b;
+    case ReduceOp::kMax: return a > b ? a : b;
+    case ReduceOp::kMin: return a < b ? a : b;
+  }
+  return a;
+}
+
+inline void reduce_into(ReduceOp op, std::span<float> acc,
+                        std::span<const float> incoming) {
+  AXONN_CHECK(acc.size() == incoming.size());
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    acc[i] = reduce_one(op, acc[i], incoming[i]);
+  }
+}
+
+/// Chunk byte offsets from per-chunk element counts.
+inline std::vector<std::size_t> chunk_offsets(
+    std::span<const std::size_t> counts) {
+  std::vector<std::size_t> offsets(counts.size() + 1, 0);
+  std::partial_sum(counts.begin(), counts.end(), offsets.begin() + 1);
+  return offsets;
+}
+
+}  // namespace detail
+
+/// Ring all-gather with per-rank element counts. On entry rank r contributes
+/// `send` (send.size() == counts[r]); on exit `recv` holds every rank's
+/// contribution packed in rank order. p-1 steps; step s forwards the chunk
+/// received at step s-1.
+template <typename Transport>
+void ring_all_gatherv(Transport& t, std::span<const float> send,
+                      std::span<float> recv,
+                      std::span<const std::size_t> counts) {
+  const int p = t.size();
+  const int r = t.rank();
+  AXONN_CHECK(static_cast<int>(counts.size()) == p);
+  const auto offsets = detail::chunk_offsets(counts);
+  AXONN_CHECK_MSG(recv.size() == offsets.back(),
+                  "all_gatherv recv buffer size != sum of counts");
+  AXONN_CHECK_MSG(send.size() == counts[static_cast<std::size_t>(r)],
+                  "all_gatherv send size != this rank's count");
+
+  auto chunk = [&](int c) {
+    return recv.subspan(offsets[static_cast<std::size_t>(c)],
+                        counts[static_cast<std::size_t>(c)]);
+  };
+
+  // Place own contribution, then rotate the ring p-1 times.
+  std::copy(send.begin(), send.end(), chunk(r).begin());
+  if (p == 1) return;
+
+  const int right = (r + 1) % p;
+  const int left = (r - 1 + p) % p;
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_chunk = (r - s + p) % p;
+    const int recv_chunk = (r - s - 1 + p) % p;
+    t.send_to(right, chunk(send_chunk));
+    t.recv_from(left, chunk(recv_chunk));
+  }
+}
+
+/// Ring reduce-scatter with per-chunk element counts. `send` holds the full
+/// vector (sum of counts); on exit rank r's `recv` holds the reduction of
+/// chunk r across all ranks. p-1 steps; partial sums travel around the ring
+/// so that chunk r completes exactly at rank r.
+template <typename Transport>
+void ring_reduce_scatterv(Transport& t, std::span<const float> send,
+                          std::span<float> recv,
+                          std::span<const std::size_t> counts, ReduceOp op) {
+  const int p = t.size();
+  const int r = t.rank();
+  AXONN_CHECK(static_cast<int>(counts.size()) == p);
+  const auto offsets = detail::chunk_offsets(counts);
+  AXONN_CHECK_MSG(send.size() == offsets.back(),
+                  "reduce_scatterv send buffer size != sum of counts");
+  AXONN_CHECK_MSG(recv.size() == counts[static_cast<std::size_t>(r)],
+                  "reduce_scatterv recv size != this rank's count");
+
+  if (p == 1) {
+    std::copy(send.begin(), send.end(), recv.begin());
+    return;
+  }
+
+  // Working copy: partial sums are accumulated in place per chunk.
+  std::vector<float> work(send.begin(), send.end());
+  auto chunk = [&](int c) {
+    return std::span<float>(work).subspan(offsets[static_cast<std::size_t>(c)],
+                                          counts[static_cast<std::size_t>(c)]);
+  };
+
+  const int right = (r + 1) % p;
+  const int left = (r - 1 + p) % p;
+  std::vector<float> incoming;
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_chunk = (r - s - 1 + p) % p;
+    const int recv_chunk = (r - s - 2 + 2 * p) % p;
+    t.send_to(right, chunk(send_chunk));
+    incoming.resize(counts[static_cast<std::size_t>(recv_chunk)]);
+    t.recv_from(left, incoming);
+    detail::reduce_into(op, chunk(recv_chunk), incoming);
+  }
+  auto mine = chunk(r);
+  std::copy(mine.begin(), mine.end(), recv.begin());
+}
+
+/// Ring all-reduce: reduce-scatter followed by all-gather over the same
+/// nearly-equal chunking of the buffer (Rabenseifner's algorithm).
+template <typename Transport>
+void ring_all_reduce(Transport& t, std::span<float> buffer, ReduceOp op) {
+  const int p = t.size();
+  if (p == 1) return;
+  const auto n = buffer.size();
+  std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+  for (int c = 0; c < p; ++c) {
+    counts[static_cast<std::size_t>(c)] =
+        ::axonn::chunk_size(n, static_cast<std::size_t>(p),
+                            static_cast<std::size_t>(c));
+  }
+  const auto offsets = detail::chunk_offsets(counts);
+  const auto r = static_cast<std::size_t>(t.rank());
+
+  std::vector<float> mine(counts[r]);
+  ring_reduce_scatterv(t, std::span<const float>(buffer), std::span<float>(mine),
+                       counts, op);
+  std::copy(mine.begin(), mine.end(), buffer.begin() + offsets[r]);
+  ring_all_gatherv(t, std::span<const float>(mine), buffer, counts);
+}
+
+/// Binomial-tree broadcast (log2(p) rounds). Broadcast is only used for
+/// one-time weight distribution, so tree latency is irrelevant; it is not
+/// part of the paper's steady-state communication model.
+template <typename Transport>
+void tree_broadcast(Transport& t, std::span<float> buffer, int root) {
+  const int p = t.size();
+  if (p == 1) return;
+  AXONN_CHECK(root >= 0 && root < p);
+  // Rotate ranks so the root is virtual rank 0.
+  const int vrank = (t.rank() - root + p) % p;
+  int mask = 1;
+  // Find the round in which this rank receives.
+  while (mask < p) {
+    if (vrank & mask) {
+      const int src = (vrank - mask + root) % p;
+      t.recv_from(src, buffer);
+      break;
+    }
+    mask <<= 1;
+  }
+  // Forward to children in decreasing mask order.
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < p) {
+      const int dst = (vrank + mask + root) % p;
+      t.send_to(dst, buffer);
+    }
+    mask >>= 1;
+  }
+}
+
+}  // namespace axonn::comm

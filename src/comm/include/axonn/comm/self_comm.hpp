@@ -1,0 +1,109 @@
+#pragma once
+
+// Size-1 communicator.
+//
+// Whenever a dimension of the 4D grid has extent 1 (e.g. Gz = 1 turns off
+// weight sharding), the corresponding process group contains only this rank
+// and every collective degenerates to a local copy. SelfComm implements
+// that degenerate case without touching the thread runtime, so serial and
+// parallel code paths share one implementation of Algorithm 1.
+
+#include <algorithm>
+#include <memory>
+
+#include "axonn/base/error.hpp"
+#include "axonn/comm/communicator.hpp"
+
+namespace axonn::comm {
+
+class SelfComm final : public Communicator {
+ public:
+  SelfComm() = default;
+
+  int rank() const override { return 0; }
+  int size() const override { return 1; }
+
+  void all_reduce(std::span<float>, ReduceOp) override {
+    bump(&CommStats::all_reduce_calls);
+  }
+
+  void all_gather(std::span<const float> send, std::span<float> recv) override {
+    AXONN_CHECK(recv.size() == send.size());
+    std::copy(send.begin(), send.end(), recv.begin());
+    bump(&CommStats::all_gather_calls);
+  }
+
+  void all_gatherv(std::span<const float> send, std::span<float> recv,
+                   std::span<const std::size_t> recv_counts) override {
+    AXONN_CHECK(recv_counts.size() == 1 && recv_counts[0] == send.size());
+    all_gather(send, recv);
+  }
+
+  void reduce_scatter(std::span<const float> send, std::span<float> recv,
+                      ReduceOp) override {
+    AXONN_CHECK(recv.size() == send.size());
+    std::copy(send.begin(), send.end(), recv.begin());
+    bump(&CommStats::reduce_scatter_calls);
+  }
+
+  void reduce_scatterv(std::span<const float> send, std::span<float> recv,
+                       std::span<const std::size_t> counts, ReduceOp op) override {
+    AXONN_CHECK(counts.size() == 1 && counts[0] == send.size());
+    reduce_scatter(send, recv, op);
+  }
+
+  void broadcast(std::span<float>, int root) override {
+    AXONN_CHECK(root == 0);
+    bump(&CommStats::broadcast_calls);
+  }
+
+  void barrier() override {}
+
+  Request iall_reduce(std::span<float> buffer, ReduceOp op) override {
+    all_reduce(buffer, op);
+    return completed_request();
+  }
+  Request iall_gather(std::span<const float> send,
+                      std::span<float> recv) override {
+    all_gather(send, recv);
+    return completed_request();
+  }
+  Request iall_gatherv(std::span<const float> send, std::span<float> recv,
+                       std::span<const std::size_t> recv_counts) override {
+    all_gatherv(send, recv, recv_counts);
+    return completed_request();
+  }
+  Request ireduce_scatter(std::span<const float> send, std::span<float> recv,
+                          ReduceOp op) override {
+    reduce_scatter(send, recv, op);
+    return completed_request();
+  }
+  Request ireduce_scatterv(std::span<const float> send, std::span<float> recv,
+                           std::span<const std::size_t> counts,
+                           ReduceOp op) override {
+    reduce_scatterv(send, recv, counts, op);
+    return completed_request();
+  }
+
+  std::unique_ptr<Communicator> split(int color, int) override {
+    if (color < 0) return nullptr;
+    return std::make_unique<SelfComm>();
+  }
+
+  const CommStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_ = CommStats{}; }
+  std::string name() const override { return "self"; }
+
+ private:
+  static Request completed_request() {
+    std::promise<void> promise;
+    promise.set_value();
+    return Request(promise.get_future().share());
+  }
+
+  void bump(std::uint64_t CommStats::*counter) { stats_.*counter += 1; }
+
+  CommStats stats_;
+};
+
+}  // namespace axonn::comm

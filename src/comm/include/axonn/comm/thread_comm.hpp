@@ -1,0 +1,197 @@
+#pragma once
+
+// In-process message-passing runtime: one OS thread per rank.
+//
+// ThreadWorld owns the shared state (mailboxes, the per-rank progress thread
+// that plays the role of the GPU communication stream, the abort flag).
+// ThreadComm is the per-rank handle implementing the Communicator interface
+// with the real ring algorithms from ring.hpp.
+//
+// Nonblocking collectives are executed on the rank's progress thread so that
+// the issuing thread can keep computing — the same concurrency structure the
+// paper's OAR/ORS/OAG overlap optimizations rely on with NCCL/RCCL streams.
+// Collectives on one communicator must be issued in the same order by every
+// member rank (the MPI/NCCL ordering contract); distinct communicators are
+// independent.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "axonn/comm/communicator.hpp"
+
+namespace axonn::comm {
+
+class ThreadComm;
+
+/// Shared state for a group of thread ranks. Construct one, then either use
+/// run_ranks() (preferred) or call world_comm(rank) from each rank thread.
+class ThreadWorld {
+ public:
+  explicit ThreadWorld(int size);
+  ~ThreadWorld();
+
+  ThreadWorld(const ThreadWorld&) = delete;
+  ThreadWorld& operator=(const ThreadWorld&) = delete;
+
+  int size() const { return size_; }
+
+  /// The world communicator handle for `rank`. Each rank thread must use its
+  /// own handle; handles are not thread-safe across rank threads.
+  std::unique_ptr<ThreadComm> world_comm(int rank);
+
+  /// Marks the world as aborted (e.g. a rank threw). All pending and future
+  /// receives wake up and throw, preventing deadlock of surviving ranks.
+  void abort(const std::string& reason);
+
+ private:
+  friend class ThreadComm;
+
+  struct MessageKey {
+    std::uint64_t comm_id;
+    int src_world_rank;
+    std::uint64_t tag;
+    friend auto operator<=>(const MessageKey&, const MessageKey&) = default;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::map<MessageKey, std::deque<std::vector<float>>> queues;
+  };
+
+  // The per-rank progress "stream": a worker thread draining FIFO tasks.
+  struct ProgressStream {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> tasks;
+    std::thread worker;
+    bool stopping = false;
+  };
+
+  void deliver(int dest_world_rank, const MessageKey& key,
+               std::vector<float> payload);
+  std::vector<float> collect(int my_world_rank, const MessageKey& key);
+
+  /// Returns a stable id for the subcommunicator created by the
+  /// (parent, generation, color) split — every member rank gets the same id.
+  std::uint64_t subcomm_id(std::uint64_t parent_id, std::uint64_t generation,
+                           int color);
+
+  void enqueue_task(int world_rank, std::function<void()> task);
+  void progress_loop(ProgressStream& stream);
+
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<ProgressStream>> streams_;
+
+  std::mutex registry_mutex_;
+  std::map<std::tuple<std::uint64_t, std::uint64_t, int>, std::uint64_t>
+      subcomm_registry_;
+  std::uint64_t next_comm_id_ = 1;  // 0 is the world communicator
+
+  std::mutex abort_mutex_;
+  std::atomic<bool> aborted_{false};
+  std::string abort_reason_;
+};
+
+class ThreadComm final : public Communicator {
+ public:
+  ~ThreadComm() override = default;
+
+  int rank() const override { return rank_; }
+  int size() const override { return static_cast<int>(members_.size()); }
+
+  void all_reduce(std::span<float> buffer, ReduceOp op) override;
+  void all_gather(std::span<const float> send, std::span<float> recv) override;
+  void all_gatherv(std::span<const float> send, std::span<float> recv,
+                   std::span<const std::size_t> recv_counts) override;
+  void reduce_scatter(std::span<const float> send, std::span<float> recv,
+                      ReduceOp op) override;
+  void reduce_scatterv(std::span<const float> send, std::span<float> recv,
+                       std::span<const std::size_t> counts,
+                       ReduceOp op) override;
+  void broadcast(std::span<float> buffer, int root) override;
+  void barrier() override;
+
+  Request iall_reduce(std::span<float> buffer, ReduceOp op) override;
+  Request iall_gather(std::span<const float> send,
+                      std::span<float> recv) override;
+  Request iall_gatherv(std::span<const float> send, std::span<float> recv,
+                       std::span<const std::size_t> recv_counts) override;
+  Request ireduce_scatter(std::span<const float> send, std::span<float> recv,
+                          ReduceOp op) override;
+  Request ireduce_scatterv(std::span<const float> send, std::span<float> recv,
+                           std::span<const std::size_t> counts,
+                           ReduceOp op) override;
+
+  std::unique_ptr<Communicator> split(int color, int key) override;
+
+  const CommStats& stats() const override;
+  void reset_stats() override;
+  std::string name() const override { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// World rank of communicator-rank r (diagnostics / tests).
+  int world_rank_of(int r) const { return members_[static_cast<std::size_t>(r)]; }
+
+ private:
+  friend class ThreadWorld;
+
+  ThreadComm(ThreadWorld* world, std::uint64_t comm_id, std::vector<int> members,
+             int rank, std::string name);
+
+  // Transport bound to one collective invocation (a fixed sequence number),
+  // passed to the ring algorithm templates.
+  class Transport {
+   public:
+    Transport(ThreadComm* comm, std::uint64_t seq) : comm_(comm), seq_(seq) {}
+    int rank() const { return comm_->rank_; }
+    int size() const { return comm_->size(); }
+    void send_to(int dest, std::span<const float> data);
+    void recv_from(int src, std::span<float> out);
+
+   private:
+    ThreadComm* comm_;
+    std::uint64_t seq_;
+  };
+
+  std::uint64_t next_seq();
+  void add_wire_bytes(std::uint64_t bytes);
+  void bump(std::uint64_t CommStats::*counter);
+
+  // Executes `body` (which runs a ring algorithm) either inline or on the
+  // rank's progress stream, returning a Request in the latter case.
+  Request post_async(std::function<void()> body);
+
+  ThreadWorld* world_;
+  std::uint64_t comm_id_;
+  std::vector<int> members_;  // communicator rank -> world rank
+  int rank_;
+  std::string name_;
+
+  // Sequence counter: identical across member ranks because collectives are
+  // issued in the same order on every rank. Allocated at issue time (not
+  // execution time) so blocking and nonblocking calls cannot race.
+  std::uint64_t seq_ = 0;
+  std::uint64_t split_generation_ = 0;
+
+  mutable std::mutex stats_mutex_;
+  CommStats stats_;
+  mutable CommStats stats_snapshot_;
+};
+
+/// Spawns `nranks` threads, each running `body` with its own world
+/// communicator, and joins them. If any rank throws, the world is aborted
+/// (unblocking the other ranks) and the first exception is rethrown.
+void run_ranks(int nranks,
+               const std::function<void(Communicator&)>& body);
+
+}  // namespace axonn::comm

@@ -1,0 +1,382 @@
+#include "axonn/comm/thread_comm.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "axonn/base/error.hpp"
+#include "axonn/comm/ring.hpp"
+
+namespace axonn::comm {
+
+// ---------------------------------------------------------------------------
+// ThreadWorld
+// ---------------------------------------------------------------------------
+
+ThreadWorld::ThreadWorld(int size) : size_(size) {
+  AXONN_CHECK_MSG(size >= 1, "ThreadWorld needs at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  streams_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    streams_.push_back(std::make_unique<ProgressStream>());
+  }
+  for (int r = 0; r < size; ++r) {
+    ProgressStream& stream = *streams_[static_cast<std::size_t>(r)];
+    stream.worker = std::thread([this, &stream] { progress_loop(stream); });
+  }
+}
+
+ThreadWorld::~ThreadWorld() {
+  for (auto& stream : streams_) {
+    {
+      std::lock_guard<std::mutex> lock(stream->mutex);
+      stream->stopping = true;
+    }
+    stream->cv.notify_all();
+  }
+  for (auto& stream : streams_) {
+    if (stream->worker.joinable()) stream->worker.join();
+  }
+}
+
+std::unique_ptr<ThreadComm> ThreadWorld::world_comm(int rank) {
+  AXONN_CHECK(rank >= 0 && rank < size_);
+  std::vector<int> members(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) members[static_cast<std::size_t>(r)] = r;
+  return std::unique_ptr<ThreadComm>(
+      new ThreadComm(this, /*comm_id=*/0, std::move(members), rank, "world"));
+}
+
+void ThreadWorld::abort(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(abort_mutex_);
+    if (aborted_.load(std::memory_order_relaxed)) return;
+    abort_reason_ = reason;
+    aborted_.store(true, std::memory_order_release);
+  }
+  for (auto& mailbox : mailboxes_) {
+    std::lock_guard<std::mutex> lock(mailbox->mutex);
+    mailbox->cv.notify_all();
+  }
+}
+
+void ThreadWorld::deliver(int dest_world_rank, const MessageKey& key,
+                          std::vector<float> payload) {
+  Mailbox& mailbox = *mailboxes_[static_cast<std::size_t>(dest_world_rank)];
+  {
+    std::lock_guard<std::mutex> lock(mailbox.mutex);
+    mailbox.queues[key].push_back(std::move(payload));
+  }
+  mailbox.cv.notify_all();
+}
+
+std::vector<float> ThreadWorld::collect(int my_world_rank,
+                                        const MessageKey& key) {
+  Mailbox& mailbox = *mailboxes_[static_cast<std::size_t>(my_world_rank)];
+  std::unique_lock<std::mutex> lock(mailbox.mutex);
+  mailbox.cv.wait(lock, [&] {
+    if (aborted_.load(std::memory_order_acquire)) return true;
+    auto it = mailbox.queues.find(key);
+    return it != mailbox.queues.end() && !it->second.empty();
+  });
+  if (aborted_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> abort_lock(abort_mutex_);
+    throw Error("ThreadWorld aborted: " + abort_reason_);
+  }
+  auto it = mailbox.queues.find(key);
+  std::vector<float> payload = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) mailbox.queues.erase(it);
+  return payload;
+}
+
+std::uint64_t ThreadWorld::subcomm_id(std::uint64_t parent_id,
+                                      std::uint64_t generation, int color) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto key = std::make_tuple(parent_id, generation, color);
+  auto [it, inserted] = subcomm_registry_.try_emplace(key, next_comm_id_);
+  if (inserted) ++next_comm_id_;
+  return it->second;
+}
+
+void ThreadWorld::enqueue_task(int world_rank, std::function<void()> task) {
+  ProgressStream& stream = *streams_[static_cast<std::size_t>(world_rank)];
+  {
+    std::lock_guard<std::mutex> lock(stream.mutex);
+    stream.tasks.push_back(std::move(task));
+  }
+  stream.cv.notify_all();
+}
+
+void ThreadWorld::progress_loop(ProgressStream& stream) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(stream.mutex);
+      stream.cv.wait(lock,
+                     [&] { return stream.stopping || !stream.tasks.empty(); });
+      if (stream.tasks.empty()) {
+        // stopping and drained
+        return;
+      }
+      task = std::move(stream.tasks.front());
+      stream.tasks.pop_front();
+    }
+    task();  // exceptions are captured inside the packaged task
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadComm
+// ---------------------------------------------------------------------------
+
+ThreadComm::ThreadComm(ThreadWorld* world, std::uint64_t comm_id,
+                       std::vector<int> members, int rank, std::string name)
+    : world_(world),
+      comm_id_(comm_id),
+      members_(std::move(members)),
+      rank_(rank),
+      name_(std::move(name)) {
+  AXONN_CHECK(rank_ >= 0 && rank_ < static_cast<int>(members_.size()));
+}
+
+void ThreadComm::Transport::send_to(int dest, std::span<const float> data) {
+  ThreadWorld::MessageKey key{comm_->comm_id_, comm_->rank_, seq_};
+  comm_->world_->deliver(comm_->members_[static_cast<std::size_t>(dest)], key,
+                         std::vector<float>(data.begin(), data.end()));
+  comm_->add_wire_bytes(data.size() * sizeof(float));
+}
+
+void ThreadComm::Transport::recv_from(int src, std::span<float> out) {
+  ThreadWorld::MessageKey key{comm_->comm_id_, src, seq_};
+  const std::vector<float> payload = comm_->world_->collect(
+      comm_->members_[static_cast<std::size_t>(comm_->rank_)], key);
+  AXONN_CHECK_MSG(payload.size() == out.size(),
+                  "ring message size mismatch — mismatched collective call?");
+  std::copy(payload.begin(), payload.end(), out.begin());
+}
+
+std::uint64_t ThreadComm::next_seq() { return seq_++; }
+
+void ThreadComm::add_wire_bytes(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.wire_bytes_sent += bytes;
+}
+
+void ThreadComm::bump(std::uint64_t CommStats::*counter) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.*counter += 1;
+}
+
+Request ThreadComm::post_async(std::function<void()> body) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(body));
+  std::shared_future<void> done = task->get_future().share();
+  world_->enqueue_task(members_[static_cast<std::size_t>(rank_)],
+                       [task] { (*task)(); });
+  return Request(std::move(done));
+}
+
+namespace {
+std::vector<std::size_t> equal_counts(int parts, std::size_t each) {
+  return std::vector<std::size_t>(static_cast<std::size_t>(parts), each);
+}
+}  // namespace
+
+void ThreadComm::all_reduce(std::span<float> buffer, ReduceOp op) {
+  bump(&CommStats::all_reduce_calls);
+  Transport t(this, next_seq());
+  ring_all_reduce(t, buffer, op);
+}
+
+void ThreadComm::all_gather(std::span<const float> send,
+                            std::span<float> recv) {
+  AXONN_CHECK_MSG(recv.size() == send.size() * static_cast<std::size_t>(size()),
+                  "all_gather recv size must be size() * send size");
+  const auto counts = equal_counts(size(), send.size());
+  bump(&CommStats::all_gather_calls);
+  Transport t(this, next_seq());
+  ring_all_gatherv(t, send, recv, counts);
+}
+
+void ThreadComm::all_gatherv(std::span<const float> send, std::span<float> recv,
+                             std::span<const std::size_t> recv_counts) {
+  bump(&CommStats::all_gather_calls);
+  Transport t(this, next_seq());
+  ring_all_gatherv(t, send, recv, recv_counts);
+}
+
+void ThreadComm::reduce_scatter(std::span<const float> send,
+                                std::span<float> recv, ReduceOp op) {
+  AXONN_CHECK_MSG(send.size() == recv.size() * static_cast<std::size_t>(size()),
+                  "reduce_scatter send size must be size() * recv size");
+  const auto counts = equal_counts(size(), recv.size());
+  bump(&CommStats::reduce_scatter_calls);
+  Transport t(this, next_seq());
+  ring_reduce_scatterv(t, send, recv, counts, op);
+}
+
+void ThreadComm::reduce_scatterv(std::span<const float> send,
+                                 std::span<float> recv,
+                                 std::span<const std::size_t> counts,
+                                 ReduceOp op) {
+  bump(&CommStats::reduce_scatter_calls);
+  Transport t(this, next_seq());
+  ring_reduce_scatterv(t, send, recv, counts, op);
+}
+
+void ThreadComm::broadcast(std::span<float> buffer, int root) {
+  bump(&CommStats::broadcast_calls);
+  Transport t(this, next_seq());
+  tree_broadcast(t, buffer, root);
+}
+
+void ThreadComm::barrier() {
+  float token = 0.0f;
+  Transport t(this, next_seq());
+  ring_all_reduce(t, std::span<float>(&token, 1), ReduceOp::kSum);
+}
+
+Request ThreadComm::iall_reduce(std::span<float> buffer, ReduceOp op) {
+  bump(&CommStats::all_reduce_calls);
+  const std::uint64_t seq = next_seq();
+  return post_async([this, buffer, op, seq] {
+    Transport t(this, seq);
+    ring_all_reduce(t, buffer, op);
+  });
+}
+
+Request ThreadComm::iall_gather(std::span<const float> send,
+                                std::span<float> recv) {
+  AXONN_CHECK_MSG(recv.size() == send.size() * static_cast<std::size_t>(size()),
+                  "iall_gather recv size must be size() * send size");
+  bump(&CommStats::all_gather_calls);
+  const std::uint64_t seq = next_seq();
+  auto counts = equal_counts(size(), send.size());
+  return post_async([this, send, recv, counts = std::move(counts), seq] {
+    Transport t(this, seq);
+    ring_all_gatherv(t, send, recv, counts);
+  });
+}
+
+Request ThreadComm::iall_gatherv(std::span<const float> send,
+                                 std::span<float> recv,
+                                 std::span<const std::size_t> recv_counts) {
+  bump(&CommStats::all_gather_calls);
+  const std::uint64_t seq = next_seq();
+  std::vector<std::size_t> counts(recv_counts.begin(), recv_counts.end());
+  return post_async([this, send, recv, counts = std::move(counts), seq] {
+    Transport t(this, seq);
+    ring_all_gatherv(t, send, recv, counts);
+  });
+}
+
+Request ThreadComm::ireduce_scatter(std::span<const float> send,
+                                    std::span<float> recv, ReduceOp op) {
+  AXONN_CHECK_MSG(send.size() == recv.size() * static_cast<std::size_t>(size()),
+                  "ireduce_scatter send size must be size() * recv size");
+  bump(&CommStats::reduce_scatter_calls);
+  const std::uint64_t seq = next_seq();
+  auto counts = equal_counts(size(), recv.size());
+  return post_async([this, send, recv, counts = std::move(counts), op, seq] {
+    Transport t(this, seq);
+    ring_reduce_scatterv(t, send, recv, counts, op);
+  });
+}
+
+Request ThreadComm::ireduce_scatterv(std::span<const float> send,
+                                     std::span<float> recv,
+                                     std::span<const std::size_t> counts_in,
+                                     ReduceOp op) {
+  bump(&CommStats::reduce_scatter_calls);
+  const std::uint64_t seq = next_seq();
+  std::vector<std::size_t> counts(counts_in.begin(), counts_in.end());
+  return post_async([this, send, recv, counts = std::move(counts), op, seq] {
+    Transport t(this, seq);
+    ring_reduce_scatterv(t, send, recv, counts, op);
+  });
+}
+
+std::unique_ptr<Communicator> ThreadComm::split(int color, int key) {
+  // Exchange (color, key) across the parent communicator. Encoded as floats;
+  // exact for |values| < 2^24, far beyond any grid dimension in practice.
+  const float mine[2] = {static_cast<float>(color), static_cast<float>(key)};
+  std::vector<float> all(static_cast<std::size_t>(size()) * 2);
+  all_gather(std::span<const float>(mine, 2), all);
+
+  const std::uint64_t generation = split_generation_++;
+  if (color < 0) {
+    return nullptr;  // this rank opted out (MPI_UNDEFINED semantics)
+  }
+
+  // Membership: ranks with my colour, ordered by (key, parent rank).
+  struct Member {
+    int key;
+    int parent_rank;
+  };
+  std::vector<Member> group;
+  for (int r = 0; r < size(); ++r) {
+    const auto c = static_cast<int>(all[static_cast<std::size_t>(r) * 2]);
+    const auto k = static_cast<int>(all[static_cast<std::size_t>(r) * 2 + 1]);
+    if (c == color) group.push_back(Member{k, r});
+  }
+  std::stable_sort(group.begin(), group.end(), [](const Member& a, const Member& b) {
+    return a.key != b.key ? a.key < b.key : a.parent_rank < b.parent_rank;
+  });
+
+  std::vector<int> members;
+  members.reserve(group.size());
+  int my_new_rank = -1;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    members.push_back(members_[static_cast<std::size_t>(group[i].parent_rank)]);
+    if (group[i].parent_rank == rank_) my_new_rank = static_cast<int>(i);
+  }
+  AXONN_CHECK(my_new_rank >= 0);
+
+  const std::uint64_t id = world_->subcomm_id(comm_id_, generation, color);
+  return std::unique_ptr<Communicator>(new ThreadComm(
+      world_, id, std::move(members), my_new_rank,
+      name_ + "/split" + std::to_string(generation) + "." + std::to_string(color)));
+}
+
+const CommStats& ThreadComm::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_snapshot_ = stats_;
+  return stats_snapshot_;
+}
+
+void ThreadComm::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_ = CommStats{};
+}
+
+// ---------------------------------------------------------------------------
+// run_ranks
+// ---------------------------------------------------------------------------
+
+void run_ranks(int nranks, const std::function<void(Communicator&)>& body) {
+  ThreadWorld world(nranks);
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        auto comm = world.world_comm(r);
+        body(*comm);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        world.abort("rank " + std::to_string(r) + " threw");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace axonn::comm

@@ -1,0 +1,184 @@
+#include "axonn/core/fc_layer.hpp"
+
+#include <span>
+
+#include "axonn/base/error.hpp"
+
+namespace axonn::core {
+
+TensorParallelFC::TensorParallelFC(Grid4D& grid, std::size_t in_features,
+                                   std::size_t out_features, std::uint64_t seed,
+                                   FCOptions options)
+    : grid_(grid),
+      in_features_(in_features),
+      out_features_(out_features),
+      options_(options) {
+  AXONN_CHECK(in_features >= 1 && out_features >= 1);
+  in_range_ = chunk_range(in_features, static_cast<std::size_t>(row_dim()),
+                          static_cast<std::size_t>(row_coord()));
+  out_range_ = chunk_range(out_features, static_cast<std::size_t>(col_dim()),
+                           static_cast<std::size_t>(col_coord()));
+
+  // Every rank draws the same full weight from the seed, then keeps only its
+  // block's Z-shard. This guarantees all shards are consistent views of one
+  // global W without any startup communication.
+  Rng rng(seed);
+  const Matrix full =
+      Matrix::randn(in_features, out_features, rng, 0.0f, options_.init_std);
+  const Matrix block = full.block(in_range_, out_range_);
+
+  const auto gz = static_cast<std::size_t>(grid_.shape().gz);
+  z_counts_.resize(gz);
+  z_elem_counts_.resize(gz);
+  for (std::size_t zr = 0; zr < gz; ++zr) {
+    z_counts_[zr] = chunk_size(block.rows(), gz, zr);
+    z_elem_counts_[zr] = z_counts_[zr] * block.cols();
+  }
+  const Range my_rows = chunk_range(block.rows(), gz,
+                                    static_cast<std::size_t>(grid_.z()));
+  weight_shard_ = block.block(my_rows, Range{0, block.cols()});
+  weight_grad_shard_ = Matrix::zeros(weight_shard_.rows(), weight_shard_.cols());
+}
+
+Matrix TensorParallelFC::scatter_input(const Matrix& full_input) const {
+  AXONN_CHECK_MSG(full_input.cols() == in_features_,
+                  "input feature count does not match layer");
+  const Range rows = chunk_range(full_input.rows(),
+                                 static_cast<std::size_t>(grid_.shape().gz),
+                                 static_cast<std::size_t>(grid_.z()));
+  return full_input.block(rows, in_range_);
+}
+
+Range TensorParallelFC::input_row_range(std::size_t total_rows) const {
+  return chunk_range(total_rows, static_cast<std::size_t>(grid_.shape().gz),
+                     static_cast<std::size_t>(grid_.z()));
+}
+
+Matrix TensorParallelFC::multiply(GemmMode mode, const Matrix& a,
+                                  const Matrix& b) const {
+  return options_.mixed_precision ? gemm_bf16(mode, a, b) : gemm(mode, a, b);
+}
+
+void TensorParallelFC::begin_weight_gather() {
+  if (weight_cache_valid_ || pending_weight_gather_) return;
+  cached_weight_block_ = Matrix(in_range_.size(), out_range_.size());
+  pending_weight_gather_ = grid_.z_comm().iall_gatherv(
+      std::span<const float>(weight_shard_.storage()),
+      std::span<float>(cached_weight_block_.storage()), z_elem_counts_);
+}
+
+void TensorParallelFC::gather_weights_into_cache() {
+  if (weight_cache_valid_) return;
+  if (pending_weight_gather_) {
+    pending_weight_gather_->wait();
+    pending_weight_gather_.reset();
+  } else {
+    cached_weight_block_ = Matrix(in_range_.size(), out_range_.size());
+    grid_.z_comm().all_gatherv(
+        std::span<const float>(weight_shard_.storage()),
+        std::span<float>(cached_weight_block_.storage()), z_elem_counts_);
+  }
+  weight_cache_valid_ = true;
+}
+
+Matrix TensorParallelFC::forward(const Matrix& input_local) {
+  AXONN_CHECK_MSG(input_local.cols() == in_local(),
+                  "local input columns must match this rank's W-row share");
+  gather_weights_into_cache();
+  Matrix output = multiply(GemmMode::kNN, input_local, cached_weight_block_);
+  row_comm().all_reduce(std::span<float>(output.storage()),
+                        comm::ReduceOp::kSum);
+  cached_input_ = input_local;
+  return output;
+}
+
+Matrix TensorParallelFC::backward(const Matrix& grad_output_local) {
+  AXONN_CHECK_MSG(weight_cache_valid_,
+                  "backward requires a preceding forward (cached W)");
+  AXONN_CHECK(grad_output_local.rows() == cached_input_.rows());
+  AXONN_CHECK(grad_output_local.cols() == out_local());
+
+  // Wait for any previous layer-reuse of the RS buffers.
+  if (pending_reduce_scatter_) finish_gradients();
+
+  // Line 11: dI_hat = dO x W^T.
+  Matrix grad_input =
+      multiply(GemmMode::kNT, grad_output_local, cached_weight_block_);
+
+  std::optional<comm::Request> dI_request;
+  if (options_.overlap_input_grad_all_reduce) {
+    // Line 12 issued asynchronously (OAR)...
+    dI_request = col_comm().iall_reduce(std::span<float>(grad_input.storage()),
+                                        comm::ReduceOp::kSum);
+  } else {
+    col_comm().all_reduce(std::span<float>(grad_input.storage()),
+                          comm::ReduceOp::kSum);
+  }
+
+  // Line 13: dW_hat = I^T x dO — overlapped with the dI all-reduce when OAR
+  // is on.
+  rs_send_buffer_ = multiply(GemmMode::kTN, cached_input_, grad_output_local);
+
+  if (dI_request) dI_request->wait();
+
+  // Line 14: dW_shard = reduce-scatter_z(dW_hat).
+  rs_recv_buffer_ = Matrix(weight_shard_.rows(), weight_shard_.cols());
+  if (options_.overlap_weight_grad_reduce_scatter) {
+    pending_reduce_scatter_ = grid_.z_comm().ireduce_scatterv(
+        std::span<const float>(rs_send_buffer_.storage()),
+        std::span<float>(rs_recv_buffer_.storage()), z_elem_counts_,
+        comm::ReduceOp::kSum);
+  } else {
+    grid_.z_comm().reduce_scatterv(
+        std::span<const float>(rs_send_buffer_.storage()),
+        std::span<float>(rs_recv_buffer_.storage()), z_elem_counts_,
+        comm::ReduceOp::kSum);
+    weight_grad_shard_.add_inplace(rs_recv_buffer_);
+  }
+  return grad_input;
+}
+
+void TensorParallelFC::finish_gradients() {
+  if (!pending_reduce_scatter_) return;
+  pending_reduce_scatter_->wait();
+  pending_reduce_scatter_.reset();
+  weight_grad_shard_.add_inplace(rs_recv_buffer_);
+}
+
+Matrix& TensorParallelFC::mutable_weight_shard() {
+  weight_cache_valid_ = false;  // any edit invalidates the gathered cache
+  return weight_shard_;
+}
+
+const Matrix& TensorParallelFC::weight_grad_shard() const {
+  AXONN_CHECK_MSG(!pending_reduce_scatter_,
+                  "finish_gradients() before reading gradients");
+  return weight_grad_shard_;
+}
+
+Matrix& TensorParallelFC::mutable_weight_grad_shard() {
+  AXONN_CHECK_MSG(!pending_reduce_scatter_,
+                  "finish_gradients() before mutating gradients");
+  return weight_grad_shard_;
+}
+
+void TensorParallelFC::zero_grad() {
+  finish_gradients();
+  weight_grad_shard_.set_zero();
+}
+
+void TensorParallelFC::apply_sgd(float lr) {
+  finish_gradients();
+  weight_shard_.axpy_inplace(-lr, weight_grad_shard_);
+  weight_cache_valid_ = false;
+}
+
+Matrix TensorParallelFC::gather_weight_block() {
+  Matrix block(in_range_.size(), out_range_.size());
+  grid_.z_comm().all_gatherv(std::span<const float>(weight_shard_.storage()),
+                             std::span<float>(block.storage()),
+                             z_elem_counts_);
+  return block;
+}
+
+}  // namespace axonn::core

@@ -1,0 +1,57 @@
+#include "axonn/core/grid4d.hpp"
+
+#include "axonn/base/error.hpp"
+
+namespace axonn::core {
+
+Grid4D::Grid4D(comm::Communicator& world, const sim::GridShape& shape)
+    : world_(world), shape_(shape) {
+  AXONN_CHECK_MSG(shape.total() == world.size(),
+                  "grid shape " + shape.to_string() + " does not match " +
+                      std::to_string(world.size()) + " ranks");
+  const int r = world.rank();
+  x_ = r % shape.gx;
+  y_ = (r / shape.gx) % shape.gy;
+  z_ = (r / (shape.gx * shape.gy)) % shape.gz;
+  d_ = r / (shape.gx * shape.gy * shape.gz);
+
+  // Colour = the flattened coordinates of the *other* three dimensions, so
+  // ranks differing only in the split dimension share a group. Key = the
+  // coordinate along the split dimension, preserving coordinate order.
+  const int cx = y_ + shape.gy * (z_ + shape.gz * d_);
+  x_comm_ = world.split(cx, x_);
+  const int cy = x_ + shape.gx * (z_ + shape.gz * d_);
+  y_comm_ = world.split(cy, y_);
+  const int cz = x_ + shape.gx * (y_ + shape.gy * d_);
+  z_comm_ = world.split(cz, z_);
+  const int cd = x_ + shape.gx * (y_ + shape.gy * z_);
+  data_comm_ = world.split(cd, d_);
+
+  AXONN_CHECK(x_comm_ && y_comm_ && z_comm_ && data_comm_);
+  AXONN_CHECK(x_comm_->size() == shape.gx);
+  AXONN_CHECK(y_comm_->size() == shape.gy);
+  AXONN_CHECK(z_comm_->size() == shape.gz);
+  AXONN_CHECK(data_comm_->size() == shape.gdata);
+  AXONN_CHECK(x_comm_->rank() == x_);
+  AXONN_CHECK(y_comm_->rank() == y_);
+  AXONN_CHECK(z_comm_->rank() == z_);
+  AXONN_CHECK(data_comm_->rank() == d_);
+}
+
+comm::CommStats Grid4D::total_stats() const {
+  comm::CommStats total;
+  total += x_comm_->stats();
+  total += y_comm_->stats();
+  total += z_comm_->stats();
+  total += data_comm_->stats();
+  return total;
+}
+
+void Grid4D::reset_stats() {
+  x_comm_->reset_stats();
+  y_comm_->reset_stats();
+  z_comm_->reset_stats();
+  data_comm_->reset_stats();
+}
+
+}  // namespace axonn::core

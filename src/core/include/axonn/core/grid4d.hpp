@@ -1,0 +1,57 @@
+#pragma once
+
+// The 4D virtual process grid (§V-A/§V-B).
+//
+// G ranks are arranged as Gx x Gy x Gz x Gdata with X innermost: rank r has
+// coordinates
+//   x = r % Gx, y = (r/Gx) % Gy, z = (r/(Gx*Gy)) % Gz, d = r/(Gx*Gy*Gz).
+// This matches the paper's hierarchical placement assumption (X groups are
+// consecutive ranks, so they land inside a node first). Grid4D splits the
+// world communicator into the four families of process groups Algorithm 1
+// communicates over; each rank holds its own Grid4D instance.
+
+#include <memory>
+
+#include "axonn/comm/communicator.hpp"
+#include "axonn/sim/grid_shape.hpp"
+
+namespace axonn::core {
+
+class Grid4D {
+ public:
+  /// Collective over `world`: every rank of the world communicator must
+  /// construct the Grid4D with the same shape. shape.total() must equal
+  /// world.size().
+  Grid4D(comm::Communicator& world, const sim::GridShape& shape);
+
+  const sim::GridShape& shape() const { return shape_; }
+
+  int x() const { return x_; }
+  int y() const { return y_; }
+  int z() const { return z_; }
+  int d() const { return d_; }
+
+  /// Process-group communicators. Size-1 dimensions still yield a valid
+  /// (single-member) communicator so Algorithm 1 needs no special cases.
+  comm::Communicator& x_comm() { return *x_comm_; }
+  comm::Communicator& y_comm() { return *y_comm_; }
+  comm::Communicator& z_comm() { return *z_comm_; }
+  comm::Communicator& data_comm() { return *data_comm_; }
+
+  comm::Communicator& world() { return world_; }
+
+  /// Combined wire traffic of the four sub-communicators on this rank.
+  comm::CommStats total_stats() const;
+  void reset_stats();
+
+ private:
+  comm::Communicator& world_;
+  sim::GridShape shape_;
+  int x_ = 0, y_ = 0, z_ = 0, d_ = 0;
+  std::unique_ptr<comm::Communicator> x_comm_;
+  std::unique_ptr<comm::Communicator> y_comm_;
+  std::unique_ptr<comm::Communicator> z_comm_;
+  std::unique_ptr<comm::Communicator> data_comm_;
+};
+
+}  // namespace axonn::core

@@ -1,0 +1,72 @@
+#pragma once
+
+// Automated BLAS kernel tuning (§V-C).
+//
+// Every product C = op_A(A) x op_B(B) can be computed by any of the three
+// kernel modes by materializing operand transposes: e.g. an NN product can
+// run through the TN kernel as gemm_TN(A^T_copy, B). BLAS libraries
+// optimize the modes unevenly — the paper found a rocBLAS TN kernel at 6%
+// of peak — so AxoNN times all three variants during the first batch and
+// locks in the fastest for the rest of training. This tuner does the same
+// with the real CPU kernels: it measures each variant (including the
+// transpose-copy cost it incurs) and executes the winner thereafter.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "axonn/tensor/gemm.hpp"
+#include "axonn/tensor/matrix.hpp"
+
+namespace axonn::core {
+
+class KernelTuner {
+ public:
+  struct Key {
+    GemmMode semantic_mode;  ///< the product the caller wants
+    std::size_t m, n, k;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+
+  struct Choice {
+    GemmMode kernel_mode = GemmMode::kNN;  ///< the kernel actually run
+    double measured_seconds = 0;           ///< winner's time
+    double default_seconds = 0;            ///< semantic (untuned) mode's time
+    double speedup() const {
+      return measured_seconds > 0 ? default_seconds / measured_seconds : 1.0;
+    }
+  };
+
+  explicit KernelTuner(int timing_repeats = 3)
+      : timing_repeats_(timing_repeats) {}
+
+  /// Computes op(A) x op(B) under `semantic_mode`. The first call for a
+  /// given (mode, shape) times all three kernel variants and records the
+  /// winner; later calls run the winner directly.
+  Matrix run(GemmMode semantic_mode, const Matrix& a, const Matrix& b);
+
+  /// Times the three variants for this product without caching.
+  Choice tune(GemmMode semantic_mode, const Matrix& a, const Matrix& b) const;
+
+  /// The decision table built so far (key -> winning kernel).
+  const std::map<Key, Choice>& decisions() const { return decisions_; }
+
+  /// One-line summary per decision, in the spirit of the paper's §V-C
+  /// anecdote ("TN -> NN, 8x faster").
+  std::vector<std::string> report() const;
+
+ private:
+  /// Executes the product with a specific kernel mode, materializing
+  /// transposed copies as needed so the math is unchanged.
+  static Matrix run_with_kernel(GemmMode semantic_mode, GemmMode kernel_mode,
+                                const Matrix& a, const Matrix& b);
+
+  double time_variant(GemmMode semantic_mode, GemmMode kernel_mode,
+                      const Matrix& a, const Matrix& b) const;
+
+  int timing_repeats_;
+  std::map<Key, Choice> decisions_;
+};
+
+}  // namespace axonn::core

@@ -1,0 +1,99 @@
+#include "axonn/core/kernel_tuner.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <limits>
+
+#include "axonn/base/error.hpp"
+
+namespace axonn::core {
+
+namespace {
+
+bool transposes_a(GemmMode mode) {
+  return mode == GemmMode::kTN || mode == GemmMode::kTT;
+}
+bool transposes_b(GemmMode mode) {
+  return mode == GemmMode::kNT || mode == GemmMode::kTT;
+}
+
+}  // namespace
+
+Matrix KernelTuner::run_with_kernel(GemmMode semantic_mode,
+                                    GemmMode kernel_mode, const Matrix& a,
+                                    const Matrix& b) {
+  if (kernel_mode == semantic_mode) {
+    return gemm(semantic_mode, a, b);
+  }
+  // Pass operands so that op_kernel(passed) == op_semantic(original): when
+  // the transpose flags differ, materialize a transposed copy — the layout
+  // change a real framework performs to reach a different BLAS kernel.
+  const bool copy_a = transposes_a(kernel_mode) != transposes_a(semantic_mode);
+  const bool copy_b = transposes_b(kernel_mode) != transposes_b(semantic_mode);
+  const Matrix& a_eff = copy_a ? a.transposed() : a;
+  const Matrix& b_eff = copy_b ? b.transposed() : b;
+  return gemm(kernel_mode, a_eff, b_eff);
+}
+
+double KernelTuner::time_variant(GemmMode semantic_mode, GemmMode kernel_mode,
+                                 const Matrix& a, const Matrix& b) const {
+  using Clock = std::chrono::steady_clock;
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < timing_repeats_; ++rep) {
+    const auto start = Clock::now();
+    const Matrix c = run_with_kernel(semantic_mode, kernel_mode, a, b);
+    const auto stop = Clock::now();
+    // Touch the result so the compiler cannot elide the work.
+    volatile float sink = c(0, 0);
+    (void)sink;
+    best = std::min(best,
+                    std::chrono::duration<double>(stop - start).count());
+  }
+  return best;
+}
+
+KernelTuner::Choice KernelTuner::tune(GemmMode semantic_mode, const Matrix& a,
+                                      const Matrix& b) const {
+  AXONN_CHECK_MSG(semantic_mode != GemmMode::kTT,
+                  "transformers use NN/NT/TN products only");
+  Choice choice;
+  choice.default_seconds = time_variant(semantic_mode, semantic_mode, a, b);
+  choice.measured_seconds = choice.default_seconds;
+  choice.kernel_mode = semantic_mode;
+  for (GemmMode km : {GemmMode::kNN, GemmMode::kNT, GemmMode::kTN}) {
+    if (km == semantic_mode) continue;
+    const double t = time_variant(semantic_mode, km, a, b);
+    if (t < choice.measured_seconds) {
+      choice.measured_seconds = t;
+      choice.kernel_mode = km;
+    }
+  }
+  return choice;
+}
+
+Matrix KernelTuner::run(GemmMode semantic_mode, const Matrix& a,
+                        const Matrix& b) {
+  const GemmShape shape = gemm_shape(semantic_mode, a, b);
+  const Key key{semantic_mode, shape.m, shape.n, shape.k};
+  auto it = decisions_.find(key);
+  if (it == decisions_.end()) {
+    // First batch: measure, then remember (§V-C).
+    it = decisions_.emplace(key, tune(semantic_mode, a, b)).first;
+  }
+  return run_with_kernel(semantic_mode, it->second.kernel_mode, a, b);
+}
+
+std::vector<std::string> KernelTuner::report() const {
+  std::vector<std::string> lines;
+  for (const auto& [key, choice] : decisions_) {
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s (m=%zu n=%zu k=%zu): kernel %s, %.2fx vs default",
+                  to_string(key.semantic_mode), key.m, key.n, key.k,
+                  to_string(choice.kernel_mode), choice.speedup());
+    lines.emplace_back(buffer);
+  }
+  return lines;
+}
+
+}  // namespace axonn::core

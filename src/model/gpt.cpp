@@ -1,0 +1,127 @@
+#include "axonn/model/gpt.hpp"
+
+#include "axonn/base/error.hpp"
+
+namespace axonn::model {
+
+std::uint64_t GPTConfig::parameter_count() const {
+  const auto h = static_cast<std::uint64_t>(hidden);
+  const auto l = static_cast<std::uint64_t>(layers);
+  const auto v = static_cast<std::uint64_t>(vocab);
+  const auto s = static_cast<std::uint64_t>(seq_len);
+  // Per block: QKV (3h^2 + 3h) + attention out (h^2 + h) + MLP up
+  // (4h^2 + 4h) + MLP down (4h^2 + h) + two layernorms (4h).
+  const std::uint64_t per_block = 12 * h * h + 13 * h;
+  // Embeddings: token (v*h) + position (s*h) + final layernorm (2h).
+  return l * per_block + v * h + s * h + 2 * h;
+}
+
+std::uint64_t GPTConfig::parameter_count_approx() const {
+  const auto h = static_cast<std::uint64_t>(hidden);
+  return 12 * static_cast<std::uint64_t>(layers) * h * h;
+}
+
+double GPTConfig::flops_per_iteration(double batch_tokens,
+                                      bool activation_checkpointing) const {
+  const double h = hidden;
+  const double l = layers;
+  const double v = vocab;
+  const double s = seq_len;
+  // Narayanan et al. [6]: 96 B s l h^2 (1 + s/6h + V/16lh) with activation
+  // recomputation; the leading coefficient is 72 without it (fwd 24 + bwd
+  // 48). batch_tokens = B * s, so the B*s product is batch_tokens directly.
+  const double coeff = activation_checkpointing ? 96.0 : 72.0;
+  return coeff * batch_tokens * l * h * h *
+         (1.0 + s / (6.0 * h) + v / (16.0 * l * h));
+}
+
+std::vector<GPTConfig::FCLayer> GPTConfig::fc_layers_per_block() const {
+  const auto h = static_cast<std::uint64_t>(hidden);
+  return {
+      {"qkv", h, 3 * h},
+      {"attn_out", h, h},
+      {"mlp_up", h, 4 * h},
+      {"mlp_down", 4 * h, h},
+  };
+}
+
+std::uint64_t GPTConfig::fc_params_per_block() const {
+  std::uint64_t total = 0;
+  for (const auto& fc : fc_layers_per_block()) {
+    total += fc.in_features * fc.out_features;
+  }
+  return total;
+}
+
+std::vector<GPTConfig> gpt_zoo() {
+  // Table II of the paper.
+  return {
+      {"GPT-5B", 24, 4096, 32},    {"GPT-10B", 32, 5120, 40},
+      {"GPT-20B", 32, 7168, 56},   {"GPT-40B", 38, 9216, 72},
+      {"GPT-60B", 56, 9216, 72},   {"GPT-80B", 42, 12288, 96},
+      {"GPT-160B", 84, 12288, 96}, {"GPT-320B", 96, 16384, 128},
+      {"GPT-640B", 192, 16384, 128},
+  };
+}
+
+GPTConfig gpt_by_name(const std::string& name) {
+  for (const auto& config : gpt_zoo()) {
+    if (config.name == name) return config;
+  }
+  for (const auto& config : llama_zoo()) {
+    if (config.name == name) return config;
+  }
+  throw Error("unknown model: " + name);
+}
+
+std::vector<GPTConfig> llama_zoo() {
+  // Published architectures; Llama vocab sizes: 32000 (Llama 2 family,
+  // TinyLlama) and 128256 (Llama 3.1). Sequence length set to the training
+  // context used in the memorization experiments.
+  std::vector<GPTConfig> zoo = {
+      {"TinyLlama-1B", 22, 2048, 32},   {"Llama-2-7B", 32, 4096, 32},
+      {"Llama-2-13B", 40, 5120, 40},    {"Llama-2-70B", 80, 8192, 64},
+      {"Llama-3.1-8B", 32, 4096, 32},   {"Llama-3.1-70B", 80, 8192, 64},
+      {"Llama-3.1-405B", 126, 16384, 128},
+  };
+  for (auto& config : zoo) {
+    config.vocab = config.name.find("3.1") != std::string::npos ? 128256 : 32000;
+    config.seq_len = 2048;
+  }
+  return zoo;
+}
+
+MemoryEstimate memory_per_gpu(const TrainingJob& job, int gx, int gy, int gz,
+                              int gdata) {
+  AXONN_CHECK_MSG(gx >= 1 && gy >= 1 && gz >= 1 && gdata >= 1,
+                  "grid dimensions must be positive");
+  const double params = static_cast<double>(job.model.parameter_count());
+  const double tensor_shards = static_cast<double>(gx) * gy * gz;
+
+  MemoryEstimate est;
+  est.parameter_bytes = 2.0 * params / tensor_shards;  // bf16
+  est.gradient_bytes = 2.0 * params / tensor_shards;   // bf16
+  est.optimizer_bytes = 12.0 * params / tensor_shards; // fp32 master + m + v
+
+  // Activations. Input rows per data-parallel group: B_local = B / Gdata
+  // sequences of s tokens. The activation tensor of one layer boundary is
+  // (B_local * s) x h, 2D-decomposed over Gz (rows) x Gy (cols) and
+  // replicated over X. With activation checkpointing only layer boundaries
+  // persist; the working set of the layer being (re)computed adds roughly a
+  // 4h-wide MLP activation plus attention scores.
+  const double local_tokens = job.live_tokens(gdata);
+  const double h = job.model.hidden;
+  const double boundary =
+      2.0 * local_tokens * h / (static_cast<double>(gy) * gz);
+  if (job.activation_checkpointing) {
+    const double working_set = 8.0 * boundary;  // one layer fully live
+    est.activation_bytes = boundary * job.model.layers + working_set;
+  } else {
+    // All intermediate tensors of all layers stay live (~8 h-wide tensors
+    // per layer between QKV, attention and MLP).
+    est.activation_bytes = 8.0 * boundary * job.model.layers;
+  }
+  return est;
+}
+
+}  // namespace axonn::model

@@ -1,0 +1,114 @@
+#pragma once
+
+// GPT-style transformer architecture descriptions.
+//
+// Table II of the paper defines the model zoo (GPT-5B .. GPT-640B); this
+// header reproduces those architectures, the analytical parameter count and
+// the Narayanan et al. flop-count formulation the paper uses to report
+// sustained flop/s ("model flops"), and the per-layer matmul shapes the 3D
+// PMM algorithm parallelizes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "axonn/tensor/gemm.hpp"
+
+namespace axonn::model {
+
+struct GPTConfig {
+  std::string name;
+  int layers = 0;
+  int hidden = 0;
+  int heads = 0;
+  int vocab = 51200;    ///< Megatron-LM's padded GPT-2 vocabulary
+  int seq_len = 2048;
+
+  /// Exact trainable parameter count from the layer-wise sum:
+  /// per layer 12 h^2 + 13 h (QKV + attention out + 2 MLP + layernorms +
+  /// biases), plus token and position embeddings.
+  std::uint64_t parameter_count() const;
+
+  /// Approximate count 12 l h^2 — the headline "number of parameters" used
+  /// in model names (GPT-5B etc.).
+  std::uint64_t parameter_count_approx() const;
+
+  /// Narayanan et al.'s analytical flop count for one iteration over
+  /// `batch_tokens` tokens:
+  ///   F = 6 B s l h^2 (factor) (1 + s/(6h) + V/(16 l h))
+  /// with factor 16 when activation checkpointing recomputes the forward
+  /// pass (96 B s l h^2 form) and 12 without (72 B s l h^2 form).
+  double flops_per_iteration(double batch_tokens,
+                             bool activation_checkpointing = true) const;
+
+  /// The FC-layer weight shapes within one transformer layer, in execution
+  /// order. These are the units Algorithm 1 parallelizes; attention BMMs
+  /// and softmax are accounted separately in the flop model.
+  struct FCLayer {
+    std::string name;   ///< "qkv", "attn_out", "mlp_up", "mlp_down"
+    std::uint64_t in_features = 0;   ///< k: rows of W
+    std::uint64_t out_features = 0;  ///< n: cols of W
+  };
+  std::vector<FCLayer> fc_layers_per_block() const;
+
+  /// Total FC weight parameters in one transformer block (sum of k*n).
+  std::uint64_t fc_params_per_block() const;
+};
+
+/// Table II: the nine GPT configurations used in the performance study.
+std::vector<GPTConfig> gpt_zoo();
+
+/// Looks up a zoo entry by name ("GPT-80B"); throws if unknown.
+GPTConfig gpt_by_name(const std::string& name);
+
+/// Llama-family architectures used in the memorization study (§VIII-B).
+/// Hyperparameters follow the public model cards; vocab sizes are the
+/// published tokenizer sizes.
+std::vector<GPTConfig> llama_zoo();
+
+/// Hardware-agnostic training job description used by the simulator and the
+/// performance model.
+struct TrainingJob {
+  GPTConfig model;
+  double batch_tokens = 16.8e6;  ///< the paper's global batch size
+  bool activation_checkpointing = true;
+  /// Tokens processed per micro-batch within a data-parallel group
+  /// (gradient accumulation). Activation memory scales with this, not with
+  /// the full batch; communication volumes per batch are unaffected.
+  double microbatch_tokens = 16384;
+
+  double batch_sequences() const {
+    return batch_tokens / static_cast<double>(model.seq_len);
+  }
+
+  /// Tokens a data-parallel group holds live at once.
+  double live_tokens(int gdata) const {
+    const double local = batch_tokens / static_cast<double>(gdata);
+    return local < microbatch_tokens ? local : microbatch_tokens;
+  }
+};
+
+/// Per-GPU memory footprint (bytes) of a training job under a given tensor
+/// parallel sharding. Mixed-precision accounting:
+///   bf16 weights + bf16 grads          : 4 bytes/param, sharded over
+///                                        Gx*Gy*Gz (W is 2D-decomposed over
+///                                        X x Y and sharded over Z)
+///   fp32 master + Adam m + v           : 12 bytes/param, sharded likewise
+///   checkpointed activations           : one h-wide tensor per layer
+///                                        boundary plus one layer's working
+///                                        set, sharded over Gy (columns) and
+///                                        Gz (rows), replicated over X
+struct MemoryEstimate {
+  double parameter_bytes = 0;
+  double gradient_bytes = 0;
+  double optimizer_bytes = 0;
+  double activation_bytes = 0;
+  double total() const {
+    return parameter_bytes + gradient_bytes + optimizer_bytes + activation_bytes;
+  }
+};
+
+MemoryEstimate memory_per_gpu(const TrainingJob& job, int gx, int gy, int gz,
+                              int gdata);
+
+}  // namespace axonn::model

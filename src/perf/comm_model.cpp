@@ -1,0 +1,121 @@
+#include "axonn/perf/comm_model.hpp"
+
+#include <algorithm>
+
+#include "axonn/base/error.hpp"
+#include "axonn/sim/iteration.hpp"
+
+namespace axonn::perf {
+
+namespace {
+constexpr double kBf16Bytes = 2.0;
+}
+
+DimensionBandwidths dimension_bandwidths(const sim::MachineConfig& machine,
+                                         const sim::IntraNodeBandwidthDB& db,
+                                         const sim::GridShape& grid) {
+  DimensionBandwidths beta;
+  beta.x = sim::effective_bandwidth(machine, db, grid.preceding(0), grid.gx);
+  beta.y = sim::effective_bandwidth(machine, db, grid.preceding(1), grid.gy);
+  beta.z = sim::effective_bandwidth(machine, db, grid.preceding(2), grid.gz);
+  beta.data =
+      sim::effective_bandwidth(machine, db, grid.preceding(3), grid.gdata);
+  return beta;
+}
+
+LayerCommPrediction predict_layer(double m_rows, double k, double n,
+                                  bool transposed, const sim::GridShape& grid,
+                                  const DimensionBandwidths& beta) {
+  AXONN_CHECK(m_rows > 0 && k > 0 && n > 0);
+  // For transposed layers the roles of the X and Y groups swap (§V-A):
+  // the 'row' group holds W's rows and aggregates the forward output; the
+  // 'col' group holds W's columns and aggregates dI in the backward pass.
+  const double g_row = transposed ? grid.gx : grid.gy;
+  const double g_col = transposed ? grid.gy : grid.gx;
+  const double beta_row = transposed ? beta.x : beta.y;
+  const double beta_col = transposed ? beta.y : beta.x;
+  const double gz = grid.gz;
+  const double gd = grid.gdata;
+
+  LayerCommPrediction p;
+
+  // Eq. 1: t_AG,z = (1/beta_z) (Gz-1) k n / (Gx Gy Gz).
+  p.bytes_ag_z = kBf16Bytes * (gz - 1.0) * k * n / (g_row * g_col * gz);
+  p.t_ag_z = p.bytes_ag_z / beta.z;
+
+  // Eq. 2: t_RS,z = (1/beta_z) ((Gz-1)/Gz) k n / (Gx Gy).
+  p.bytes_rs_z = kBf16Bytes * ((gz - 1.0) / gz) * k * n / (g_row * g_col);
+  p.t_rs_z = p.bytes_rs_z / beta.z;
+
+  // Eq. 3: t_AR,y = (2/beta_y) ((Gy-1)/Gy) m n / (Gz Gx).
+  p.bytes_ar_fwd =
+      2.0 * kBf16Bytes * ((g_row - 1.0) / g_row) * m_rows * n / (gz * g_col);
+  p.t_ar_fwd = p.bytes_ar_fwd / beta_row;
+
+  // Eq. 4: t_AR,x = (2/beta_x) ((Gx-1)/Gx) m k / (Gz Gy).
+  p.bytes_ar_bwd =
+      2.0 * kBf16Bytes * ((g_col - 1.0) / g_col) * m_rows * k / (gz * g_row);
+  p.t_ar_bwd = p.bytes_ar_bwd / beta_col;
+
+  // Eq. 5: t_AR,data = (2/beta_d) ((Gd-1)/Gd) k n / (Gx Gy Gz).
+  p.bytes_ar_data =
+      2.0 * kBf16Bytes * ((gd - 1.0) / gd) * k * n / (g_row * g_col * gz);
+  p.t_ar_data = p.bytes_ar_data / beta.data;
+
+  return p;
+}
+
+double predict_comm_time(const model::TrainingJob& job,
+                         const sim::MachineConfig& machine,
+                         const sim::IntraNodeBandwidthDB& db,
+                         const sim::GridShape& grid) {
+  const DimensionBandwidths beta = dimension_bandwidths(machine, db, grid);
+  const double m_rows = job.batch_tokens / static_cast<double>(grid.gdata);
+
+  double total = 0.0;
+  std::size_t fc_index = 0;
+  const auto fcs = job.model.fc_layers_per_block();
+  for (int block = 0; block < job.model.layers; ++block) {
+    for (const auto& fc : fcs) {
+      const bool transposed = (fc_index % 2 == 1);
+      total += predict_layer(m_rows, static_cast<double>(fc.in_features),
+                             static_cast<double>(fc.out_features), transposed,
+                             grid, beta)
+                   .total();
+      ++fc_index;
+    }
+  }
+  return total;
+}
+
+std::vector<RankedConfig> rank_configurations(
+    const model::TrainingJob& job, const sim::MachineConfig& machine,
+    const sim::IntraNodeBandwidthDB& db, std::int64_t total_gpus,
+    bool require_memory_fit) {
+  std::vector<RankedConfig> ranked;
+  for (const sim::GridShape& grid : sim::enumerate_grids(total_gpus)) {
+    RankedConfig rc;
+    rc.grid = grid;
+    rc.memory_feasible = sim::fits_in_memory(job, machine, grid);
+    if (require_memory_fit && !rc.memory_feasible) continue;
+    rc.predicted_comm_s = predict_comm_time(job, machine, db, grid);
+    ranked.push_back(rc);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedConfig& a, const RankedConfig& b) {
+                     return a.predicted_comm_s < b.predicted_comm_s;
+                   });
+  return ranked;
+}
+
+RankedConfig best_configuration(const model::TrainingJob& job,
+                                const sim::MachineConfig& machine,
+                                const sim::IntraNodeBandwidthDB& db,
+                                std::int64_t total_gpus) {
+  const auto ranked = rank_configurations(job, machine, db, total_gpus, true);
+  AXONN_CHECK_MSG(!ranked.empty(),
+                  "no memory-feasible configuration for this GPU count");
+  return ranked.front();
+}
+
+}  // namespace axonn::perf

@@ -1,0 +1,92 @@
+#pragma once
+
+// The paper's communication performance model (§V-B, Eqs. 1–7).
+//
+// Given a neural network, training hyperparameters and a machine's
+// bandwidths, the model predicts the time spent in each collective of
+// Algorithm 1 for a candidate 4D grid configuration, sums them over the
+// network (Eq. 6), and ranks all candidate configurations. Per the paper's
+// assumptions: ring algorithms (A1), node-boundary-minimizing rings (A2),
+// no message startup cost (A3), communication only (A4), uniform inter-node
+// bandwidth (A5). Per-dimension bandwidths come from the intra-node
+// database (Case 1) or Eq. 7 (Case 2) via sim::effective_bandwidth.
+
+#include <vector>
+
+#include "axonn/model/gpt.hpp"
+#include "axonn/sim/bandwidth.hpp"
+#include "axonn/sim/grid_shape.hpp"
+#include "axonn/sim/machine.hpp"
+
+namespace axonn::perf {
+
+/// Predicted time and traffic of the five collectives of one FC layer
+/// (Eqs. 1–5). For 'transposed' layers the X and Y roles are swapped.
+struct LayerCommPrediction {
+  double t_ag_z = 0;    ///< Eq. 1: all-gather of the W shard (Z groups)
+  double t_rs_z = 0;    ///< Eq. 2: reduce-scatter of dW (Z groups)
+  double t_ar_fwd = 0;  ///< Eq. 3: all-reduce of the output (row/Y groups)
+  double t_ar_bwd = 0;  ///< Eq. 4: all-reduce of dI (column/X groups)
+  double t_ar_data = 0; ///< Eq. 5: data-parallel gradient all-reduce share
+
+  /// Wire bytes per rank for each collective — used by tests to cross-check
+  /// against the instrumented ThreadComm byte counters.
+  double bytes_ag_z = 0;
+  double bytes_rs_z = 0;
+  double bytes_ar_fwd = 0;
+  double bytes_ar_bwd = 0;
+  double bytes_ar_data = 0;
+
+  /// Eq. 6.
+  double total() const {
+    return t_ag_z + t_rs_z + t_ar_fwd + t_ar_bwd + t_ar_data;
+  }
+};
+
+/// Per-dimension effective bandwidths beta = (beta_x, beta_y, beta_z,
+/// beta_data) for a grid on a machine (§V-B Case 1 + Eq. 7).
+struct DimensionBandwidths {
+  double x = 0, y = 0, z = 0, data = 0;
+};
+
+DimensionBandwidths dimension_bandwidths(const sim::MachineConfig& machine,
+                                         const sim::IntraNodeBandwidthDB& db,
+                                         const sim::GridShape& grid);
+
+/// Eqs. 1–5 for one FC layer with weight k x n and m input rows
+/// (m = batch_tokens / Gdata), element size 2 bytes (bf16).
+LayerCommPrediction predict_layer(double m_rows, double k, double n,
+                                  bool transposed, const sim::GridShape& grid,
+                                  const DimensionBandwidths& beta);
+
+/// Whole-network predicted communication time: Eq. 6 applied to every FC
+/// layer (alternating the transpose role) and summed.
+double predict_comm_time(const model::TrainingJob& job,
+                         const sim::MachineConfig& machine,
+                         const sim::IntraNodeBandwidthDB& db,
+                         const sim::GridShape& grid);
+
+struct RankedConfig {
+  sim::GridShape grid;
+  double predicted_comm_s = 0;
+  bool memory_feasible = true;
+};
+
+/// Enumerates every power-of-two grid over `total_gpus`, predicts each, and
+/// returns them sorted fastest-first. When `require_memory_fit` is set,
+/// infeasible configurations are dropped (the paper only runs feasible
+/// ones).
+std::vector<RankedConfig> rank_configurations(
+    const model::TrainingJob& job, const sim::MachineConfig& machine,
+    const sim::IntraNodeBandwidthDB& db, std::int64_t total_gpus,
+    bool require_memory_fit = true);
+
+/// The best configuration by the model — the paper's "Perf model" bars use
+/// the best of the model's top-10 measured empirically; benches typically
+/// simulate the top-10 and keep the fastest.
+RankedConfig best_configuration(const model::TrainingJob& job,
+                                const sim::MachineConfig& machine,
+                                const sim::IntraNodeBandwidthDB& db,
+                                std::int64_t total_gpus);
+
+}  // namespace axonn::perf

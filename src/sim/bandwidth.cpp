@@ -1,0 +1,68 @@
+#include "axonn/sim/bandwidth.hpp"
+
+#include <algorithm>
+
+#include "axonn/base/error.hpp"
+
+namespace axonn::sim {
+
+IntraNodeBandwidthDB IntraNodeBandwidthDB::profile(const MachineConfig& machine,
+                                                   Measure measure) {
+  if (!measure) {
+    measure = [&machine](int g0, int g1) {
+      return synthetic_measure(machine, g0, g1);
+    };
+  }
+  IntraNodeBandwidthDB db;
+  // All integer tuples fit in a node (G_node <= 8 in practice), so profile
+  // every pair — non-power-of-two dimensions appear on Alps (6144 = 3*2^11).
+  for (int g0 = 1; g0 <= machine.gpus_per_node; ++g0) {
+    for (int g1 = 1; g0 * g1 <= machine.gpus_per_node; ++g1) {
+      db.table_[{g0, g1}] = measure(g0, g1);
+    }
+  }
+  return db;
+}
+
+double IntraNodeBandwidthDB::synthetic_measure(const MachineConfig& machine,
+                                               int g0, int g1) {
+  AXONN_CHECK(g0 >= 1 && g1 >= 1);
+  // g1 == 1 means no communication at all; report the unloaded link.
+  (void)g1;
+  return machine.intranode_link_bandwidth /
+         (1.0 + machine.fabric_sharing * static_cast<double>(g0 - 1));
+}
+
+double IntraNodeBandwidthDB::lookup(int preceding, int group_size) const {
+  const auto it = table_.find({preceding, group_size});
+  AXONN_CHECK_MSG(it != table_.end(),
+                  "intra-node bandwidth tuple not profiled (" +
+                      std::to_string(preceding) + ", " +
+                      std::to_string(group_size) + ")");
+  return it->second;
+}
+
+bool IntraNodeBandwidthDB::contains(int preceding, int group_size) const {
+  return table_.count({preceding, group_size}) > 0;
+}
+
+double effective_bandwidth(const MachineConfig& machine,
+                           const IntraNodeBandwidthDB& db, int preceding,
+                           int group_size) {
+  AXONN_CHECK(preceding >= 1 && group_size >= 1);
+  if (group_size == 1) {
+    // Degenerate group: collectives are no-ops. Return the unloaded link so
+    // callers dividing by beta get well-defined (zero-volume) times.
+    return machine.intranode_link_bandwidth;
+  }
+  const long long span = static_cast<long long>(preceding) * group_size;
+  if (span <= machine.gpus_per_node) {
+    return db.lookup(preceding, group_size);
+  }
+  // Eq. 7.
+  const double rings =
+      static_cast<double>(std::min<long long>(machine.gpus_per_node, preceding));
+  return machine.internode_bandwidth / rings;
+}
+
+}  // namespace axonn::sim

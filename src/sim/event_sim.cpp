@@ -1,0 +1,51 @@
+#include "axonn/sim/event_sim.hpp"
+
+#include <algorithm>
+
+namespace axonn::sim {
+
+StreamId EventSimulator::add_stream(std::string name) {
+  stream_names_.push_back(std::move(name));
+  return stream_names_.size() - 1;
+}
+
+TaskId EventSimulator::add_task(StreamId stream, double duration,
+                                std::vector<TaskId> deps, std::string name) {
+  AXONN_CHECK_MSG(stream < stream_names_.size(), "unknown stream");
+  AXONN_CHECK_MSG(duration >= 0.0, "task duration must be non-negative");
+  for (TaskId dep : deps) {
+    AXONN_CHECK_MSG(dep < tasks_.size(),
+                    "dependency on a not-yet-submitted task");
+  }
+  tasks_.push_back(Task{stream, duration, std::move(deps), std::move(name)});
+  return tasks_.size() - 1;
+}
+
+EventSimulator::Result EventSimulator::run() const {
+  Result result;
+  result.stream_names = stream_names_;
+  result.stream_busy.assign(stream_names_.size(), 0.0);
+  result.tasks.resize(tasks_.size());
+
+  // Submission order == TaskId order, and dependencies always point
+  // backwards (enforced in add_task), so a single forward pass suffices.
+  std::vector<double> stream_available(stream_names_.size(), 0.0);
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    const Task& task = tasks_[id];
+    double ready = stream_available[task.stream];
+    for (TaskId dep : task.deps) {
+      ready = std::max(ready, result.tasks[dep].finish);
+    }
+    TaskResult& tr = result.tasks[id];
+    tr.start = ready;
+    tr.finish = ready + task.duration;
+    tr.stream = task.stream;
+    tr.name = task.name;
+    stream_available[task.stream] = tr.finish;
+    result.stream_busy[task.stream] += task.duration;
+    result.makespan = std::max(result.makespan, tr.finish);
+  }
+  return result;
+}
+
+}  // namespace axonn::sim

@@ -1,0 +1,44 @@
+#include "axonn/sim/grid_shape.hpp"
+
+#include <algorithm>
+
+namespace axonn::sim {
+
+namespace {
+
+std::vector<std::int64_t> divisors(std::int64_t n) {
+  std::vector<std::int64_t> out;
+  for (std::int64_t d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      out.push_back(d);
+      if (d != n / d) out.push_back(n / d);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<GridShape> enumerate_grids(std::int64_t total_gpus) {
+  AXONN_CHECK_MSG(total_gpus >= 1, "need at least one GPU");
+  // All ordered factorizations total = gx * gy * gz * gdata. GPU counts in
+  // practice are powers of two times a small factor (Alps runs use 6144 =
+  // 3 * 2^11), so divisor enumeration stays tiny.
+  const auto divs = divisors(total_gpus);
+  std::vector<GridShape> grids;
+  for (std::int64_t gx : divs) {
+    const std::int64_t rem_x = total_gpus / gx;
+    for (std::int64_t gy : divisors(rem_x)) {
+      const std::int64_t rem_y = rem_x / gy;
+      for (std::int64_t gz : divisors(rem_y)) {
+        const std::int64_t gd = rem_y / gz;
+        grids.push_back(GridShape{static_cast<int>(gx), static_cast<int>(gy),
+                                  static_cast<int>(gz), static_cast<int>(gd)});
+      }
+    }
+  }
+  return grids;
+}
+
+}  // namespace axonn::sim

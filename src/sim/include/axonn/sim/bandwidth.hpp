@@ -1,0 +1,64 @@
+#pragma once
+
+// Effective bandwidth model for process groups in a hierarchical 4D grid
+// (§V-B of the paper).
+//
+// A process group at level i of the hierarchy (X innermost, then Y, Z,
+// data) sees bandwidth that depends on whether the group fits inside a node
+// and on how many sibling collectives run concurrently:
+//
+//  Case 1 (prod_{j<=i} G_j <= G_node): intra-node. The paper profiles all
+//  (G0, G1) two-level hierarchies with G0*G1 <= G_node into a database; we
+//  reproduce that structure with IntraNodeBandwidthDB, whose default
+//  "profiler" is a synthetic fabric-contention model (the substitution for
+//  running micro-benchmarks on real NVLink/Infinity Fabric).
+//
+//  Case 2 (otherwise): inter-node. Eq. 7:
+//      beta_i = beta_inter / min(G_node, prod_{j<i} G_j)
+//  because each preceding-group member adds a ring that must cross the node
+//  boundary, up to the number of GPUs in a node.
+
+#include <map>
+#include <functional>
+
+#include "axonn/sim/machine.hpp"
+
+namespace axonn::sim {
+
+class IntraNodeBandwidthDB {
+ public:
+  /// A measurement function: achieved per-peer bandwidth when groups of
+  /// size g1 run simultaneous 1 GB collectives with g0 concurrent rings
+  /// (g0 = product of preceding group sizes).
+  using Measure = std::function<double(int g0, int g1)>;
+
+  /// Profiles every (g0, g1) with g0 * g1 <= gpus_per_node. With no
+  /// explicit `measure`, uses the synthetic fabric model below.
+  static IntraNodeBandwidthDB profile(const MachineConfig& machine,
+                                      Measure measure = {});
+
+  /// The synthetic measurement the default profiler uses:
+  ///   link_bw / (1 + fabric_sharing * (g0 - 1))
+  /// — concurrent rings over disjoint GPU subsets contend on the shared
+  /// fabric in proportion to the machine's fabric_sharing factor.
+  static double synthetic_measure(const MachineConfig& machine, int g0, int g1);
+
+  /// Recorded bandwidth for (g0 = preceding product, g1 = group size).
+  /// Throws if the tuple was not profiled.
+  double lookup(int preceding, int group_size) const;
+
+  bool contains(int preceding, int group_size) const;
+  std::size_t num_entries() const { return table_.size(); }
+
+ private:
+  std::map<std::pair<int, int>, double> table_;
+};
+
+/// The beta_i of Eq. 7 and Case 1 combined: effective peer-to-peer bandwidth
+/// for a group of `group_size` GPUs whose preceding hierarchy levels
+/// multiply to `preceding`.
+double effective_bandwidth(const MachineConfig& machine,
+                           const IntraNodeBandwidthDB& db, int preceding,
+                           int group_size);
+
+}  // namespace axonn::sim

@@ -1,0 +1,68 @@
+#pragma once
+
+// The 4D virtual grid shape (Gx, Gy, Gz, Gdata) — §V-A/§V-B of the paper.
+//
+// The hierarchy order is fixed: X-tensor parallelism innermost, then Y, Z,
+// and data parallelism outermost. `preceding(i)` is the product of all
+// dimensions inside level i, which Eq. 7 uses to model bandwidth sharing.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "axonn/base/error.hpp"
+
+namespace axonn::sim {
+
+struct GridShape {
+  int gx = 1;
+  int gy = 1;
+  int gz = 1;
+  int gdata = 1;
+
+  int tensor() const { return gx * gy * gz; }
+  std::int64_t total() const {
+    return static_cast<std::int64_t>(gx) * gy * gz * gdata;
+  }
+
+  /// Product of the hierarchy levels preceding level i (0=X, 1=Y, 2=Z,
+  /// 3=data).
+  int preceding(int level) const {
+    AXONN_CHECK(level >= 0 && level < 4);
+    int product = 1;
+    const int dims[4] = {gx, gy, gz, gdata};
+    for (int j = 0; j < level; ++j) product *= dims[j];
+    return product;
+  }
+
+  int dim(int level) const {
+    AXONN_CHECK(level >= 0 && level < 4);
+    const int dims[4] = {gx, gy, gz, gdata};
+    return dims[level];
+  }
+
+  std::string to_string() const {
+    return "(" + std::to_string(gx) + "x" + std::to_string(gy) + "x" +
+           std::to_string(gz) + ", d=" + std::to_string(gdata) + ")";
+  }
+
+  friend bool operator==(const GridShape&, const GridShape&) = default;
+};
+
+/// Enumerates every ordered factorization gx*gy*gz*gdata == total_gpus.
+/// This is the configuration space the performance model ranks (§V-B).
+std::vector<GridShape> enumerate_grids(std::int64_t total_gpus);
+
+/// Degenerate-grid helpers for the equivalence claims of §V-A.
+inline GridShape fsdp_grid(int gpus) { return GridShape{1, 1, gpus, 1}; }
+inline GridShape megatron_grid(int tensor, int data) {
+  return GridShape{tensor, 1, 1, data};
+}
+inline GridShape hybrid_sharded_grid(int shard, int data) {
+  return GridShape{1, 1, shard, data};
+}
+inline GridShape pure_data_parallel_grid(int gpus) {
+  return GridShape{1, 1, 1, gpus};
+}
+
+}  // namespace axonn::sim

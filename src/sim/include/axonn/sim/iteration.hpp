@@ -1,0 +1,87 @@
+#pragma once
+
+// Detailed simulation of one training iteration (batch) of the 4D hybrid
+// parallel algorithm on a described machine.
+//
+// This is the "observed" side of the paper's evaluation: where the
+// analytical performance model (axonn::perf) only sums Eqs. 1–5, this
+// simulator builds the full per-layer task graph of Algorithm 1 — forward
+// all-gathers and all-reduces, backward all-reduces / reduce-scatters,
+// activation-checkpointing recomputation, the data-parallel gradient
+// all-reduce and the optimizer step — places compute on a compute stream
+// and collectives on a communication stream, honours the OAR/ORS/OAG
+// overlap optimizations (§V-D), per-message latency, GEMM mode efficiency
+// and the kernel-tuning pass (§V-C), and reports the makespan plus the
+// computation / exposed-communication breakdown of Figs. 5 and 7.
+
+#include <cstdint>
+
+#include "axonn/model/gpt.hpp"
+#include "axonn/sim/bandwidth.hpp"
+#include "axonn/sim/event_sim.hpp"
+#include "axonn/sim/grid_shape.hpp"
+#include "axonn/sim/machine.hpp"
+
+namespace axonn::sim {
+
+/// Which of §V-D's overlap optimizations are active.
+struct OverlapFlags {
+  bool all_reduce = false;      ///< OAR: overlap backward AR_x with dW GEMM
+  bool reduce_scatter = false;  ///< ORS: defer RS_z waits to end of backward
+  bool all_gather = false;      ///< OAG: preemptively enqueue forward AG_z
+
+  static OverlapFlags none() { return {}; }
+  static OverlapFlags all() { return {true, true, true}; }
+};
+
+struct SimOptions {
+  OverlapFlags overlap = OverlapFlags::all();
+  /// §V-C automated BLAS tuning: pick the fastest transpose mode per matmul
+  /// instead of the framework defaults (NN fwd, NT for dL/dI, TN for dL/dW).
+  bool kernel_tuning = false;
+  /// Include the per-message startup latency (the analytical model drops it
+  /// per Assumption-3).
+  bool include_latency = true;
+  /// Multiplicative log-normal-ish jitter applied per task, emulating the
+  /// run-to-run variability the paper reports (network congestion,
+  /// filesystem interference). 0 disables; 0.03 is a realistic sigma.
+  double noise_sigma = 0.0;
+  std::uint64_t noise_seed = 0;
+};
+
+struct IterationBreakdown {
+  double total_s = 0;         ///< batch time (makespan)
+  double compute_s = 0;       ///< compute-stream busy time
+  double exposed_comm_s = 0;  ///< total_s - compute_s
+  double comm_busy_s = 0;     ///< comm-stream busy time (incl. hidden part)
+  std::size_t num_tasks = 0;
+};
+
+/// Simulates one iteration. Throws if grid.total() is not consistent with a
+/// whole number of nodes or the model does not fit in device memory is NOT
+/// checked here — use fits_in_memory() to pre-filter.
+IterationBreakdown simulate_iteration(const model::TrainingJob& job,
+                                      const MachineConfig& machine,
+                                      const IntraNodeBandwidthDB& db,
+                                      const GridShape& grid,
+                                      const SimOptions& options = {});
+
+/// Memory feasibility filter: the per-GPU footprint of the job under this
+/// grid, compared against usable device DRAM (with a fragmentation margin).
+bool fits_in_memory(const model::TrainingJob& job, const MachineConfig& machine,
+                    const GridShape& grid, double usable_fraction = 0.92);
+
+/// Time of one ring collective of `wire kind` on a group of `group_size`
+/// with effective bandwidth `beta`, moving `full_bytes` of logical payload.
+/// Exposed for tests and the GEMM/collective micro-benches.
+struct CollectiveCost {
+  double seconds = 0;
+  double wire_bytes_per_rank = 0;
+  int steps = 0;
+};
+enum class CollectiveKind { kAllGather, kReduceScatter, kAllReduce };
+CollectiveCost ring_collective_cost(CollectiveKind kind, int group_size,
+                                    double full_bytes, double beta,
+                                    double per_message_latency);
+
+}  // namespace axonn::sim

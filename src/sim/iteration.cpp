@@ -1,0 +1,426 @@
+#include "axonn/sim/iteration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "axonn/base/rng.hpp"
+
+namespace axonn::sim {
+
+namespace {
+constexpr double kBf16Bytes = 2.0;
+
+// Attention BMMs run well below GEMM peak (small per-head inner dimensions).
+constexpr double kAttentionEfficiencyFactor = 0.5;
+}  // namespace
+
+CollectiveCost ring_collective_cost(CollectiveKind kind, int group_size,
+                                    double full_bytes, double beta,
+                                    double per_message_latency) {
+  AXONN_CHECK(group_size >= 1);
+  AXONN_CHECK(beta > 0.0);
+  CollectiveCost cost;
+  if (group_size == 1 || full_bytes <= 0.0) {
+    return cost;
+  }
+  const double p = group_size;
+  switch (kind) {
+    case CollectiveKind::kAllGather:
+    case CollectiveKind::kReduceScatter:
+      cost.steps = group_size - 1;
+      cost.wire_bytes_per_rank = (p - 1.0) / p * full_bytes;
+      break;
+    case CollectiveKind::kAllReduce:
+      cost.steps = 2 * (group_size - 1);
+      cost.wire_bytes_per_rank = 2.0 * (p - 1.0) / p * full_bytes;
+      break;
+  }
+  cost.seconds =
+      cost.steps * per_message_latency + cost.wire_bytes_per_rank / beta;
+  return cost;
+}
+
+bool fits_in_memory(const model::TrainingJob& job, const MachineConfig& machine,
+                    const GridShape& grid, double usable_fraction) {
+  const auto est =
+      model::memory_per_gpu(job, grid.gx, grid.gy, grid.gz, grid.gdata);
+  return est.total() <= machine.dram_bytes * usable_fraction;
+}
+
+namespace {
+
+/// Everything precomputed about one FC sublayer instance.
+struct SublayerPlan {
+  std::uint64_t weight_rows = 0;  ///< k (in features)
+  std::uint64_t weight_cols = 0;  ///< n (out features)
+  bool transposed = false;        ///< swap X/Y roles (§V-A transpose trick)
+};
+
+class ScheduleBuilder {
+ public:
+  ScheduleBuilder(const model::TrainingJob& job, const MachineConfig& machine,
+                  const IntraNodeBandwidthDB& db, const GridShape& grid,
+                  const SimOptions& options)
+      : job_(job), machine_(machine), grid_(grid), options_(options),
+        rng_(options.noise_seed) {
+    const double nodes = static_cast<double>(grid.total()) /
+                         static_cast<double>(machine.gpus_per_node);
+    const double congestion = machine.congestion_factor(nodes);
+    for (int level = 0; level < 4; ++level) {
+      beta_[level] = effective_bandwidth(machine, db, grid.preceding(level),
+                                         grid.dim(level));
+      // Groups that cross node boundaries additionally suffer job-scale
+      // network congestion (simulator-only; see MachineConfig).
+      const long long span = static_cast<long long>(grid.preceding(level)) *
+                             grid.dim(level);
+      if (span > machine.gpus_per_node) {
+        beta_[level] *= congestion;
+      }
+    }
+    compute_ = sim_.add_stream("compute");
+    comm_ = sim_.add_stream("comm");
+    tokens_local_ = job.batch_tokens / static_cast<double>(grid.gdata);
+  }
+
+  IterationBreakdown build_and_run() {
+    const auto fcs = job_.model.fc_layers_per_block();
+    std::vector<SublayerPlan> plan;
+    std::size_t fc_index = 0;
+    for (int block = 0; block < job_.model.layers; ++block) {
+      for (const auto& fc : fcs) {
+        plan.push_back(SublayerPlan{fc.in_features, fc.out_features,
+                                    fc_index % 2 == 1});
+        ++fc_index;
+      }
+    }
+
+    forward_pass(plan);
+    lm_head();
+    backward_pass(plan);
+    finish();
+
+    const EventSimulator::Result r = sim_.run();
+    IterationBreakdown out;
+    out.total_s = r.makespan;
+    out.compute_s = r.stream_busy[compute_];
+    out.exposed_comm_s = out.total_s - out.compute_s;
+    out.comm_busy_s = r.stream_busy[comm_];
+    out.num_tasks = sim_.num_tasks();
+    return out;
+  }
+
+ private:
+  using Deps = std::vector<TaskId>;
+
+  double jitter(double seconds) {
+    if (options_.noise_sigma <= 0.0) return seconds;
+    return seconds * std::exp(options_.noise_sigma * rng_.normal());
+  }
+
+  TaskId add_compute(double seconds, Deps deps, const char* name) {
+    // End-to-end steps sustain only framework_efficiency of raw kernel
+    // throughput (launch overheads, small ops between GEMMs).
+    return sim_.add_task(compute_,
+                         jitter(seconds / machine_.framework_efficiency),
+                         std::move(deps), name);
+  }
+
+  std::optional<TaskId> add_collective(CollectiveKind kind, int group_size,
+                                       double full_bytes, double beta,
+                                       Deps deps, const char* name) {
+    const double latency =
+        options_.include_latency ? machine_.message_latency_s : 0.0;
+    const CollectiveCost cost =
+        ring_collective_cost(kind, group_size, full_bytes, beta, latency);
+    if (cost.seconds <= 0.0) return std::nullopt;
+    return sim_.add_task(comm_, jitter(cost.seconds), std::move(deps), name);
+  }
+
+  /// The fastest transpose mode for a GEMM of this shape, or the framework
+  /// default when tuning is off (§V-C). The quirk key is the model's hidden
+  /// size: BLAS kernel selection keys on the global layer's leading
+  /// dimensions, which survive AxoNN's sharding.
+  double gemm_time(GemmMode default_mode, std::uint64_t m, std::uint64_t n,
+                   std::uint64_t k) const {
+    const auto quirk_dim = static_cast<std::uint64_t>(job_.model.hidden);
+    if (!options_.kernel_tuning) {
+      return machine_.gemm_seconds(default_mode, m, n, k, quirk_dim);
+    }
+    double best = machine_.gemm_seconds(GemmMode::kNN, m, n, k, quirk_dim);
+    best = std::min(best,
+                    machine_.gemm_seconds(GemmMode::kNT, m, n, k, quirk_dim));
+    best = std::min(best,
+                    machine_.gemm_seconds(GemmMode::kTN, m, n, k, quirk_dim));
+    return best;
+  }
+
+  struct SublayerGeometry {
+    std::uint64_t m_local, k_local, n_local;
+    int sum_group, col_group;    ///< group sizes for fwd-AR / bwd-AR
+    double beta_sum, beta_col;   ///< bandwidths of those groups
+    double ag_bytes, ar_fwd_bytes, ar_bwd_bytes, rs_bytes, dp_bytes;
+  };
+
+  SublayerGeometry geometry(const SublayerPlan& sub) const {
+    SublayerGeometry g{};
+    const double k = static_cast<double>(sub.weight_rows);
+    const double n = static_cast<double>(sub.weight_cols);
+    const int g_row = sub.transposed ? grid_.gx : grid_.gy;
+    const int g_col = sub.transposed ? grid_.gy : grid_.gx;
+    const double beta_row = sub.transposed ? beta_[0] : beta_[1];
+    const double beta_col = sub.transposed ? beta_[1] : beta_[0];
+
+    g.m_local = static_cast<std::uint64_t>(
+        std::max(1.0, tokens_local_ / grid_.gz));
+    g.k_local = std::max<std::uint64_t>(
+        1, sub.weight_rows / static_cast<std::uint64_t>(g_row));
+    g.n_local = std::max<std::uint64_t>(
+        1, sub.weight_cols / static_cast<std::uint64_t>(g_col));
+
+    g.sum_group = g_row;
+    g.col_group = g_col;
+    g.beta_sum = beta_row;
+    g.beta_col = beta_col;
+
+    const double m = tokens_local_;
+    const double gz = grid_.gz;
+    // Eqs. 1-5, as bytes of logical payload per collective.
+    g.ag_bytes = kBf16Bytes * k * n / (g_row * g_col);
+    g.ar_fwd_bytes = kBf16Bytes * m * n / (gz * g_col);
+    g.ar_bwd_bytes = kBf16Bytes * m * k / (gz * g_row);
+    g.rs_bytes = kBf16Bytes * k * n / (g_row * g_col);
+    g.dp_bytes = kBf16Bytes * k * n / (static_cast<double>(grid_.gx) *
+                                       grid_.gy * grid_.gz);
+    return g;
+  }
+
+  double attention_flops_fwd_per_gpu() const {
+    // 4 * B_tok * s * h per layer (QK^T and AV), split over tensor ranks;
+    // tokens_local_ is already the per-data-group share.
+    return 4.0 * tokens_local_ * job_.model.seq_len * job_.model.hidden /
+           (static_cast<double>(grid_.gx) * grid_.gy * grid_.gz);
+  }
+
+  double attention_seconds(double flops) const {
+    const double eff =
+        machine_.gemm.peak_fraction * kAttentionEfficiencyFactor;
+    return flops / (machine_.advertised_peak_flops * eff);
+  }
+
+  // ---- forward pass -------------------------------------------------------
+  void forward_pass(const std::vector<SublayerPlan>& plan) {
+    std::optional<TaskId> prev_ready;  // task producing this sublayer's input
+    std::size_t index = 0;
+    for (const auto& sub : plan) {
+      const SublayerGeometry g = geometry(sub);
+
+      Deps ag_deps;
+      if (!options_.overlap.all_gather && prev_ready) {
+        // Blocking all-gather: cannot be issued before the previous
+        // sublayer's computation reaches this layer.
+        ag_deps.push_back(*prev_ready);
+      }
+      const auto ag = add_collective(CollectiveKind::kAllGather, grid_.gz,
+                                     g.ag_bytes, beta_[2], std::move(ag_deps),
+                                     "AG_z");
+
+      Deps gemm_deps;
+      if (ag) gemm_deps.push_back(*ag);
+      if (prev_ready) gemm_deps.push_back(*prev_ready);
+      const TaskId fwd = add_compute(
+          gemm_time(GemmMode::kNN, g.m_local, g.n_local, g.k_local),
+          std::move(gemm_deps), "fwd_gemm");
+
+      const auto ar = add_collective(CollectiveKind::kAllReduce, g.sum_group,
+                                     g.ar_fwd_bytes, g.beta_sum, {fwd},
+                                     "AR_fwd");
+      prev_ready = ar ? *ar : fwd;
+
+      // Attention BMMs + softmax after the QKV sublayer of each block.
+      if (index % 4 == 0) {
+        const TaskId attn =
+            add_compute(attention_seconds(attention_flops_fwd_per_gpu()),
+                        {*prev_ready}, "attn_fwd");
+        prev_ready = attn;
+      }
+      ++index;
+    }
+    fwd_tail_ = prev_ready;
+  }
+
+  // ---- LM head + loss -----------------------------------------------------
+  void lm_head() {
+    const double v = job_.model.vocab;
+    const double h = job_.model.hidden;
+    const double tensor = static_cast<double>(grid_.gx) * grid_.gy * grid_.gz;
+    const double fwd_flops = 2.0 * tokens_local_ * v * h / tensor;
+    Deps deps;
+    if (fwd_tail_) deps.push_back(*fwd_tail_);
+    const TaskId head_fwd = add_compute(
+        fwd_flops / (machine_.advertised_peak_flops *
+                     machine_.gemm.peak_fraction),
+        std::move(deps), "lm_head_fwd");
+    const TaskId head_bwd = add_compute(
+        2.0 * fwd_flops / (machine_.advertised_peak_flops *
+                           machine_.gemm.peak_fraction),
+        {head_fwd}, "lm_head_bwd");
+    grad_ready_ = head_bwd;
+  }
+
+  // ---- backward pass ------------------------------------------------------
+  void backward_pass(const std::vector<SublayerPlan>& plan) {
+    // Walk blocks in reverse; recompute each block's forward first when
+    // activation checkpointing is on (Megatron-style: the recompute redoes
+    // the forward GEMMs *and* their output all-reduces).
+    const int sublayers_per_block = 4;
+    const int blocks = static_cast<int>(plan.size()) / sublayers_per_block;
+    std::optional<TaskId> blocking_rs;  // only set when ORS is off
+
+    for (int block = blocks - 1; block >= 0; --block) {
+      if (job_.activation_checkpointing) {
+        recompute_block(plan, block, blocking_rs);
+      }
+      for (int f = sublayers_per_block - 1; f >= 0; --f) {
+        const auto& sub =
+            plan[static_cast<std::size_t>(block * sublayers_per_block + f)];
+        const SublayerGeometry g = geometry(sub);
+
+        // Attention backward sits between attn_out (f=1) and qkv (f=0).
+        if (f == 0) {
+          Deps deps{*grad_ready_};
+          if (blocking_rs) deps.push_back(*blocking_rs);
+          blocking_rs.reset();
+          const TaskId attn_bwd = add_compute(
+              attention_seconds(2.0 * attention_flops_fwd_per_gpu()),
+              std::move(deps), "attn_bwd");
+          grad_ready_ = attn_bwd;
+        }
+
+        Deps di_deps{*grad_ready_};
+        if (f == sublayers_per_block - 1 && recompute_tail_) {
+          // The recomputed activations (including their all-reduces on the
+          // comm stream) must be ready before this block's backward starts.
+          di_deps.push_back(*recompute_tail_);
+        }
+        if (blocking_rs) {
+          di_deps.push_back(*blocking_rs);
+          blocking_rs.reset();
+        }
+        const TaskId di = add_compute(
+            gemm_time(GemmMode::kNT, g.m_local, g.k_local, g.n_local),
+            std::move(di_deps), "bwd_dI_gemm");
+
+        const auto ar_x =
+            add_collective(CollectiveKind::kAllReduce, g.col_group,
+                           g.ar_bwd_bytes, g.beta_col, {di}, "AR_bwd");
+
+        Deps dw_deps{di};
+        if (!options_.overlap.all_reduce && ar_x) {
+          // Baseline: wait for the input-gradient all-reduce before the
+          // weight-gradient GEMM (no OAR).
+          dw_deps.push_back(*ar_x);
+        }
+        const TaskId dw = add_compute(
+            gemm_time(GemmMode::kTN, g.k_local, g.n_local, g.m_local),
+            std::move(dw_deps), "bwd_dW_gemm");
+
+        const auto rs = add_collective(CollectiveKind::kReduceScatter,
+                                       grid_.gz, g.rs_bytes, beta_[2], {dw},
+                                       "RS_z");
+        if (rs) {
+          rs_tasks_.push_back(*rs);
+          if (!options_.overlap.reduce_scatter) blocking_rs = *rs;
+        }
+
+        dp_bytes_total_ += g.dp_bytes;
+        grad_ready_ = ar_x ? *ar_x : di;
+      }
+    }
+    if (blocking_rs) final_blockers_.push_back(*blocking_rs);
+  }
+
+  void recompute_block(const std::vector<SublayerPlan>& plan, int block,
+                       std::optional<TaskId>& blocking_rs) {
+    std::optional<TaskId> prev;
+    for (int f = 0; f < 4; ++f) {
+      const auto& sub = plan[static_cast<std::size_t>(block * 4 + f)];
+      const SublayerGeometry g = geometry(sub);
+      Deps deps;
+      if (prev) deps.push_back(*prev);
+      if (blocking_rs) {
+        deps.push_back(*blocking_rs);
+        blocking_rs.reset();
+      }
+      const TaskId gemm = add_compute(
+          gemm_time(GemmMode::kNN, g.m_local, g.n_local, g.k_local),
+          std::move(deps), "recompute_gemm");
+      const auto ar = add_collective(CollectiveKind::kAllReduce, g.sum_group,
+                                     g.ar_fwd_bytes, g.beta_sum, {gemm},
+                                     "recompute_AR");
+      prev = ar ? *ar : gemm;
+      if (f == 0) {
+        prev = add_compute(attention_seconds(attention_flops_fwd_per_gpu()),
+                           {*prev}, "recompute_attn");
+      }
+    }
+    recompute_tail_ = prev;
+  }
+
+  // ---- data-parallel all-reduce + optimizer -------------------------------
+  void finish() {
+    Deps deps = rs_tasks_;
+    for (TaskId t : final_blockers_) deps.push_back(t);
+    if (grad_ready_) deps.push_back(*grad_ready_);
+    std::optional<TaskId> dp;
+    if (grid_.gdata > 1) {
+      dp = add_collective(CollectiveKind::kAllReduce, grid_.gdata,
+                          dp_bytes_total_, beta_[3], std::move(deps), "AR_data");
+    }
+    // Optimizer: 16 bytes/param of fp32 state streamed through HBM.
+    const double local_params =
+        static_cast<double>(job_.model.parameter_count()) /
+        (static_cast<double>(grid_.gx) * grid_.gy * grid_.gz);
+    Deps opt_deps;
+    if (dp) {
+      opt_deps.push_back(*dp);
+    } else if (grad_ready_) {
+      opt_deps.push_back(*grad_ready_);
+    }
+    add_compute(16.0 * local_params / machine_.hbm_bandwidth,
+                std::move(opt_deps), "optimizer");
+  }
+
+  const model::TrainingJob& job_;
+  const MachineConfig& machine_;
+  GridShape grid_;
+  SimOptions options_;
+  Rng rng_;
+
+  EventSimulator sim_;
+  StreamId compute_ = 0;
+  StreamId comm_ = 0;
+  double beta_[4] = {};
+  double tokens_local_ = 0;
+
+  std::optional<TaskId> fwd_tail_;
+  std::optional<TaskId> grad_ready_;
+  std::optional<TaskId> recompute_tail_;
+  std::vector<TaskId> rs_tasks_;
+  std::vector<TaskId> final_blockers_;
+  double dp_bytes_total_ = 0;
+};
+
+}  // namespace
+
+IterationBreakdown simulate_iteration(const model::TrainingJob& job,
+                                      const MachineConfig& machine,
+                                      const IntraNodeBandwidthDB& db,
+                                      const GridShape& grid,
+                                      const SimOptions& options) {
+  AXONN_CHECK_MSG(grid.total() >= 1, "empty grid");
+  ScheduleBuilder builder(job, machine, db, grid, options);
+  return builder.build_and_run();
+}
+
+}  // namespace axonn::sim

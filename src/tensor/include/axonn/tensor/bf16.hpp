@@ -1,0 +1,65 @@
+#pragma once
+
+// Emulated bfloat16.
+//
+// The paper trains in mixed precision (bf16 compute, fp32 master weights).
+// We emulate bf16 on the CPU: 1 sign + 8 exponent + 7 mantissa bits, i.e.
+// the top half of an IEEE-754 float. Conversion uses round-to-nearest-even,
+// matching hardware bf16 units. Arithmetic is performed in float and
+// rounded back, which is how GEMM kernels with fp32 accumulators behave at
+// the input/output boundary.
+
+#include <cstdint>
+#include <cstring>
+
+namespace axonn {
+
+class Bf16 {
+ public:
+  Bf16() = default;
+
+  /// Round-to-nearest-even conversion from float.
+  explicit Bf16(float value) : bits_(round_from_float(value)) {}
+
+  /// Exact widening conversion to float (bf16 values are all representable).
+  float to_float() const {
+    const std::uint32_t wide = static_cast<std::uint32_t>(bits_) << 16;
+    float out;
+    std::memcpy(&out, &wide, sizeof(out));
+    return out;
+  }
+
+  explicit operator float() const { return to_float(); }
+
+  std::uint16_t bits() const { return bits_; }
+  static Bf16 from_bits(std::uint16_t bits) {
+    Bf16 v;
+    v.bits_ = bits;
+    return v;
+  }
+
+  friend bool operator==(const Bf16&, const Bf16&) = default;
+
+ private:
+  static std::uint16_t round_from_float(float value) {
+    std::uint32_t wide;
+    std::memcpy(&wide, &value, sizeof(wide));
+    // NaN must stay NaN: truncation could zero all mantissa bits and turn a
+    // NaN into infinity, so force a quiet-NaN payload bit instead.
+    if ((wide & 0x7F800000u) == 0x7F800000u && (wide & 0x007FFFFFu) != 0) {
+      return static_cast<std::uint16_t>((wide >> 16) | 0x0040u);
+    }
+    // Round to nearest even on the 16 discarded bits.
+    const std::uint32_t lsb = (wide >> 16) & 1u;
+    const std::uint32_t rounding_bias = 0x7FFFu + lsb;
+    return static_cast<std::uint16_t>((wide + rounding_bias) >> 16);
+  }
+
+  std::uint16_t bits_ = 0;
+};
+
+/// Round-trips a float through bf16 — the precision loss a value suffers
+/// when stored in half precision.
+inline float bf16_round(float value) { return Bf16(value).to_float(); }
+
+}  // namespace axonn

@@ -1,0 +1,61 @@
+#pragma once
+
+// General matrix multiply in the three transpose modes transformers use.
+//
+// Every FC layer performs one GEMM forward (NN: I x W) and two backward
+// (NT: dL/dO x W^T, and TN: I^T x dL/dO). BLAS libraries optimize these
+// modes unevenly — the paper found a TN kernel on MI250X running at 6% of
+// peak — which is why AxoNN auto-tunes the mode per matmul (§V-C). Here the
+// same operand-major layouts exist and the mode choice is observable, so the
+// tuner has something real to measure.
+
+#include <cstdint>
+#include <string>
+
+#include "axonn/tensor/matrix.hpp"
+
+namespace axonn {
+
+/// Which operands are logically transposed: C = op(A) x op(B).
+enum class GemmMode {
+  kNN,  ///< C = A x B
+  kNT,  ///< C = A x B^T
+  kTN,  ///< C = A^T x B
+  kTT,  ///< C = A^T x B^T (unused by transformers; completes the set)
+};
+
+const char* to_string(GemmMode mode);
+
+/// C = alpha * op(A) x op(B) + beta * C. Shapes are validated against the
+/// mode. Accumulation is fp32 regardless of input rounding.
+void gemm(GemmMode mode, float alpha, const Matrix& a, const Matrix& b,
+          float beta, Matrix& c);
+
+/// Convenience allocating form with alpha=1, beta=0.
+Matrix gemm(GemmMode mode, const Matrix& a, const Matrix& b);
+
+/// Mixed-precision GEMM: operands are rounded through bf16 element-by-element
+/// as they are consumed, accumulation stays fp32 — the numerical contract of
+/// a bf16 tensor-core GEMM.
+void gemm_bf16(GemmMode mode, float alpha, const Matrix& a, const Matrix& b,
+               float beta, Matrix& c);
+
+Matrix gemm_bf16(GemmMode mode, const Matrix& a, const Matrix& b);
+
+/// Output rows/cols and inner dimension of op(A) x op(B) under `mode`.
+struct GemmShape {
+  std::size_t m = 0;  ///< rows of C
+  std::size_t n = 0;  ///< cols of C
+  std::size_t k = 0;  ///< contraction length
+};
+
+/// Computes the (m, n, k) of a GEMM; throws if the operand shapes are
+/// incompatible under the mode.
+GemmShape gemm_shape(GemmMode mode, const Matrix& a, const Matrix& b);
+
+/// 2*m*n*k — the flop count convention used throughout the paper.
+inline std::uint64_t gemm_flops(const GemmShape& s) {
+  return 2ull * s.m * s.n * s.k;
+}
+
+}  // namespace axonn

@@ -1,0 +1,133 @@
+#pragma once
+
+// Dense row-major fp32 matrix.
+//
+// This is the numeric workhorse behind the real (thread-rank) execution of
+// Algorithm 1: activations, weights and gradients are all Matrix instances.
+// The 2D block helpers (block/set_block with row/col Ranges) implement the
+// decompositions that map sub-blocks of I and W onto planes of the 3D GPU
+// grid (Fig. 1 of the paper).
+
+#include <cstddef>
+#include <vector>
+
+#include "axonn/base/error.hpp"
+#include "axonn/base/partition.hpp"
+#include "axonn/base/rng.hpp"
+
+namespace axonn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+  Matrix(std::size_t rows, std::size_t cols, float fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix zeros(std::size_t rows, std::size_t cols) {
+    return Matrix(rows, cols);
+  }
+
+  static Matrix full(std::size_t rows, std::size_t cols, float value) {
+    return Matrix(rows, cols, value);
+  }
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0f;
+    return m;
+  }
+
+  /// Gaussian init, the standard scheme for transformer weights.
+  static Matrix randn(std::size_t rows, std::size_t cols, Rng& rng,
+                      float mean = 0.0f, float stddev = 1.0f) {
+    Matrix m(rows, cols);
+    for (auto& v : m.data_) {
+      v = static_cast<float>(rng.normal(mean, stddev));
+    }
+    return m;
+  }
+
+  static Matrix uniform(std::size_t rows, std::size_t cols, Rng& rng,
+                        float lo = -1.0f, float hi = 1.0f) {
+    Matrix m(rows, cols);
+    for (auto& v : m.data_) {
+      v = static_cast<float>(rng.uniform(lo, hi));
+    }
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked accessor for tests and assertions.
+  float at(std::size_t r, std::size_t c) const {
+    AXONN_CHECK(r < rows_ && c < cols_);
+    return (*this)(r, c);
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  /// Extracts the sub-matrix covering `rows x cols` index ranges.
+  Matrix block(Range row_range, Range col_range) const;
+
+  /// Writes `value` into the sub-matrix position anchored at the ranges.
+  void set_block(Range row_range, Range col_range, const Matrix& value);
+
+  /// The (i, j) block when this matrix is split into a row_parts x col_parts
+  /// grid of nearly-equal blocks — the paper's 2D decomposition of I and W.
+  Matrix grid_block(std::size_t row_parts, std::size_t col_parts,
+                    std::size_t i, std::size_t j) const {
+    return block(chunk_range(rows_, row_parts, i),
+                 chunk_range(cols_, col_parts, j));
+  }
+
+  Matrix transposed() const;
+
+  void fill(float value) { data_.assign(data_.size(), value); }
+  void set_zero() { fill(0.0f); }
+
+  /// this += other (shapes must match).
+  void add_inplace(const Matrix& other);
+  /// this += alpha * other.
+  void axpy_inplace(float alpha, const Matrix& other);
+  /// this *= alpha.
+  void scale_inplace(float alpha);
+
+  /// Rounds every element through bf16 (mixed-precision emulation).
+  void round_to_bf16();
+
+  /// max_ij |a_ij - b_ij| — the comparison metric in numerical tests.
+  static float max_abs_diff(const Matrix& a, const Matrix& b);
+
+  /// max_ij |a_ij|.
+  float max_abs() const;
+
+  /// Frobenius-ish sum of all entries (used for cheap invariants).
+  double sum() const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace axonn

@@ -1,0 +1,61 @@
+#pragma once
+
+// Elementwise and row-wise neural-network primitives.
+//
+// These are the non-GEMM operations a GPT block needs: GELU, row softmax,
+// layer normalization, and the cross-entropy loss with optional token
+// masking (the hook the Goldfish loss uses). Forward/backward pairs are kept
+// adjacent so their contracts stay in sync.
+
+#include <cstdint>
+#include <vector>
+
+#include "axonn/tensor/matrix.hpp"
+
+namespace axonn {
+
+/// Tanh-approximation GELU, the activation used by GPT-style transformers.
+float gelu(float x);
+/// d(gelu)/dx for the same approximation.
+float gelu_grad(float x);
+
+/// out = gelu(in), elementwise.
+Matrix gelu(const Matrix& in);
+/// din = dout ⊙ gelu'(in).
+Matrix gelu_backward(const Matrix& dout, const Matrix& in);
+
+/// Numerically stable softmax applied to each row independently.
+Matrix softmax_rows(const Matrix& logits);
+
+/// Backward of row softmax: given y = softmax(x) and dy, returns dx.
+Matrix softmax_rows_backward(const Matrix& dout, const Matrix& softmax_out);
+
+/// Per-row LayerNorm state cached for the backward pass.
+struct LayerNormCache {
+  Matrix normalized;          ///< (x - mean) / std, per row
+  std::vector<float> inv_std; ///< 1 / sqrt(var + eps), per row
+};
+
+/// y = normalize(x) * gamma + beta, row-wise over features.
+Matrix layernorm(const Matrix& x, const std::vector<float>& gamma,
+                 const std::vector<float>& beta, LayerNormCache& cache,
+                 float eps = 1e-5f);
+
+/// Gradients for layernorm. Returns dx; accumulates dgamma/dbeta.
+Matrix layernorm_backward(const Matrix& dout, const LayerNormCache& cache,
+                          const std::vector<float>& gamma,
+                          std::vector<float>& dgamma, std::vector<float>& dbeta);
+
+/// Mean cross-entropy over rows of `logits` against integer `targets`,
+/// skipping rows where mask[i] == 0 (Goldfish-dropped tokens). If mask is
+/// empty every row participates. Returns the loss; writes dlogits
+/// (already divided by the number of unmasked rows).
+float cross_entropy(const Matrix& logits, const std::vector<std::int32_t>& targets,
+                    const std::vector<std::uint8_t>& mask, Matrix& dlogits);
+
+/// Cross-entropy loss only (no gradient) — used by evaluation loops.
+float cross_entropy_loss(const Matrix& logits,
+                         const std::vector<std::int32_t>& targets,
+                         const std::vector<std::uint8_t>& mask);
+
+}  // namespace axonn

@@ -1,0 +1,84 @@
+#include "axonn/tensor/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "axonn/tensor/bf16.hpp"
+
+namespace axonn {
+
+Matrix Matrix::block(Range row_range, Range col_range) const {
+  AXONN_CHECK(row_range.end <= rows_ && col_range.end <= cols_);
+  Matrix out(row_range.size(), col_range.size());
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    const float* src = row(row_range.begin + r) + col_range.begin;
+    std::copy(src, src + out.cols(), out.row(r));
+  }
+  return out;
+}
+
+void Matrix::set_block(Range row_range, Range col_range, const Matrix& value) {
+  AXONN_CHECK(row_range.end <= rows_ && col_range.end <= cols_);
+  AXONN_CHECK_MSG(value.rows() == row_range.size() &&
+                      value.cols() == col_range.size(),
+                  "set_block value shape does not match target ranges");
+  for (std::size_t r = 0; r < value.rows(); ++r) {
+    const float* src = value.row(r);
+    std::copy(src, src + value.cols(), row(row_range.begin + r) + col_range.begin);
+  }
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+void Matrix::add_inplace(const Matrix& other) {
+  AXONN_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += other.data_[i];
+  }
+}
+
+void Matrix::axpy_inplace(float alpha, const Matrix& other) {
+  AXONN_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Matrix::scale_inplace(float alpha) {
+  for (auto& v : data_) v *= alpha;
+}
+
+void Matrix::round_to_bf16() {
+  for (auto& v : data_) v = bf16_round(v);
+}
+
+float Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  AXONN_CHECK(a.rows_ == b.rows_ && a.cols_ == b.cols_);
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    worst = std::max(worst, std::fabs(a.data_[i] - b.data_[i]));
+  }
+  return worst;
+}
+
+float Matrix::max_abs() const {
+  float worst = 0.0f;
+  for (float v : data_) worst = std::max(worst, std::fabs(v));
+  return worst;
+}
+
+double Matrix::sum() const {
+  double total = 0.0;
+  for (float v : data_) total += v;
+  return total;
+}
+
+}  // namespace axonn

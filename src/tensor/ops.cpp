@@ -1,0 +1,183 @@
+#include "axonn/tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace axonn {
+
+namespace {
+constexpr float kSqrt2OverPi = 0.7978845608028654f;
+constexpr float kGeluCubic = 0.044715f;
+}  // namespace
+
+float gelu(float x) {
+  const float inner = kSqrt2OverPi * (x + kGeluCubic * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+float gelu_grad(float x) {
+  const float inner = kSqrt2OverPi * (x + kGeluCubic * x * x * x);
+  const float t = std::tanh(inner);
+  const float dinner = kSqrt2OverPi * (1.0f + 3.0f * kGeluCubic * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+}
+
+Matrix gelu(const Matrix& in) {
+  Matrix out(in.rows(), in.cols());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out.data()[i] = gelu(in.data()[i]);
+  }
+  return out;
+}
+
+Matrix gelu_backward(const Matrix& dout, const Matrix& in) {
+  AXONN_CHECK(dout.rows() == in.rows() && dout.cols() == in.cols());
+  Matrix din(in.rows(), in.cols());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    din.data()[i] = dout.data()[i] * gelu_grad(in.data()[i]);
+  }
+  return din;
+}
+
+Matrix softmax_rows(const Matrix& logits) {
+  Matrix out(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const float* in_row = logits.row(r);
+    float* out_row = out.row(r);
+    const float row_max = *std::max_element(in_row, in_row + logits.cols());
+    float denom = 0.0f;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      out_row[c] = std::exp(in_row[c] - row_max);
+      denom += out_row[c];
+    }
+    const float inv = 1.0f / denom;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      out_row[c] *= inv;
+    }
+  }
+  return out;
+}
+
+Matrix softmax_rows_backward(const Matrix& dout, const Matrix& softmax_out) {
+  AXONN_CHECK(dout.rows() == softmax_out.rows() &&
+              dout.cols() == softmax_out.cols());
+  Matrix din(dout.rows(), dout.cols());
+  for (std::size_t r = 0; r < dout.rows(); ++r) {
+    const float* y = softmax_out.row(r);
+    const float* dy = dout.row(r);
+    float dot = 0.0f;
+    for (std::size_t c = 0; c < dout.cols(); ++c) {
+      dot += y[c] * dy[c];
+    }
+    float* dx = din.row(r);
+    for (std::size_t c = 0; c < dout.cols(); ++c) {
+      dx[c] = y[c] * (dy[c] - dot);
+    }
+  }
+  return din;
+}
+
+Matrix layernorm(const Matrix& x, const std::vector<float>& gamma,
+                 const std::vector<float>& beta, LayerNormCache& cache,
+                 float eps) {
+  const std::size_t features = x.cols();
+  AXONN_CHECK(gamma.size() == features && beta.size() == features);
+  Matrix out(x.rows(), features);
+  cache.normalized = Matrix(x.rows(), features);
+  cache.inv_std.assign(x.rows(), 0.0f);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const float* in_row = x.row(r);
+    double mean = 0.0;
+    for (std::size_t c = 0; c < features; ++c) mean += in_row[c];
+    mean /= static_cast<double>(features);
+    double var = 0.0;
+    for (std::size_t c = 0; c < features; ++c) {
+      const double d = in_row[c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(features);
+    const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    cache.inv_std[r] = inv_std;
+    float* norm_row = cache.normalized.row(r);
+    float* out_row = out.row(r);
+    for (std::size_t c = 0; c < features; ++c) {
+      norm_row[c] = (in_row[c] - static_cast<float>(mean)) * inv_std;
+      out_row[c] = norm_row[c] * gamma[c] + beta[c];
+    }
+  }
+  return out;
+}
+
+Matrix layernorm_backward(const Matrix& dout, const LayerNormCache& cache,
+                          const std::vector<float>& gamma,
+                          std::vector<float>& dgamma,
+                          std::vector<float>& dbeta) {
+  const std::size_t features = dout.cols();
+  AXONN_CHECK(gamma.size() == features);
+  AXONN_CHECK(cache.normalized.rows() == dout.rows() &&
+              cache.normalized.cols() == features);
+  dgamma.resize(features, 0.0f);
+  dbeta.resize(features, 0.0f);
+  Matrix din(dout.rows(), features);
+  const float inv_n = 1.0f / static_cast<float>(features);
+  for (std::size_t r = 0; r < dout.rows(); ++r) {
+    const float* dy = dout.row(r);
+    const float* xhat = cache.normalized.row(r);
+    float* dx = din.row(r);
+    float sum_dxhat = 0.0f;
+    float sum_dxhat_xhat = 0.0f;
+    for (std::size_t c = 0; c < features; ++c) {
+      const float dxhat = dy[c] * gamma[c];
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += dxhat * xhat[c];
+      dgamma[c] += dy[c] * xhat[c];
+      dbeta[c] += dy[c];
+    }
+    for (std::size_t c = 0; c < features; ++c) {
+      const float dxhat = dy[c] * gamma[c];
+      dx[c] = cache.inv_std[r] *
+              (dxhat - inv_n * sum_dxhat - xhat[c] * inv_n * sum_dxhat_xhat);
+    }
+  }
+  return din;
+}
+
+float cross_entropy(const Matrix& logits, const std::vector<std::int32_t>& targets,
+                    const std::vector<std::uint8_t>& mask, Matrix& dlogits) {
+  AXONN_CHECK(targets.size() == logits.rows());
+  AXONN_CHECK(mask.empty() || mask.size() == logits.rows());
+  dlogits = softmax_rows(logits);
+  double loss = 0.0;
+  std::size_t active = 0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const bool row_active = mask.empty() || mask[r] != 0;
+    if (!row_active) {
+      // Masked tokens contribute neither loss nor gradient.
+      float* row = dlogits.row(r);
+      std::fill(row, row + logits.cols(), 0.0f);
+      continue;
+    }
+    const auto target = static_cast<std::size_t>(targets[r]);
+    AXONN_CHECK(target < logits.cols());
+    const float p = std::max(dlogits(r, target), 1e-12f);
+    loss -= std::log(p);
+    dlogits(r, target) -= 1.0f;
+    ++active;
+  }
+  if (active == 0) {
+    dlogits.set_zero();
+    return 0.0f;
+  }
+  const float inv_active = 1.0f / static_cast<float>(active);
+  dlogits.scale_inplace(inv_active);
+  return static_cast<float>(loss) * inv_active;
+}
+
+float cross_entropy_loss(const Matrix& logits,
+                         const std::vector<std::int32_t>& targets,
+                         const std::vector<std::uint8_t>& mask) {
+  Matrix scratch;
+  return cross_entropy(logits, targets, mask, scratch);
+}
+
+}  // namespace axonn

@@ -1,0 +1,52 @@
+#include "axonn/train/adam.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace axonn::train {
+
+std::size_t Adam::add_param(Matrix* weight, Matrix* grad) {
+  AXONN_CHECK(weight != nullptr && grad != nullptr);
+  AXONN_CHECK_MSG(weight->rows() == grad->rows() &&
+                      weight->cols() == grad->cols(),
+                  "weight and gradient shapes must match");
+  Slot slot{weight, grad, Matrix::zeros(weight->rows(), weight->cols()),
+            Matrix::zeros(weight->rows(), weight->cols())};
+  params_.push_back(std::move(slot));
+  return params_.size() - 1;
+}
+
+void Adam::step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (Slot& slot : params_) {
+    float* w = slot.weight->data();
+    const float* g = slot.grad->data();
+    float* m = slot.m.data();
+    float* v = slot.v.data();
+    const std::size_t n = slot.weight->size();
+    for (std::size_t i = 0; i < n; ++i) {
+      float grad = g[i];
+      if (config_.grad_clip > 0.0f) {
+        grad = std::clamp(grad, -config_.grad_clip, config_.grad_clip);
+      }
+      if (config_.weight_decay > 0.0f) {
+        grad += config_.weight_decay * w[i];
+      }
+      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * grad;
+      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * grad * grad;
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      w[i] -= config_.lr * m_hat / (std::sqrt(v_hat) + config_.eps);
+    }
+  }
+}
+
+std::size_t Adam::total_parameter_count() const {
+  std::size_t total = 0;
+  for (const Slot& slot : params_) total += slot.weight->size();
+  return total;
+}
+
+}  // namespace axonn::train

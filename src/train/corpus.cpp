@@ -1,0 +1,89 @@
+#include "axonn/train/corpus.hpp"
+
+#include "axonn/base/error.hpp"
+
+namespace axonn::train {
+
+BucketCorpus::BucketCorpus(const CorpusConfig& config) : config_(config) {
+  AXONN_CHECK(config.vocab >= 4 && config.doc_tokens >= 8);
+  AXONN_CHECK(config.num_buckets >= 1 && config.docs_per_bucket >= 1);
+
+  Rng rng(config.seed);
+  // A fixed bigram "grammar" shared by the background stream.
+  bigram_next_.resize(static_cast<std::size_t>(config.vocab));
+  for (auto& next : bigram_next_) {
+    next = static_cast<std::int32_t>(rng.uniform_int(config.vocab));
+  }
+
+  buckets_.resize(static_cast<std::size_t>(config.num_buckets));
+  for (int b = 0; b < config.num_buckets; ++b) {
+    for (int d = 0; d < config.docs_per_bucket; ++d) {
+      // Probe documents follow the same bigram "language" as the background
+      // stream (as Wikipedia articles follow English): a pretrained model
+      // predicts the structured majority of tokens, and reproducing a whole
+      // document verbatim additionally requires memorizing its random
+      // deviations. This mirrors the paper's natural-text probes and gives
+      // greedy decoding a small non-zero base rate on held-out documents.
+      Rng doc_rng(hash_combine(hash_combine(config.seed, 0xD0C5ULL + b), d));
+      TokenSeq doc;
+      do {
+        doc = chain_doc(doc_rng, config.noise_probability);
+      } while (tail_deviations(doc) < config.min_tail_deviations);
+      buckets_[static_cast<std::size_t>(b)].push_back(std::move(doc));
+    }
+  }
+}
+
+const std::vector<TokenSeq>& BucketCorpus::bucket(int b) const {
+  AXONN_CHECK(b >= 0 && b < config_.num_buckets);
+  return buckets_[static_cast<std::size_t>(b)];
+}
+
+std::vector<int> BucketCorpus::epochs_per_bucket() const {
+  std::vector<int> epochs(static_cast<std::size_t>(config_.num_buckets), 0);
+  const int schedule[4] = {0, 1, 4, 6};
+  for (int b = 0; b < config_.num_buckets && b < 4; ++b) {
+    epochs[static_cast<std::size_t>(b)] = schedule[b];
+  }
+  return epochs;
+}
+
+TokenSeq BucketCorpus::background_doc(std::uint64_t index) const {
+  Rng rng(hash_combine(config_.seed, 0xBACC0000ULL + index));
+  return chain_doc(rng, config_.noise_probability);
+}
+
+int BucketCorpus::tail_deviations(const TokenSeq& doc) const {
+  const auto n = doc.size();
+  const auto tail = static_cast<std::size_t>(config_.tail_tokens);
+  const std::size_t begin = n > tail ? n - tail : 1;
+  int deviations = 0;
+  for (std::size_t i = begin; i < n; ++i) {
+    if (doc[i] != bigram_next_[static_cast<std::size_t>(doc[i - 1])]) {
+      ++deviations;
+    }
+  }
+  return deviations;
+}
+
+TokenSeq BucketCorpus::chain_doc(Rng& rng, double noise_probability) const {
+  TokenSeq doc(static_cast<std::size_t>(config_.doc_tokens));
+  std::int32_t prev = static_cast<std::int32_t>(rng.uniform_int(config_.vocab));
+  for (auto& token : doc) {
+    // Follow the bigram grammar except with probability noise_probability:
+    // learnable structure without being trivially predictable.
+    if (rng.uniform() < noise_probability) {
+      token = static_cast<std::int32_t>(rng.uniform_int(config_.vocab));
+    } else {
+      token = bigram_next_[static_cast<std::size_t>(prev)];
+    }
+    prev = token;
+  }
+  return doc;
+}
+
+bool sequences_equal(const TokenSeq& a, const TokenSeq& b) {
+  return a == b;
+}
+
+}  // namespace axonn::train

@@ -1,0 +1,41 @@
+#include "axonn/train/goldfish.hpp"
+
+#include "axonn/base/error.hpp"
+#include "axonn/base/rng.hpp"
+
+namespace axonn::train {
+
+std::vector<std::uint8_t> goldfish_mask(const std::vector<std::int32_t>& tokens,
+                                        const GoldfishConfig& config) {
+  AXONN_CHECK_MSG(config.k >= 1, "goldfish k must be >= 1");
+  AXONN_CHECK_MSG(config.h >= 1, "goldfish h must be >= 1");
+  std::vector<std::uint8_t> mask(tokens.size(), 1);
+  if (config.k == 1) {
+    // k=1 would drop everything; treat as "goldfish off" (keep all): the
+    // useful range is k >= 2 and the paper's setting is k=2.
+    return mask;
+  }
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    // Hash the h tokens strictly preceding position i: the drop decision
+    // depends only on the context, so repeated passages mask identically.
+    std::uint64_t hash = config.salt;
+    const std::size_t begin =
+        i >= static_cast<std::size_t>(config.h) ? i - config.h : 0;
+    for (std::size_t j = begin; j < i; ++j) {
+      hash = hash_combine(hash, static_cast<std::uint64_t>(tokens[j]) + 1);
+    }
+    if (hash % static_cast<std::uint64_t>(config.k) == 0) {
+      mask[i] = 0;
+    }
+  }
+  return mask;
+}
+
+double goldfish_keep_fraction(const std::vector<std::uint8_t>& mask) {
+  if (mask.empty()) return 1.0;
+  std::size_t kept = 0;
+  for (auto m : mask) kept += m;
+  return static_cast<double>(kept) / static_cast<double>(mask.size());
+}
+
+}  // namespace axonn::train

@@ -1,0 +1,63 @@
+#pragma once
+
+// Adam optimizer over a heterogeneous set of parameter tensors.
+//
+// Mirrors the paper's mixed-precision setup: compute may run in emulated
+// bf16, but the optimizer holds fp32 parameters and fp32 first/second
+// moments (the "master weights + m + v" that dominate the 16 bytes/param
+// memory budget of §VI). Parameters register as (weight, gradient) pairs;
+// sharded FC weights and replicated embedding/layernorm tensors go through
+// the same interface.
+
+#include <cstddef>
+#include <vector>
+
+#include "axonn/base/error.hpp"
+#include "axonn/tensor/matrix.hpp"
+
+namespace axonn::train {
+
+struct AdamConfig {
+  float lr = 3e-4f;
+  float beta1 = 0.9f;
+  float beta2 = 0.95f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+  float grad_clip = 0.0f;  ///< 0 disables elementwise clipping
+};
+
+class Adam {
+ public:
+  explicit Adam(AdamConfig config = {}) : config_(config) {}
+
+  /// Registers a parameter; the pointers must stay valid for the optimizer's
+  /// lifetime. Returns the parameter index.
+  std::size_t add_param(Matrix* weight, Matrix* grad);
+
+  /// One Adam step over every registered parameter, with bias correction.
+  void step();
+
+  /// Adjusts the learning rate (warmup/decay schedules live in the caller).
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+
+  std::size_t num_params() const { return params_.size(); }
+  std::int64_t step_count() const { return t_; }
+
+  /// Total scalar parameters under management.
+  std::size_t total_parameter_count() const;
+
+ private:
+  struct Slot {
+    Matrix* weight;
+    Matrix* grad;
+    Matrix m;
+    Matrix v;
+  };
+
+  AdamConfig config_;
+  std::vector<Slot> params_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace axonn::train

@@ -1,0 +1,82 @@
+#pragma once
+
+// Synthetic document corpus with the bucket protocol of §VIII-B.
+//
+// SUBSTITUTION (see DESIGN.md): the paper trains Llama checkpoints on
+// English Wikipedia pages; we train scaled-down models from scratch on
+// synthetic documents. Documents are random token sequences with a mild
+// bigram structure (so models can learn *something* generalizable from the
+// background corpus), and the probe documents are fully random — the only
+// way a model reproduces one verbatim is memorization, which makes the
+// exact-match metric a pure memorization signal.
+//
+// The protocol: four disjoint buckets of documents. During continued
+// training, bucket 1 is repeated for 1 epoch, bucket 2 for 4, bucket 3 for
+// 6; bucket 0 ("0 Ep") is the held-out control. After training, the model
+// is prompted with the beginning of every document and must greedily
+// reproduce the final `probe_tokens` tokens exactly.
+
+#include <cstdint>
+#include <vector>
+
+#include "axonn/base/rng.hpp"
+
+namespace axonn::train {
+
+using TokenSeq = std::vector<std::int32_t>;
+
+struct CorpusConfig {
+  int vocab = 64;
+  int doc_tokens = 48;        ///< length of every document
+  int docs_per_bucket = 6;
+  int num_buckets = 4;        ///< bucket 0 is the control ("0 Ep")
+  /// Fraction of tokens that deviate (uniformly at random) from the bigram
+  /// grammar — the per-document "surprise" a model must memorize to
+  /// reproduce the document verbatim.
+  double noise_probability = 0.3;
+  /// Probe documents are rejection-sampled until the last `tail_tokens`
+  /// contain at least `min_tail_deviations` off-grammar tokens, so a
+  /// document can never be reproduced by grammar-following luck — the
+  /// exact-match probe measures memorization only.
+  int tail_tokens = 16;
+  int min_tail_deviations = 3;
+  std::uint64_t seed = 2024;
+};
+
+class BucketCorpus {
+ public:
+  explicit BucketCorpus(const CorpusConfig& config);
+
+  const CorpusConfig& config() const { return config_; }
+
+  /// Documents of bucket b (0 = control, never trained on).
+  const std::vector<TokenSeq>& bucket(int b) const;
+
+  /// Epoch counts per bucket in the paper's protocol: {0, 1, 4, 6}.
+  std::vector<int> epochs_per_bucket() const;
+
+  /// A fresh background (non-bucketed) document for warmup steps, generated
+  /// from a bigram chain so there is signal to learn. Deterministic in
+  /// `index`.
+  TokenSeq background_doc(std::uint64_t index) const;
+
+  /// Number of off-grammar tokens in the final tail_tokens of `doc`
+  /// (public for tests and the memorization analyses).
+  int tail_deviations(const TokenSeq& doc) const;
+
+ private:
+  /// One document sampled from the bigram chain with the given deviation
+  /// probability.
+  TokenSeq chain_doc(Rng& rng, double noise_probability) const;
+
+  CorpusConfig config_;
+  std::vector<std::vector<TokenSeq>> buckets_;
+  std::vector<std::int32_t> bigram_next_;  ///< preferred successor per token
+};
+
+/// Exact-match probe: true iff greedy generation after `prompt` reproduces
+/// `target` exactly. (Generation is supplied by the caller as a callback so
+/// the corpus stays model-agnostic.)
+bool sequences_equal(const TokenSeq& a, const TokenSeq& b);
+
+}  // namespace axonn::train

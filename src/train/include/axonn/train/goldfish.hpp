@@ -1,0 +1,35 @@
+#pragma once
+
+// Goldfish loss (Hans et al. [50], deployed in §VIII-D).
+//
+// Language-model training minimizes cross-entropy over every next-token
+// prediction; the Goldfish loss deterministically drops 1/k of the tokens
+// from the loss so the model can never learn them in context — breaking
+// verbatim regurgitation of long training sequences. The mask must be a
+// *deterministic function of the local context* (the preceding h tokens) so
+// that the same passage is masked identically every epoch; a per-step
+// random mask would leak every token eventually.
+
+#include <cstdint>
+#include <vector>
+
+namespace axonn::train {
+
+struct GoldfishConfig {
+  int k = 2;   ///< drop one token in k (the paper runs k=2)
+  int h = 13;  ///< hash-context width (the paper runs h=13)
+  std::uint64_t salt = 0x60147F15ULL;  ///< keyed hash; fixed per run
+};
+
+/// Mask over next-token targets: mask[i] == 1 means target position i
+/// participates in the loss, 0 means dropped by the goldfish rule. The
+/// decision for position i hashes tokens [i-h+1 .. i] of the *input* stream
+/// (clamped at the sequence start), so identical contexts always mask
+/// identically.
+std::vector<std::uint8_t> goldfish_mask(const std::vector<std::int32_t>& tokens,
+                                        const GoldfishConfig& config);
+
+/// Fraction of positions kept by the mask (diagnostics; ~ (k-1)/k).
+double goldfish_keep_fraction(const std::vector<std::uint8_t>& mask);
+
+}  // namespace axonn::train

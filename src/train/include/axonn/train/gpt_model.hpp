@@ -1,0 +1,143 @@
+#pragma once
+
+// A complete, trainable GPT-style decoder built on the 4D parallel engine.
+//
+// This is the "AxoNN as a backend in a serial training codebase" story of
+// §VI-A, at laptop scale: embeddings, pre-norm transformer blocks with
+// causal multi-head attention and GELU MLPs, and a language-model head,
+// with full manual backpropagation. The four FC sublayers of every block
+// are core::TensorParallelFC instances, so the model runs on any Z x data
+// grid — the exact setup of the paper's memorization study ("8-way
+// Z-tensor parallelism", §VIII-B): with Gx = Gy = 1 the Z dimension shards
+// weights FSDP-style while every rank processes its own batch shard, and
+// attention operates on full (unsplit) hidden states.
+//
+// Replicated parameters (embeddings, layernorms, LM head) are kept
+// identical across ranks by summing their gradients over the Z and data
+// groups in sync_gradients().
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "axonn/core/fc_layer.hpp"
+#include "axonn/core/grid4d.hpp"
+#include "axonn/tensor/ops.hpp"
+#include "axonn/train/adam.hpp"
+#include "axonn/train/corpus.hpp"
+#include "axonn/train/goldfish.hpp"
+
+namespace axonn::train {
+
+struct TinyGPTConfig {
+  int vocab = 64;
+  int max_seq = 64;
+  int layers = 2;
+  int hidden = 64;
+  int heads = 4;
+  float init_std = 0.06f;
+  bool mixed_precision = false;
+  std::uint64_t seed = 1;
+  /// ORS/OAR/OAG on the FC sublayers.
+  bool overlap_collectives = true;
+};
+
+class GPTModel {
+ public:
+  /// Collective: all ranks of the grid construct with the same config.
+  /// Supports grids with gx == gy == 1 (Z-sharding x data parallelism);
+  /// X/Y tensor parallelism of attention is out of scope for this model.
+  GPTModel(core::Grid4D& grid, const TinyGPTConfig& config);
+
+  const TinyGPTConfig& config() const { return config_; }
+  std::uint64_t parameter_count() const;
+
+  /// Registers every parameter (FC shards + replicated tensors) with the
+  /// optimizer. Call once.
+  void register_params(Adam& adam);
+
+  /// Forward + backward + gradient sync over this rank's batch of
+  /// equal-length sequences. Returns the mean next-token cross-entropy over
+  /// this rank's unmasked targets. If `goldfish` is non-null the goldfish
+  /// mask drops 1/k targets. The caller then runs adam.step().
+  float train_step(const std::vector<TokenSeq>& sequences,
+                   const GoldfishConfig* goldfish = nullptr);
+
+  /// Mean next-token loss without gradients. NOTE: like every forward pass,
+  /// this is collective when gz > 1 (weight all-gathers over the Z group);
+  /// all ranks of the grid must call it — the same applies to
+  /// greedy_generate / exact_match / probe_accuracy.
+  float evaluate_loss(const std::vector<TokenSeq>& sequences);
+
+  /// Greedy decoding: extends `prompt` by `new_tokens` tokens.
+  TokenSeq greedy_generate(const TokenSeq& prompt, int new_tokens);
+
+  /// True iff greedily prompting with the first (doc size - probe) tokens
+  /// reproduces the final `probe` tokens exactly — the §VIII-B metric.
+  bool exact_match(const TokenSeq& document, int probe_tokens);
+
+  /// Fraction of the probe positions whose teacher-forced argmax is correct
+  /// — a graded memorization signal (1.0 iff exact_match).
+  double probe_accuracy(const TokenSeq& document, int probe_tokens);
+
+  void zero_grad();
+  /// Completes ORS, sums sharded grads over data groups and replicated
+  /// grads over Z x data, and normalizes so the update equals the global
+  /// batch mean.
+  void sync_gradients();
+
+ private:
+  struct Block {
+    // Layernorm parameters as (1 x hidden) matrices so Adam manages them
+    // uniformly; converted to vectors at the op boundary.
+    Matrix ln1_gamma, ln1_beta, ln2_gamma, ln2_beta;
+    Matrix ln1_gamma_grad, ln1_beta_grad, ln2_gamma_grad, ln2_beta_grad;
+    std::unique_ptr<core::TensorParallelFC> qkv;
+    std::unique_ptr<core::TensorParallelFC> attn_out;
+    std::unique_ptr<core::TensorParallelFC> mlp_up;
+    std::unique_ptr<core::TensorParallelFC> mlp_down;
+  };
+
+  struct BlockCache {
+    Matrix block_input;
+    LayerNormCache ln1;
+    Matrix ln1_out;
+    Matrix qkv_out;
+    std::vector<Matrix> head_p;  ///< softmax probs, per (seq, head)
+    Matrix attn_concat;
+    Matrix after_attn;  ///< residual + attn projection
+    LayerNormCache ln2;
+    Matrix ln2_out;
+    Matrix mlp_pre_gelu;
+  };
+
+  Matrix embed(const std::vector<TokenSeq>& sequences, std::size_t input_len);
+  Matrix forward_blocks(const Matrix& x0, std::size_t batch,
+                        std::size_t input_len,
+                        std::vector<BlockCache>* caches);
+  Matrix attention_forward(Block& block, const Matrix& qkv_out,
+                           std::size_t batch, std::size_t input_len,
+                           BlockCache* cache);
+  Matrix attention_backward(Block& block, const BlockCache& cache,
+                            const Matrix& d_concat, std::size_t batch,
+                            std::size_t input_len);
+  Matrix forward_logits(const std::vector<TokenSeq>& sequences,
+                        std::size_t input_len,
+                        std::vector<BlockCache>* caches, Matrix* x0_out,
+                        LayerNormCache* final_ln_cache, Matrix* final_in,
+                        Matrix* final_out);
+
+  void all_reduce_replicated(Matrix& grad);
+
+  core::Grid4D& grid_;
+  TinyGPTConfig config_;
+  int head_dim_;
+
+  Matrix tok_emb_, tok_emb_grad_;
+  Matrix pos_emb_, pos_emb_grad_;
+  std::vector<Block> blocks_;
+  Matrix final_gamma_, final_beta_, final_gamma_grad_, final_beta_grad_;
+  Matrix lm_head_, lm_head_grad_;
+};
+
+}  // namespace axonn::train

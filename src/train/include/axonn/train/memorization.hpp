@@ -1,0 +1,92 @@
+#pragma once
+
+// The memorization study of §VIII at laptop scale.
+//
+// Protocol (§VIII-B): warm up on background text with the learning rate
+// ramping up, then inject the bucketed probe documents — bucket 1 for one
+// epoch, bucket 2 for four, bucket 3 for six, bucket 0 held out — while the
+// learning rate decays. After training, report the exact-match rate (the
+// model reproduces the final probe tokens of a document verbatim) for every
+// bucket. Sweeping model size reproduces the emergence of memorization with
+// scale (Fig. 10); enabling the Goldfish loss reproduces its mitigation
+// (Fig. 11).
+
+#include <string>
+#include <vector>
+
+#include "axonn/core/grid4d.hpp"
+#include "axonn/train/corpus.hpp"
+#include "axonn/train/goldfish.hpp"
+#include "axonn/train/gpt_model.hpp"
+
+namespace axonn::train {
+
+struct MemorizationConfig {
+  TinyGPTConfig model;
+  CorpusConfig corpus;
+  int warmup_steps = 150;      ///< pretraining on the background language
+  int warmup_batch_size = 4;   ///< background sequences per warmup step
+  int batch_size = 1;          ///< injection sequences per optimization step
+  float lr_max = 1e-2f;
+  float lr_min = 3.3e-3f;
+  /// The paper probes the last 50 of 2048 tokens (2.4%); we probe the last
+  /// 4 of 48 (8%), with at least one guaranteed off-grammar token so the
+  /// probe can only pass through memorization.
+  int probe_tokens = 4;
+  bool use_goldfish = false;
+  GoldfishConfig goldfish;
+  std::uint64_t shuffle_seed = 7;
+  int trial = 0;  ///< offsets the corpus and shuffle seeds
+
+  /// Applies the calibrated corpus/model coupling: vocab 64 (so model width
+  /// gates grammar capacity), 48-token documents, 4 docs per bucket, 20%
+  /// grammar deviations, probe-region deviation guarantee, and seeds offset
+  /// by the trial index. Call after setting `model` and `trial`.
+  void finalize() {
+    corpus.vocab = 64;
+    corpus.doc_tokens = 48;
+    corpus.docs_per_bucket = 4;
+    corpus.noise_probability = 0.2;
+    corpus.tail_tokens = probe_tokens;
+    corpus.min_tail_deviations = 1;
+    corpus.seed = 2024 + static_cast<std::uint64_t>(trial);
+    shuffle_seed = 7 + static_cast<std::uint64_t>(trial);
+    model.vocab = corpus.vocab;
+    model.max_seq = corpus.doc_tokens;
+  }
+};
+
+struct MemorizationResult {
+  std::string model_name;
+  std::uint64_t parameter_count = 0;
+  /// Exact-match fraction per bucket; epochs_per_bucket gives the paper's
+  /// {0 (control), 1, 4, 6} repetition counts.
+  std::vector<double> exact_match_per_bucket;
+  /// Mean teacher-forced probe-token accuracy per bucket (graded signal).
+  std::vector<double> probe_accuracy_per_bucket;
+  std::vector<int> epochs_per_bucket;
+  float final_train_loss = 0.0f;
+  int total_steps = 0;
+};
+
+/// Runs the full protocol on an existing grid (collective: every rank of
+/// the grid calls it). Deterministic given the configs.
+MemorizationResult run_memorization_experiment(core::Grid4D& grid,
+                                               const std::string& model_name,
+                                               const MemorizationConfig& config);
+
+/// Convenience wrapper: single-rank run (the benches use this; the gtest
+/// integration test exercises the multi-rank path).
+MemorizationResult run_memorization_experiment_serial(
+    const std::string& model_name, const MemorizationConfig& config);
+
+/// The scaled-down model family standing in for TinyLlama-1B ... Llama-405B
+/// (name, config) — capacity grows ~10x between steps so memorization
+/// emerges within the family.
+struct ZooEntry {
+  std::string name;
+  TinyGPTConfig model;
+};
+std::vector<ZooEntry> memorization_model_zoo();
+
+}  // namespace axonn::train

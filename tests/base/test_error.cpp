@@ -1,0 +1,54 @@
+#include "axonn/base/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace axonn {
+namespace {
+
+TEST(ErrorTest, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(AXONN_CHECK(1 + 1 == 2));
+}
+
+TEST(ErrorTest, CheckThrowsOnFalse) {
+  EXPECT_THROW(AXONN_CHECK(1 + 1 == 3), Error);
+}
+
+TEST(ErrorTest, CheckMessageContainsExpressionAndLocation) {
+  try {
+    AXONN_CHECK(false);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, CheckMsgIncludesUserMessage) {
+  try {
+    AXONN_CHECK_MSG(false, "grid mismatch: 3 != 4");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("grid mismatch: 3 != 4"),
+              std::string::npos);
+  }
+}
+
+TEST(ErrorTest, ErrorIsARuntimeError) {
+  EXPECT_THROW(AXONN_CHECK(false), std::runtime_error);
+}
+
+TEST(ErrorTest, CheckEvaluatesExpressionOnce) {
+  int calls = 0;
+  auto bump = [&] {
+    ++calls;
+    return true;
+  };
+  AXONN_CHECK(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace axonn

@@ -1,0 +1,77 @@
+#include "axonn/base/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axonn/base/error.hpp"
+
+namespace axonn {
+namespace {
+
+TEST(PartitionTest, EvenSplit) {
+  EXPECT_EQ(chunk_range(12, 4, 0), (Range{0, 3}));
+  EXPECT_EQ(chunk_range(12, 4, 1), (Range{3, 6}));
+  EXPECT_EQ(chunk_range(12, 4, 3), (Range{9, 12}));
+}
+
+TEST(PartitionTest, RemainderGoesToLeadingParts) {
+  // 10 into 4: sizes 3, 3, 2, 2.
+  EXPECT_EQ(chunk_size(10, 4, 0), 3u);
+  EXPECT_EQ(chunk_size(10, 4, 1), 3u);
+  EXPECT_EQ(chunk_size(10, 4, 2), 2u);
+  EXPECT_EQ(chunk_size(10, 4, 3), 2u);
+}
+
+TEST(PartitionTest, SinglePartCoversEverything) {
+  EXPECT_EQ(chunk_range(7, 1, 0), (Range{0, 7}));
+}
+
+TEST(PartitionTest, MorePartsThanItemsYieldsEmptyTails) {
+  EXPECT_EQ(chunk_size(2, 5, 0), 1u);
+  EXPECT_EQ(chunk_size(2, 5, 1), 1u);
+  EXPECT_EQ(chunk_size(2, 5, 2), 0u);
+  EXPECT_TRUE(chunk_range(2, 5, 4).empty());
+}
+
+TEST(PartitionTest, ZeroItems) {
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(chunk_range(0, 3, i).empty());
+  }
+}
+
+TEST(PartitionTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(chunk_range(10, 0, 0), Error);
+  EXPECT_THROW(chunk_range(10, 4, 4), Error);
+}
+
+TEST(PartitionTest, MaxChunkSizeIsChunkZero) {
+  EXPECT_EQ(max_chunk_size(10, 4), 3u);
+  EXPECT_EQ(max_chunk_size(12, 4), 3u);
+  EXPECT_EQ(max_chunk_size(0, 4), 0u);
+}
+
+// Property: chunks tile [0, n) exactly, in order, for many (n, p) pairs.
+class PartitionProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(PartitionProperty, ChunksTileTheRange) {
+  const auto [n, p] = GetParam();
+  std::size_t expected_begin = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    const Range r = chunk_range(n, p, i);
+    EXPECT_EQ(r.begin, expected_begin);
+    expected_begin = r.end;
+    // Sizes are nearly equal: differ by at most 1 from the base size.
+    EXPECT_GE(r.size() + 1, n / p + (n % p ? 1 : 0));
+    EXPECT_LE(r.size(), n / p + 1);
+  }
+  EXPECT_EQ(expected_begin, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 2, 5, 16, 17, 100,
+                                                      1023),
+                       ::testing::Values<std::size_t>(1, 2, 3, 4, 7, 8, 16)));
+
+}  // namespace
+}  // namespace axonn

@@ -1,0 +1,69 @@
+#include "axonn/base/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "axonn/base/error.hpp"
+
+namespace axonn {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRule) {
+  Table t({"Model", "Pflop/s"});
+  t.add_row({"GPT-40B", "620.1"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Model"), std::string::npos);
+  EXPECT_NE(s.find("Pflop/s"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_NE(s.find("GPT-40B"), std::string::npos);
+}
+
+TEST(TableTest, NumericCellsRightAligned) {
+  Table t({"N", "Value"});
+  t.add_row({"1", "2.5"});
+  t.add_row({"1000", "999.5"});
+  const std::string s = t.to_string();
+  // The short number must be padded on the left to the column width.
+  EXPECT_NE(s.find("   1 |"), std::string::npos);
+}
+
+TEST(TableTest, TextCellsLeftAligned) {
+  Table t({"Name", "X"});
+  t.add_row({"ab", "1"});
+  t.add_row({"abcdef", "2"});
+  EXPECT_NE(t.to_string().find("ab     |"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  Table t({"A", "B", "C"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(TableTest, OverlongRowThrows) {
+  Table t({"A"});
+  EXPECT_THROW(t.add_row({"1", "2"}), Error);
+}
+
+TEST(TableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(TableTest, CellFormatting) {
+  EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::cell(3.14159, 0), "3");
+  EXPECT_EQ(Table::cell(42LL), "42");
+}
+
+TEST(TableTest, PrintStreams) {
+  Table t({"H"});
+  t.add_row({"v"});
+  std::ostringstream oss;
+  t.print(oss);
+  EXPECT_EQ(oss.str(), t.to_string());
+}
+
+}  // namespace
+}  // namespace axonn

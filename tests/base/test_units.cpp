@@ -1,0 +1,45 @@
+#include "axonn/base/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace axonn::units {
+namespace {
+
+TEST(UnitsTest, FormatFlopsPicksMagnitude) {
+  EXPECT_EQ(format_flops(1.381e18), "1.381 Exaflop/s");
+  EXPECT_EQ(format_flops(620.1e15), "620.1 Pflop/s");
+  EXPECT_EQ(format_flops(113e12), "113.0 Tflop/s");
+}
+
+TEST(UnitsTest, FormatCount) {
+  EXPECT_EQ(format_count(16.8e6), "16.8M");
+  EXPECT_EQ(format_count(2e12), "2.0T");
+  EXPECT_EQ(format_count(320e9), "320.0B");
+  EXPECT_EQ(format_count(512), "512");
+}
+
+TEST(UnitsTest, FormatDurationLong) {
+  // 25.5 days stays in days; ~4 years flips to years.
+  EXPECT_EQ(format_duration_long(25.5 * kSecondsPerDay), "25.5 days");
+  EXPECT_EQ(format_duration_long(15 * kSecondsPerMonth), "15.0 months");
+  EXPECT_EQ(format_duration_long(50 * kSecondsPerMonth), "4.2 years");
+}
+
+TEST(UnitsTest, FormatDurationShort) {
+  EXPECT_EQ(format_duration_short(0.01234), "12.34 ms");
+  EXPECT_EQ(format_duration_short(2.5), "2.50 s");
+  EXPECT_EQ(format_duration_short(5e-6), "5.0 us");
+}
+
+TEST(UnitsTest, FormatBandwidth) {
+  EXPECT_EQ(format_bandwidth(25e9), "25.0 GB/s");
+}
+
+TEST(UnitsTest, ConstantsAreConsistent) {
+  EXPECT_DOUBLE_EQ(kGB, 1e9);
+  EXPECT_DOUBLE_EQ(kGiB, 1073741824.0);
+  EXPECT_DOUBLE_EQ(kExaflop / kPetaflop, 1000.0);
+}
+
+}  // namespace
+}  // namespace axonn::units

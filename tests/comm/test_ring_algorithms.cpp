@@ -1,0 +1,345 @@
+// Tests the ring algorithm templates in isolation using an in-test transport
+// backed by simple per-edge queues, including the wire-byte counts the
+// paper's performance model assumes (Assumption-1 + Eqs. 1-2).
+
+#include "axonn/comm/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "axonn/base/partition.hpp"
+
+namespace axonn::comm {
+namespace {
+
+// Deterministic single-threaded "network": messages are queued per (src,
+// dst) edge. Ring steps are executed rank-by-rank in lockstep by the driver
+// below, which works because send_to never blocks.
+struct FakeNetwork {
+  std::map<std::pair<int, int>, std::deque<std::vector<float>>> edges;
+  std::uint64_t total_wire_bytes = 0;
+};
+
+class FakeTransport {
+ public:
+  FakeTransport(FakeNetwork* net, int rank, int size)
+      : net_(net), rank_(rank), size_(size) {}
+
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  void send_to(int dest, std::span<const float> data) {
+    net_->edges[{rank_, dest}].emplace_back(data.begin(), data.end());
+    net_->total_wire_bytes += data.size() * sizeof(float);
+  }
+
+  void recv_from(int src, std::span<float> out) {
+    auto& queue = net_->edges[{src, rank_}];
+    AXONN_CHECK_MSG(!queue.empty(),
+                    "FakeTransport recv with empty queue — lockstep violated");
+    AXONN_CHECK(queue.front().size() == out.size());
+    std::copy(queue.front().begin(), queue.front().end(), out.begin());
+    queue.pop_front();
+  }
+
+ private:
+  FakeNetwork* net_;
+  int rank_;
+  int size_;
+};
+
+// Runs one ring collective across all ranks in lockstep. The ring algorithms
+// alternate send/recv in matched steps, so executing rank bodies round-robin
+// one step at a time is equivalent to true concurrency. We exploit that the
+// templates only interleave (send, recv) pairs: running all sends of a step
+// before any recv is achieved by running complete rank bodies sequentially —
+// but a sequential run would block on recv of not-yet-sent data. Instead we
+// drive each rank in its own coroutine-like pass: for the ring algorithms
+// this works because rank r's step-s recv depends only on rank r-1's step-s
+// send, and we execute ranks 0..p-1 in a cyclic order per step via threads.
+//
+// Simplest correct driver: a thread per rank (they are only p <= 8 in tests).
+template <typename Body>
+void run_lockstep(int p, FakeNetwork& net, Body&& body) {
+  // The fake transport's queues are unsynchronized, so single-thread it:
+  // interleave rank executions by running each rank's body in a fiber-like
+  // manner is overkill — instead we exploit that our ring templates buffer
+  // sends before receives *within a step* only across distinct ranks.
+  // Run ranks as threads with a mutex around the network.
+  struct LockedTransport {
+    FakeNetwork* net;
+    std::mutex* mutex;
+    std::condition_variable* cv;
+    int rank_, size_;
+    int rank() const { return rank_; }
+    int size() const { return size_; }
+    void send_to(int dest, std::span<const float> data) {
+      {
+        std::lock_guard<std::mutex> lock(*mutex);
+        net->edges[{rank_, dest}].emplace_back(data.begin(), data.end());
+        net->total_wire_bytes += data.size() * sizeof(float);
+      }
+      cv->notify_all();
+    }
+    void recv_from(int src, std::span<float> out) {
+      std::unique_lock<std::mutex> lock(*mutex);
+      auto key = std::make_pair(src, rank_);
+      cv->wait(lock, [&] {
+        auto it = net->edges.find(key);
+        return it != net->edges.end() && !it->second.empty();
+      });
+      auto& queue = net->edges[key];
+      AXONN_CHECK(queue.front().size() == out.size());
+      std::copy(queue.front().begin(), queue.front().end(), out.begin());
+      queue.pop_front();
+    }
+  };
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::thread> threads;
+  for (int r = 0; r < p; ++r) {
+    threads.emplace_back([&, r] {
+      LockedTransport t{&net, &mutex, &cv, r, p};
+      body(t, r);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+TEST(RingAllGatherTest, GathersInRankOrder) {
+  const int p = 4;
+  const std::vector<std::size_t> counts{2, 2, 2, 2};
+  FakeNetwork net;
+  std::vector<std::vector<float>> results(p, std::vector<float>(8));
+  run_lockstep(p, net, [&](auto& t, int r) {
+    const std::vector<float> mine{static_cast<float>(10 * r),
+                                  static_cast<float>(10 * r + 1)};
+    ring_all_gatherv(t, mine, results[static_cast<std::size_t>(r)], counts);
+  });
+  for (int r = 0; r < p; ++r) {
+    const auto& out = results[static_cast<std::size_t>(r)];
+    for (int src = 0; src < p; ++src) {
+      EXPECT_EQ(out[static_cast<std::size_t>(2 * src)], 10.0f * src);
+      EXPECT_EQ(out[static_cast<std::size_t>(2 * src + 1)], 10.0f * src + 1);
+    }
+  }
+}
+
+TEST(RingAllGatherTest, VariableCountsIncludingEmpty) {
+  const int p = 3;
+  const std::vector<std::size_t> counts{3, 0, 2};
+  FakeNetwork net;
+  std::vector<std::vector<float>> results(p, std::vector<float>(5));
+  run_lockstep(p, net, [&](auto& t, int r) {
+    std::vector<float> mine(counts[static_cast<std::size_t>(r)],
+                            static_cast<float>(r + 1));
+    ring_all_gatherv(t, mine, results[static_cast<std::size_t>(r)], counts);
+  });
+  const std::vector<float> expected{1, 1, 1, 3, 3};
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)], expected);
+  }
+}
+
+TEST(RingAllGatherTest, WireBytesMatchEquationOne) {
+  // Eq. 1 shape: each rank sends (p-1) chunks -> total p*(p-1)*chunk bytes.
+  const int p = 4;
+  const std::size_t chunk = 16;
+  const std::vector<std::size_t> counts(p, chunk);
+  FakeNetwork net;
+  std::vector<std::vector<float>> results(p, std::vector<float>(p * chunk));
+  run_lockstep(p, net, [&](auto& t, int r) {
+    std::vector<float> mine(chunk, static_cast<float>(r));
+    ring_all_gatherv(t, mine, results[static_cast<std::size_t>(r)], counts);
+  });
+  EXPECT_EQ(net.total_wire_bytes,
+            static_cast<std::uint64_t>(p) * (p - 1) * chunk * sizeof(float));
+}
+
+TEST(RingReduceScatterTest, EachRankGetsItsReducedChunk) {
+  const int p = 4;
+  const std::vector<std::size_t> counts{2, 2, 2, 2};
+  FakeNetwork net;
+  std::vector<std::vector<float>> results(p, std::vector<float>(2));
+  run_lockstep(p, net, [&](auto& t, int r) {
+    // Rank r contributes vector [r, r, ..., r] of length 8.
+    std::vector<float> send(8, static_cast<float>(r));
+    ring_reduce_scatterv(t, send, results[static_cast<std::size_t>(r)], counts,
+                         ReduceOp::kSum);
+  });
+  // Sum over ranks of r = 0+1+2+3 = 6 in every element of every chunk.
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)],
+              (std::vector<float>{6.0f, 6.0f}));
+  }
+}
+
+TEST(RingReduceScatterTest, ChunkContentsAreRankSpecific) {
+  const int p = 3;
+  const std::vector<std::size_t> counts{1, 1, 1};
+  FakeNetwork net;
+  std::vector<std::vector<float>> results(p, std::vector<float>(1));
+  run_lockstep(p, net, [&](auto& t, int r) {
+    // send[c] = 100*r + c, so reduced chunk c = sum_r(100 r) + p*c.
+    std::vector<float> send{100.0f * r + 0, 100.0f * r + 1, 100.0f * r + 2};
+    ring_reduce_scatterv(t, send, results[static_cast<std::size_t>(r)], counts,
+                         ReduceOp::kSum);
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)][0], 300.0f + 3.0f * r);
+  }
+}
+
+TEST(RingReduceScatterTest, MaxAndMinOps) {
+  const int p = 3;
+  const std::vector<std::size_t> counts{1, 1, 1};
+  FakeNetwork net;
+  std::vector<std::vector<float>> max_results(p, std::vector<float>(1));
+  run_lockstep(p, net, [&](auto& t, int r) {
+    std::vector<float> send{static_cast<float>(r), static_cast<float>(-r),
+                            static_cast<float>(r * r)};
+    ring_reduce_scatterv(t, send, max_results[static_cast<std::size_t>(r)],
+                         counts, ReduceOp::kMax);
+  });
+  EXPECT_EQ(max_results[0][0], 2.0f);   // max over r of r
+  EXPECT_EQ(max_results[1][0], 0.0f);   // max over r of -r
+  EXPECT_EQ(max_results[2][0], 4.0f);   // max over r of r^2
+
+  FakeNetwork net2;
+  std::vector<std::vector<float>> min_results(p, std::vector<float>(1));
+  run_lockstep(p, net2, [&](auto& t, int r) {
+    std::vector<float> send{static_cast<float>(r), static_cast<float>(-r),
+                            static_cast<float>(r * r)};
+    ring_reduce_scatterv(t, send, min_results[static_cast<std::size_t>(r)],
+                         counts, ReduceOp::kMin);
+  });
+  EXPECT_EQ(min_results[0][0], 0.0f);
+  EXPECT_EQ(min_results[1][0], -2.0f);
+  EXPECT_EQ(min_results[2][0], 0.0f);
+}
+
+TEST(RingReduceScatterTest, WireBytesMatchEquationTwo) {
+  // Eq. 2 shape: each rank sends (p-1)/p of the buffer.
+  const int p = 4;
+  const std::size_t chunk = 8;
+  const std::vector<std::size_t> counts(p, chunk);
+  FakeNetwork net;
+  std::vector<std::vector<float>> results(p, std::vector<float>(chunk));
+  run_lockstep(p, net, [&](auto& t, int r) {
+    std::vector<float> send(p * chunk, static_cast<float>(r));
+    ring_reduce_scatterv(t, send, results[static_cast<std::size_t>(r)], counts,
+                         ReduceOp::kSum);
+  });
+  EXPECT_EQ(net.total_wire_bytes,
+            static_cast<std::uint64_t>(p) * (p - 1) * chunk * sizeof(float));
+}
+
+TEST(RingAllReduceTest, SumAcrossRanks) {
+  const int p = 4;
+  const std::size_t n = 10;  // not divisible by p: exercises uneven chunks
+  FakeNetwork net;
+  std::vector<std::vector<float>> buffers(p);
+  run_lockstep(p, net, [&](auto& t, int r) {
+    auto& buf = buffers[static_cast<std::size_t>(r)];
+    buf.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      buf[i] = static_cast<float>(r + 1) * static_cast<float>(i);
+    }
+    ring_all_reduce(t, std::span<float>(buf), ReduceOp::kSum);
+  });
+  // sum over r of (r+1)*i = 10*i for p=4.
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_FLOAT_EQ(buffers[static_cast<std::size_t>(r)][i], 10.0f * i);
+    }
+  }
+}
+
+TEST(RingAllReduceTest, WireBytesMatchTwiceTheBuffer) {
+  // All-reduce = RS + AG: 2 * p * (p-1)/p * n elements on the wire, i.e. the
+  // 2x factor in Eqs. 3-5. Divisible case for exact equality.
+  const int p = 4;
+  const std::size_t n = 16;
+  FakeNetwork net;
+  std::vector<std::vector<float>> buffers(p, std::vector<float>(n, 1.0f));
+  run_lockstep(p, net, [&](auto& t, int r) {
+    ring_all_reduce(t, std::span<float>(buffers[static_cast<std::size_t>(r)]),
+                    ReduceOp::kSum);
+  });
+  EXPECT_EQ(net.total_wire_bytes,
+            2ull * (p - 1) * n * sizeof(float));  // per-rank bytes * p ranks / p
+}
+
+TEST(RingAllReduceTest, SingleRankIsIdentity) {
+  FakeNetwork net;
+  std::vector<float> buf{1.0f, 2.0f, 3.0f};
+  FakeTransport t(&net, 0, 1);
+  ring_all_reduce(t, std::span<float>(buf), ReduceOp::kSum);
+  EXPECT_EQ(buf, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  EXPECT_EQ(net.total_wire_bytes, 0u);
+}
+
+TEST(TreeBroadcastTest, RootValueReachesAllRanks) {
+  for (int root = 0; root < 3; ++root) {
+    const int p = 5;
+    FakeNetwork net;
+    std::vector<std::vector<float>> buffers(p, std::vector<float>(4, -1.0f));
+    run_lockstep(p, net, [&](auto& t, int r) {
+      if (r == root) {
+        buffers[static_cast<std::size_t>(r)] = {1.0f, 2.0f, 3.0f, 4.0f};
+      }
+      tree_broadcast(t, std::span<float>(buffers[static_cast<std::size_t>(r)]),
+                     root);
+    });
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(buffers[static_cast<std::size_t>(r)],
+                (std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f}))
+          << "root=" << root << " rank=" << r;
+    }
+  }
+}
+
+// Property sweep over rank counts and sizes: all-reduce equals the serial sum.
+class RingAllReduceProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(RingAllReduceProperty, MatchesSerialReduction) {
+  const auto [p, n] = GetParam();
+  FakeNetwork net;
+  std::vector<std::vector<float>> buffers(static_cast<std::size_t>(p));
+  std::vector<float> expected(n, 0.0f);
+  for (int r = 0; r < p; ++r) {
+    auto& buf = buffers[static_cast<std::size_t>(r)];
+    buf.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      buf[i] = static_cast<float>((r * 31 + static_cast<int>(i) * 7) % 13);
+      expected[i] += buf[i];
+    }
+  }
+  run_lockstep(p, net, [&](auto& t, int r) {
+    ring_all_reduce(t, std::span<float>(buffers[static_cast<std::size_t>(r)]),
+                    ReduceOp::kSum);
+  });
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_FLOAT_EQ(buffers[static_cast<std::size_t>(r)][i], expected[i])
+          << "p=" << p << " n=" << n << " rank=" << r << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RingAllReduceProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 8),
+                       ::testing::Values<std::size_t>(1, 2, 7, 16, 33)));
+
+}  // namespace
+}  // namespace axonn::comm

@@ -1,0 +1,99 @@
+// SelfComm: the degenerate size-1 communicator used when a grid dimension
+// has extent 1.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "axonn/base/error.hpp"
+#include "axonn/comm/self_comm.hpp"
+
+namespace axonn::comm {
+namespace {
+
+TEST(SelfCommTest, RankAndSize) {
+  SelfComm comm;
+  EXPECT_EQ(comm.rank(), 0);
+  EXPECT_EQ(comm.size(), 1);
+}
+
+TEST(SelfCommTest, AllReduceIsIdentity) {
+  SelfComm comm;
+  std::vector<float> buf{1.0f, -2.0f, 3.0f};
+  comm.all_reduce(buf, ReduceOp::kSum);
+  EXPECT_EQ(buf, (std::vector<float>{1.0f, -2.0f, 3.0f}));
+}
+
+TEST(SelfCommTest, AllGatherCopies) {
+  SelfComm comm;
+  const std::vector<float> send{4.0f, 5.0f};
+  std::vector<float> recv(2);
+  comm.all_gather(send, recv);
+  EXPECT_EQ(recv, send);
+}
+
+TEST(SelfCommTest, ReduceScatterCopies) {
+  SelfComm comm;
+  const std::vector<float> send{7.0f};
+  std::vector<float> recv(1);
+  comm.reduce_scatter(send, recv, ReduceOp::kSum);
+  EXPECT_EQ(recv[0], 7.0f);
+}
+
+TEST(SelfCommTest, VariableCountVariants) {
+  SelfComm comm;
+  const std::vector<std::size_t> counts{3};
+  const std::vector<float> send{1, 2, 3};
+  std::vector<float> recv(3);
+  comm.all_gatherv(send, recv, counts);
+  EXPECT_EQ(recv, send);
+  std::vector<float> rs(3);
+  comm.reduce_scatterv(send, rs, counts, ReduceOp::kMax);
+  EXPECT_EQ(rs, send);
+}
+
+TEST(SelfCommTest, MismatchedSizesThrow) {
+  SelfComm comm;
+  const std::vector<float> send{1.0f, 2.0f};
+  std::vector<float> recv(1);
+  EXPECT_THROW(comm.all_gather(send, recv), Error);
+  EXPECT_THROW(comm.reduce_scatter(send, recv, ReduceOp::kSum), Error);
+}
+
+TEST(SelfCommTest, NonblockingCompletesImmediately) {
+  SelfComm comm;
+  std::vector<float> buf{9.0f};
+  Request req = comm.iall_reduce(buf, ReduceOp::kSum);
+  EXPECT_TRUE(req.test());
+  req.wait();
+  EXPECT_EQ(buf[0], 9.0f);
+}
+
+TEST(SelfCommTest, BroadcastValidatesRoot) {
+  SelfComm comm;
+  std::vector<float> buf{1.0f};
+  EXPECT_NO_THROW(comm.broadcast(buf, 0));
+  EXPECT_THROW(comm.broadcast(buf, 1), Error);
+}
+
+TEST(SelfCommTest, SplitReturnsSelfOrNull) {
+  SelfComm comm;
+  auto sub = comm.split(5, 0);
+  ASSERT_NE(sub, nullptr);
+  EXPECT_EQ(sub->size(), 1);
+  EXPECT_EQ(comm.split(-1, 0), nullptr);
+}
+
+TEST(SelfCommTest, StatsTrackCallsWithZeroWireBytes) {
+  SelfComm comm;
+  std::vector<float> buf{1.0f};
+  comm.all_reduce(buf, ReduceOp::kSum);
+  comm.all_reduce(buf, ReduceOp::kSum);
+  EXPECT_EQ(comm.stats().all_reduce_calls, 2u);
+  EXPECT_EQ(comm.stats().wire_bytes_sent, 0u);
+  comm.reset_stats();
+  EXPECT_EQ(comm.stats().all_reduce_calls, 0u);
+}
+
+}  // namespace
+}  // namespace axonn::comm

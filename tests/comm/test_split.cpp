@@ -1,0 +1,131 @@
+// Communicator split: the mechanism that builds the X/Y/Z/data process
+// groups of the 4D virtual grid out of the world communicator.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "axonn/comm/thread_comm.hpp"
+
+namespace axonn::comm {
+namespace {
+
+TEST(SplitTest, EvenOddGroups) {
+  run_ranks(6, [](Communicator& comm) {
+    auto sub = comm.split(comm.rank() % 2, comm.rank());
+    ASSERT_NE(sub, nullptr);
+    EXPECT_EQ(sub->size(), 3);
+    EXPECT_EQ(sub->rank(), comm.rank() / 2);
+    // Collectives inside the subgroup only see subgroup members.
+    std::vector<float> buf{static_cast<float>(comm.rank())};
+    sub->all_reduce(buf, ReduceOp::kSum);
+    if (comm.rank() % 2 == 0) {
+      EXPECT_EQ(buf[0], 0.0f + 2.0f + 4.0f);
+    } else {
+      EXPECT_EQ(buf[0], 1.0f + 3.0f + 5.0f);
+    }
+  });
+}
+
+TEST(SplitTest, KeyControlsRankOrder) {
+  run_ranks(4, [](Communicator& comm) {
+    // Reverse the rank order via descending keys.
+    auto sub = comm.split(0, comm.size() - comm.rank());
+    ASSERT_NE(sub, nullptr);
+    EXPECT_EQ(sub->rank(), comm.size() - 1 - comm.rank());
+  });
+}
+
+TEST(SplitTest, NegativeColorOptsOut) {
+  run_ranks(4, [](Communicator& comm) {
+    auto sub = comm.split(comm.rank() == 0 ? -1 : 7, comm.rank());
+    if (comm.rank() == 0) {
+      EXPECT_EQ(sub, nullptr);
+    } else {
+      ASSERT_NE(sub, nullptr);
+      EXPECT_EQ(sub->size(), 3);
+      std::vector<float> buf{1.0f};
+      sub->all_reduce(buf, ReduceOp::kSum);
+      EXPECT_EQ(buf[0], 3.0f);
+    }
+  });
+}
+
+TEST(SplitTest, NestedSplitsBuild4DGridGroups) {
+  // 8 ranks as a 2x2x2 grid (x fastest): the hierarchical layout of §V-B.
+  run_ranks(8, [](Communicator& comm) {
+    const int r = comm.rank();
+    const int x = r % 2;
+    const int y = (r / 2) % 2;
+    const int z = r / 4;
+    // X groups: ranks with same (y, z).
+    auto xg = comm.split(y * 2 + z, x);
+    // Y groups: same (x, z).
+    auto yg = comm.split(x * 2 + z, y);
+    // Z groups: same (x, y).
+    auto zg = comm.split(x * 2 + y, z);
+    ASSERT_NE(xg, nullptr);
+    ASSERT_NE(yg, nullptr);
+    ASSERT_NE(zg, nullptr);
+    EXPECT_EQ(xg->size(), 2);
+    EXPECT_EQ(yg->size(), 2);
+    EXPECT_EQ(zg->size(), 2);
+    EXPECT_EQ(xg->rank(), x);
+    EXPECT_EQ(yg->rank(), y);
+    EXPECT_EQ(zg->rank(), z);
+
+    // The X-group of rank r must pair (0,1), (2,3), (4,5), (6,7) — the
+    // "innermost" groups from the paper's concrete 8-GPU example.
+    std::vector<float> probe{static_cast<float>(r)};
+    xg->all_reduce(probe, ReduceOp::kSum);
+    const float expected_pair_sum = static_cast<float>((r / 2) * 4 + 1);
+    EXPECT_EQ(probe[0], expected_pair_sum);
+
+    // Y-groups pair (0,2),(1,3),(4,6),(5,7).
+    std::vector<float> probe_y{static_cast<float>(r)};
+    yg->all_reduce(probe_y, ReduceOp::kSum);
+    const int y_peer = (y == 0) ? r + 2 : r - 2;
+    EXPECT_EQ(probe_y[0], static_cast<float>(r + y_peer));
+  });
+}
+
+TEST(SplitTest, SubcommunicatorsAreIndependentChannels) {
+  // Simultaneous collectives on sibling subcommunicators must not interfere.
+  run_ranks(8, [](Communicator& comm) {
+    auto sub = comm.split(comm.rank() / 4, comm.rank());
+    ASSERT_NE(sub, nullptr);
+    for (int iter = 0; iter < 20; ++iter) {
+      std::vector<float> buf{static_cast<float>(comm.rank() + iter)};
+      sub->all_reduce(buf, ReduceOp::kSum);
+      const float base = comm.rank() < 4 ? 0.0f + 1 + 2 + 3 : 4.0f + 5 + 6 + 7;
+      EXPECT_FLOAT_EQ(buf[0], base + 4.0f * static_cast<float>(iter));
+    }
+  });
+}
+
+TEST(SplitTest, SplitOfSplit) {
+  run_ranks(8, [](Communicator& comm) {
+    auto half = comm.split(comm.rank() / 4, comm.rank());  // two groups of 4
+    ASSERT_NE(half, nullptr);
+    auto quarter = half->split(half->rank() / 2, half->rank());  // pairs
+    ASSERT_NE(quarter, nullptr);
+    EXPECT_EQ(quarter->size(), 2);
+    std::vector<float> buf{static_cast<float>(comm.rank())};
+    quarter->all_reduce(buf, ReduceOp::kSum);
+    // Pairs are (0,1),(2,3),(4,5),(6,7) in world ranks.
+    const int base = (comm.rank() / 2) * 2;
+    EXPECT_EQ(buf[0], static_cast<float>(base + base + 1));
+  });
+}
+
+TEST(SplitTest, AllSameColorClonesCommunicator) {
+  run_ranks(4, [](Communicator& comm) {
+    auto clone = comm.split(0, comm.rank());
+    ASSERT_NE(clone, nullptr);
+    EXPECT_EQ(clone->size(), comm.size());
+    EXPECT_EQ(clone->rank(), comm.rank());
+  });
+}
+
+}  // namespace
+}  // namespace axonn::comm

@@ -1,0 +1,88 @@
+#include "axonn/core/grid4d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "axonn/base/error.hpp"
+#include "axonn/comm/thread_comm.hpp"
+
+namespace axonn::core {
+namespace {
+
+TEST(Grid4DTest, CoordinatesFollowHierarchy) {
+  comm::run_ranks(8, [](comm::Communicator& world) {
+    Grid4D grid(world, sim::GridShape{2, 2, 2, 1});
+    const int r = world.rank();
+    EXPECT_EQ(grid.x(), r % 2);
+    EXPECT_EQ(grid.y(), (r / 2) % 2);
+    EXPECT_EQ(grid.z(), r / 4);
+    EXPECT_EQ(grid.d(), 0);
+  });
+}
+
+TEST(Grid4DTest, PaperEightGpuExample) {
+  // §V-B: with Gx=Gy=Gz=Gdata=2 on 16 ranks... the paper's example uses 8
+  // GPUs for (2,2,2) and describes X pairs (0,1),(2,3),(4,5),(6,7) and Y
+  // pairs (0,2),(1,3),(4,6),(5,7). Verify group membership via collectives.
+  comm::run_ranks(8, [](comm::Communicator& world) {
+    Grid4D grid(world, sim::GridShape{2, 2, 2, 1});
+    std::vector<float> probe{static_cast<float>(world.rank())};
+    grid.x_comm().all_reduce(probe, comm::ReduceOp::kSum);
+    // X pair of r is {r & ~1, r | 1}: sum = 2*(r/2*2) + 1.
+    EXPECT_EQ(probe[0], static_cast<float>(2 * (world.rank() / 2 * 2) + 1));
+
+    std::vector<float> probe_y{static_cast<float>(world.rank())};
+    grid.y_comm().all_reduce(probe_y, comm::ReduceOp::kSum);
+    const int base = (world.rank() / 4) * 4 + world.rank() % 2;
+    EXPECT_EQ(probe_y[0], static_cast<float>(base + base + 2));
+  });
+}
+
+TEST(Grid4DTest, DataGroupsSpanTensorBlocks) {
+  comm::run_ranks(8, [](comm::Communicator& world) {
+    Grid4D grid(world, sim::GridShape{2, 2, 1, 2});
+    EXPECT_EQ(grid.data_comm().size(), 2);
+    // Data peers differ by the full tensor block size (4).
+    std::vector<float> probe{static_cast<float>(world.rank())};
+    grid.data_comm().all_reduce(probe, comm::ReduceOp::kSum);
+    const int peer = world.rank() < 4 ? world.rank() + 4 : world.rank() - 4;
+    EXPECT_EQ(probe[0], static_cast<float>(world.rank() + peer));
+  });
+}
+
+TEST(Grid4DTest, DegenerateDimensionsGiveSizeOneComms) {
+  comm::run_ranks(4, [](comm::Communicator& world) {
+    Grid4D grid(world, sim::GridShape{1, 1, 4, 1});
+    EXPECT_EQ(grid.x_comm().size(), 1);
+    EXPECT_EQ(grid.y_comm().size(), 1);
+    EXPECT_EQ(grid.z_comm().size(), 4);
+    EXPECT_EQ(grid.data_comm().size(), 1);
+    EXPECT_EQ(grid.z(), world.rank());
+  });
+}
+
+TEST(Grid4DTest, ShapeMismatchThrows) {
+  EXPECT_THROW(comm::run_ranks(4,
+                               [](comm::Communicator& world) {
+                                 Grid4D grid(world, sim::GridShape{2, 2, 2, 1});
+                               }),
+               Error);
+}
+
+TEST(Grid4DTest, StatsAggregateAcrossSubcommunicators) {
+  comm::run_ranks(4, [](comm::Communicator& world) {
+    Grid4D grid(world, sim::GridShape{2, 1, 2, 1});
+    std::vector<float> buf(8, 1.0f);
+    grid.x_comm().all_reduce(buf, comm::ReduceOp::kSum);
+    grid.z_comm().all_reduce(buf, comm::ReduceOp::kSum);
+    const auto stats = grid.total_stats();
+    EXPECT_EQ(stats.all_reduce_calls, 2u);
+    EXPECT_GT(stats.wire_bytes_sent, 0u);
+    grid.reset_stats();
+    EXPECT_EQ(grid.total_stats().all_reduce_calls, 0u);
+  });
+}
+
+}  // namespace
+}  // namespace axonn::core

@@ -1,0 +1,100 @@
+#include "axonn/core/kernel_tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axonn/base/error.hpp"
+#include "axonn/base/rng.hpp"
+
+namespace axonn::core {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::randn(rows, cols, rng);
+}
+
+TEST(KernelTunerTest, AllKernelVariantsComputeTheSameProduct) {
+  KernelTuner tuner(1);
+  const Matrix a = random_matrix(7, 5, 1);
+  const Matrix b = random_matrix(5, 9, 2);
+  const Matrix reference = gemm(GemmMode::kNN, a, b);
+  // run() must return the correct product regardless of which kernel wins.
+  const Matrix tuned = tuner.run(GemmMode::kNN, a, b);
+  EXPECT_LT(Matrix::max_abs_diff(tuned, reference), 1e-5f);
+}
+
+TEST(KernelTunerTest, SemanticNTAndTNAreCorrect) {
+  KernelTuner tuner(1);
+  const Matrix a = random_matrix(6, 4, 3);   // used as A in NT: A x B^T
+  const Matrix b = random_matrix(8, 4, 4);
+  const Matrix nt_ref = gemm(GemmMode::kNT, a, b);
+  EXPECT_LT(Matrix::max_abs_diff(tuner.run(GemmMode::kNT, a, b), nt_ref),
+            1e-5f);
+
+  const Matrix c = random_matrix(4, 6, 5);   // A^T x B
+  const Matrix d = random_matrix(4, 7, 6);
+  const Matrix tn_ref = gemm(GemmMode::kTN, c, d);
+  EXPECT_LT(Matrix::max_abs_diff(tuner.run(GemmMode::kTN, c, d), tn_ref),
+            1e-5f);
+}
+
+TEST(KernelTunerTest, DecisionIsCachedPerShape) {
+  KernelTuner tuner(1);
+  const Matrix a = random_matrix(8, 8, 7);
+  const Matrix b = random_matrix(8, 8, 8);
+  EXPECT_EQ(tuner.decisions().size(), 0u);
+  tuner.run(GemmMode::kNN, a, b);
+  EXPECT_EQ(tuner.decisions().size(), 1u);
+  tuner.run(GemmMode::kNN, a, b);  // same shape: no re-tuning
+  EXPECT_EQ(tuner.decisions().size(), 1u);
+  tuner.run(GemmMode::kNT, a, b);  // different semantics: new entry
+  EXPECT_EQ(tuner.decisions().size(), 2u);
+  const Matrix big = random_matrix(16, 8, 9);
+  tuner.run(GemmMode::kNN, big, b);  // different shape: new entry
+  EXPECT_EQ(tuner.decisions().size(), 3u);
+}
+
+TEST(KernelTunerTest, TuneReportsDefaultAndBestTimes) {
+  KernelTuner tuner(2);
+  const Matrix a = random_matrix(32, 32, 10);
+  const Matrix b = random_matrix(32, 32, 11);
+  const auto choice = tuner.tune(GemmMode::kTN, a, b);
+  EXPECT_GT(choice.default_seconds, 0.0);
+  EXPECT_GT(choice.measured_seconds, 0.0);
+  EXPECT_LE(choice.measured_seconds, choice.default_seconds * 1.5);
+  EXPECT_GE(choice.speedup(), 0.5);
+}
+
+TEST(KernelTunerTest, TTIsRejected) {
+  KernelTuner tuner(1);
+  const Matrix a = random_matrix(4, 4, 12);
+  EXPECT_THROW(tuner.tune(GemmMode::kTT, a, a), Error);
+}
+
+TEST(KernelTunerTest, ReportListsDecisions) {
+  KernelTuner tuner(1);
+  const Matrix a = random_matrix(8, 6, 13);
+  const Matrix b = random_matrix(6, 8, 14);
+  tuner.run(GemmMode::kNN, a, b);
+  const auto lines = tuner.report();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("NN"), std::string::npos);
+  EXPECT_NE(lines[0].find("m=8"), std::string::npos);
+}
+
+TEST(KernelTunerTest, RectangularShapesAllModes) {
+  KernelTuner tuner(1);
+  for (GemmMode mode : {GemmMode::kNN, GemmMode::kNT, GemmMode::kTN}) {
+    const bool ta = mode == GemmMode::kTN;
+    const bool tb = mode == GemmMode::kNT;
+    const std::size_t m = 5, k = 11, n = 3;
+    const Matrix a = ta ? random_matrix(k, m, 20) : random_matrix(m, k, 20);
+    const Matrix b = tb ? random_matrix(n, k, 21) : random_matrix(k, n, 21);
+    const Matrix ref = gemm(mode, a, b);
+    EXPECT_LT(Matrix::max_abs_diff(tuner.run(mode, a, b), ref), 1e-5f)
+        << to_string(mode);
+  }
+}
+
+}  // namespace
+}  // namespace axonn::core

@@ -1,0 +1,183 @@
+#include "axonn/perf/comm_model.hpp"
+
+#include "axonn/sim/iteration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axonn/base/error.hpp"
+
+namespace axonn::perf {
+namespace {
+
+sim::MachineConfig flat_machine() {
+  // A machine where every bandwidth is 100 GB/s so the Eq. 1-5 algebra can
+  // be checked by hand without the bandwidth hierarchy interfering.
+  sim::MachineConfig m = sim::frontier();
+  m.intranode_link_bandwidth = 100e9;
+  m.internode_bandwidth = 100e9;
+  m.fabric_sharing = 0.0;
+  return m;
+}
+
+TEST(DimensionBandwidthsTest, HierarchyOrderXYZData) {
+  const auto machine = sim::frontier();
+  const auto db = sim::IntraNodeBandwidthDB::profile(machine);
+  const sim::GridShape grid{2, 2, 2, 2};  // spans 2 nodes of 8
+  const auto beta = dimension_bandwidths(machine, db, grid);
+  EXPECT_DOUBLE_EQ(beta.x, db.lookup(1, 2));
+  EXPECT_DOUBLE_EQ(beta.y, db.lookup(2, 2));
+  EXPECT_DOUBLE_EQ(beta.z, db.lookup(4, 2));
+  EXPECT_DOUBLE_EQ(beta.data, machine.internode_bandwidth / 8.0);
+}
+
+TEST(PredictLayerTest, EquationOneByHand) {
+  // Eq. 1: t = (1/beta) (Gz-1) k n / (Gx Gy Gz), elements are bf16.
+  const sim::GridShape grid{2, 4, 8, 1};
+  DimensionBandwidths beta{100e9, 100e9, 100e9, 100e9};
+  const auto p = predict_layer(1e6, 4096, 16384, false, grid, beta);
+  const double expected_bytes = 2.0 * 7.0 * 4096.0 * 16384.0 / (4 * 2 * 8);
+  EXPECT_NEAR(p.bytes_ag_z, expected_bytes, 1.0);
+  EXPECT_NEAR(p.t_ag_z, expected_bytes / 100e9, 1e-12);
+}
+
+TEST(PredictLayerTest, EquationTwoByHand) {
+  const sim::GridShape grid{2, 4, 8, 1};
+  DimensionBandwidths beta{100e9, 100e9, 100e9, 100e9};
+  const auto p = predict_layer(1e6, 4096, 16384, false, grid, beta);
+  const double expected_bytes = 2.0 * (7.0 / 8.0) * 4096.0 * 16384.0 / (4 * 2);
+  EXPECT_NEAR(p.bytes_rs_z, expected_bytes, 1.0);
+}
+
+TEST(PredictLayerTest, EquationsThreeAndFourByHand) {
+  const sim::GridShape grid{2, 4, 8, 1};
+  DimensionBandwidths beta{50e9, 100e9, 100e9, 100e9};
+  const double m = 1e6, k = 4096, n = 16384;
+  const auto p = predict_layer(m, k, n, false, grid, beta);
+  // Eq. 3 over Y (size 4): 2 * (3/4) * m*n/(Gz*Gx) bytes(bf16).
+  EXPECT_NEAR(p.bytes_ar_fwd, 2.0 * 2.0 * 0.75 * m * n / (8 * 2), 1.0);
+  EXPECT_NEAR(p.t_ar_fwd, p.bytes_ar_fwd / 100e9, 1e-12);
+  // Eq. 4 over X (size 2, beta 50): 2 * (1/2) * m*k/(Gz*Gy).
+  EXPECT_NEAR(p.bytes_ar_bwd, 2.0 * 2.0 * 0.5 * m * k / (8 * 4), 1.0);
+  EXPECT_NEAR(p.t_ar_bwd, p.bytes_ar_bwd / 50e9, 1e-12);
+}
+
+TEST(PredictLayerTest, EquationFiveByHand) {
+  const sim::GridShape grid{2, 4, 8, 16};
+  DimensionBandwidths beta{100e9, 100e9, 100e9, 25e9};
+  const auto p = predict_layer(1e6, 4096, 16384, false, grid, beta);
+  const double expected_bytes =
+      2.0 * 2.0 * (15.0 / 16.0) * 4096.0 * 16384.0 / (2 * 4 * 8);
+  EXPECT_NEAR(p.bytes_ar_data, expected_bytes, 1.0);
+  EXPECT_NEAR(p.t_ar_data, expected_bytes / 25e9, 1e-12);
+}
+
+TEST(PredictLayerTest, DegenerateDimensionsDropTerms) {
+  DimensionBandwidths beta{100e9, 100e9, 100e9, 100e9};
+  // Gz=1: no weight sharding -> no AG/RS.
+  auto p = predict_layer(1e6, 1024, 1024, false, sim::GridShape{4, 2, 1, 2}, beta);
+  EXPECT_EQ(p.t_ag_z, 0.0);
+  EXPECT_EQ(p.t_rs_z, 0.0);
+  // Gx=Gy=1: no tensor all-reduces.
+  p = predict_layer(1e6, 1024, 1024, false, sim::GridShape{1, 1, 8, 2}, beta);
+  EXPECT_EQ(p.t_ar_fwd, 0.0);
+  EXPECT_EQ(p.t_ar_bwd, 0.0);
+  // Gdata=1: no gradient all-reduce.
+  p = predict_layer(1e6, 1024, 1024, false, sim::GridShape{2, 2, 2, 1}, beta);
+  EXPECT_EQ(p.t_ar_data, 0.0);
+}
+
+TEST(PredictLayerTest, TransposedSwapsXAndYRoles) {
+  DimensionBandwidths beta{40e9, 80e9, 100e9, 100e9};
+  const sim::GridShape grid{2, 4, 8, 1};
+  const auto normal = predict_layer(1e6, 4096, 4096, false, grid, beta);
+  const auto transposed = predict_layer(1e6, 4096, 4096, true, grid, beta);
+  // With square weights, swapping roles exchanges fwd and bwd AR terms.
+  EXPECT_NEAR(normal.t_ar_fwd, transposed.t_ar_bwd, 1e-12);
+  EXPECT_NEAR(normal.t_ar_bwd, transposed.t_ar_fwd, 1e-12);
+  // Z-related terms are unaffected.
+  EXPECT_NEAR(normal.t_ag_z, transposed.t_ag_z, 1e-12);
+}
+
+TEST(PredictLayerTest, TotalIsEquationSix) {
+  DimensionBandwidths beta{40e9, 80e9, 100e9, 25e9};
+  const auto p =
+      predict_layer(1e6, 4096, 16384, false, sim::GridShape{2, 4, 8, 4}, beta);
+  EXPECT_NEAR(p.total(),
+              p.t_ag_z + p.t_rs_z + p.t_ar_fwd + p.t_ar_bwd + p.t_ar_data,
+              1e-15);
+}
+
+TEST(PredictCommTimeTest, SumsOverAllLayers) {
+  const auto machine = flat_machine();
+  const auto db = sim::IntraNodeBandwidthDB::profile(machine);
+  model::TrainingJob job{model::gpt_by_name("GPT-5B"), 1.05e6, true};
+  const sim::GridShape grid{2, 2, 2, 4};
+  const double total = predict_comm_time(job, machine, db, grid);
+  EXPECT_GT(total, 0.0);
+  // Doubling the layer count roughly doubles predicted comm time.
+  auto doubled = job;
+  doubled.model.layers *= 2;
+  EXPECT_NEAR(predict_comm_time(doubled, machine, db, grid), 2.0 * total,
+              total * 0.01);
+}
+
+TEST(RankConfigurationsTest, SortedAscending) {
+  const auto machine = sim::frontier();
+  const auto db = sim::IntraNodeBandwidthDB::profile(machine);
+  model::TrainingJob job{model::gpt_by_name("GPT-20B"), 16.8e6, true};
+  const auto ranked = rank_configurations(job, machine, db, 512);
+  ASSERT_GT(ranked.size(), 5u);
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LE(ranked[i - 1].predicted_comm_s, ranked[i].predicted_comm_s);
+  }
+}
+
+TEST(RankConfigurationsTest, MemoryFilterDropsInfeasible) {
+  const auto machine = sim::frontier();
+  const auto db = sim::IntraNodeBandwidthDB::profile(machine);
+  model::TrainingJob job{model::gpt_by_name("GPT-320B"), 16.8e6, true};
+  const auto all = rank_configurations(job, machine, db, 1024, false);
+  const auto feasible = rank_configurations(job, machine, db, 1024, true);
+  EXPECT_LT(feasible.size(), all.size());
+  for (const auto& rc : feasible) {
+    EXPECT_TRUE(rc.memory_feasible);
+    // A 320B model cannot live on a handful of GCDs.
+    EXPECT_GE(rc.grid.tensor(), 64);
+  }
+}
+
+TEST(BestConfigurationTest, ReturnsFeasibleMinimum) {
+  const auto machine = sim::frontier();
+  const auto db = sim::IntraNodeBandwidthDB::profile(machine);
+  model::TrainingJob job{model::gpt_by_name("GPT-20B"), 16.8e6, true};
+  const auto best = best_configuration(job, machine, db, 512);
+  EXPECT_TRUE(best.memory_feasible);
+  const auto ranked = rank_configurations(job, machine, db, 512);
+  EXPECT_EQ(best.grid, ranked.front().grid);
+}
+
+TEST(BestConfigurationTest, ThrowsWhenNothingFits) {
+  const auto machine = sim::frontier();
+  const auto db = sim::IntraNodeBandwidthDB::profile(machine);
+  model::TrainingJob job{model::gpt_by_name("GPT-640B"), 16.8e6, true};
+  EXPECT_THROW(best_configuration(job, machine, db, 8), Error);
+}
+
+TEST(PerfModelRealismTest, BestFeasibleConfigUsesModelParallelism) {
+  // Pure data parallelism cannot even hold a 20B model in one 64 GB GCD;
+  // the best feasible configuration must shard the model, and by the
+  // paper's own equations its communication time cannot exceed pure DP's
+  // (full-Z sharding moves the same 4 bytes/param as the DP all-reduce).
+  const auto machine = sim::frontier();
+  const auto db = sim::IntraNodeBandwidthDB::profile(machine);
+  model::TrainingJob job{model::gpt_by_name("GPT-20B"), 16.8e6, true};
+  const sim::GridShape dp_grid{1, 1, 1, 512};
+  EXPECT_FALSE(sim::fits_in_memory(job, machine, dp_grid));
+  const double dp_only = predict_comm_time(job, machine, db, dp_grid);
+  const auto best = best_configuration(job, machine, db, 512);
+  EXPECT_LE(best.predicted_comm_s, dp_only * (1.0 + 1e-12));
+  EXPECT_GT(best.grid.tensor(), 1);
+}
+
+}  // namespace
+}  // namespace axonn::perf

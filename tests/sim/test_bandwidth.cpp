@@ -1,0 +1,109 @@
+#include "axonn/sim/bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axonn/base/error.hpp"
+
+namespace axonn::sim {
+namespace {
+
+TEST(BandwidthDBTest, ProfilesAllTuplesThatFitInANode) {
+  const auto machine = frontier();  // 8 GPUs per node
+  const auto db = IntraNodeBandwidthDB::profile(machine);
+  // (g0, g1) integers with g0*g1 <= 8: 8+4+2+2+1+1+1+1 = 20 tuples
+  // (non-power-of-two dimensions occur on Alps: 6144 = 3 * 2^11).
+  EXPECT_EQ(db.num_entries(), 20u);
+  EXPECT_TRUE(db.contains(1, 8));
+  EXPECT_TRUE(db.contains(4, 2));
+  EXPECT_TRUE(db.contains(1, 3));
+  EXPECT_FALSE(db.contains(4, 4));  // spans 16 > 8
+}
+
+TEST(BandwidthDBTest, MissingTupleThrows) {
+  const auto db = IntraNodeBandwidthDB::profile(perlmutter());
+  EXPECT_THROW(db.lookup(8, 1), Error);  // 8 > 4 GPUs/node
+}
+
+TEST(BandwidthDBTest, ConcurrentRingsDegradeBandwidth) {
+  const auto machine = frontier();
+  const auto db = IntraNodeBandwidthDB::profile(machine);
+  // More preceding groups -> more simultaneous rings -> lower bandwidth.
+  EXPECT_GT(db.lookup(1, 8), db.lookup(2, 4));
+  EXPECT_GT(db.lookup(2, 4), db.lookup(4, 2));
+}
+
+TEST(BandwidthDBTest, CustomMeasureIsUsed) {
+  const auto machine = perlmutter();
+  const auto db = IntraNodeBandwidthDB::profile(
+      machine, [](int g0, int g1) { return 1000.0 * g0 + g1; });
+  EXPECT_DOUBLE_EQ(db.lookup(2, 2), 2002.0);
+}
+
+TEST(BandwidthDBTest, SyntheticMeasureMatchesFormula) {
+  const auto machine = frontier();
+  EXPECT_DOUBLE_EQ(IntraNodeBandwidthDB::synthetic_measure(machine, 1, 8),
+                   machine.intranode_link_bandwidth);
+  EXPECT_DOUBLE_EQ(
+      IntraNodeBandwidthDB::synthetic_measure(machine, 4, 2),
+      machine.intranode_link_bandwidth / (1.0 + machine.fabric_sharing * 3.0));
+}
+
+TEST(EffectiveBandwidthTest, IntraNodeUsesDatabase) {
+  const auto machine = frontier();
+  const auto db = IntraNodeBandwidthDB::profile(machine);
+  EXPECT_DOUBLE_EQ(effective_bandwidth(machine, db, 1, 8), db.lookup(1, 8));
+  EXPECT_DOUBLE_EQ(effective_bandwidth(machine, db, 2, 4), db.lookup(2, 4));
+}
+
+TEST(EffectiveBandwidthTest, Equation7SingleRingGetsFullInterNode) {
+  // Fig. 3 scenario: preceding product 1, group spans nodes -> beta_inter.
+  const auto machine = frontier();
+  const auto db = IntraNodeBandwidthDB::profile(machine);
+  EXPECT_DOUBLE_EQ(effective_bandwidth(machine, db, 1, 16),
+                   machine.internode_bandwidth);
+}
+
+TEST(EffectiveBandwidthTest, Equation7SharesAcrossRings) {
+  // Fig. 4 scenario: two simultaneous rings between node pairs share
+  // beta_inter.
+  const auto machine = frontier();
+  const auto db = IntraNodeBandwidthDB::profile(machine);
+  EXPECT_DOUBLE_EQ(effective_bandwidth(machine, db, 2, 16),
+                   machine.internode_bandwidth / 2.0);
+  EXPECT_DOUBLE_EQ(effective_bandwidth(machine, db, 4, 16),
+                   machine.internode_bandwidth / 4.0);
+}
+
+TEST(EffectiveBandwidthTest, Equation7CapsAtGPUsPerNode) {
+  // "there can't be more inter-node ring links than GPUs on a node".
+  const auto machine = frontier();  // 8 per node
+  const auto db = IntraNodeBandwidthDB::profile(machine);
+  EXPECT_DOUBLE_EQ(effective_bandwidth(machine, db, 64, 16),
+                   machine.internode_bandwidth / 8.0);
+  EXPECT_DOUBLE_EQ(effective_bandwidth(machine, db, 1024, 2),
+                   machine.internode_bandwidth / 8.0);
+}
+
+TEST(EffectiveBandwidthTest, SizeOneGroupIsHarmless) {
+  const auto machine = perlmutter();
+  const auto db = IntraNodeBandwidthDB::profile(machine);
+  EXPECT_GT(effective_bandwidth(machine, db, 1024, 1), 0.0);
+}
+
+TEST(EffectiveBandwidthTest, HierarchyExampleFromPaper) {
+  // The paper's 8-GPU example with Gx=Gy=Gz=Gdata=2 on 4-GPU nodes:
+  // X groups (preceding 1, size 2) and Y groups (preceding 2, size 2) are
+  // intra-node; Z groups (preceding 4, size 2) and data groups (preceding 8,
+  // size 2) cross node boundaries.
+  const auto machine = perlmutter();  // 4 GPUs/node
+  const auto db = IntraNodeBandwidthDB::profile(machine);
+  EXPECT_DOUBLE_EQ(effective_bandwidth(machine, db, 1, 2), db.lookup(1, 2));
+  EXPECT_DOUBLE_EQ(effective_bandwidth(machine, db, 2, 2), db.lookup(2, 2));
+  EXPECT_DOUBLE_EQ(effective_bandwidth(machine, db, 4, 2),
+                   machine.internode_bandwidth / 4.0);
+  EXPECT_DOUBLE_EQ(effective_bandwidth(machine, db, 8, 2),
+                   machine.internode_bandwidth / 4.0);
+}
+
+}  // namespace
+}  // namespace axonn::sim

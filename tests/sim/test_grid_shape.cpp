@@ -1,0 +1,83 @@
+#include "axonn/sim/grid_shape.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace axonn::sim {
+namespace {
+
+TEST(GridShapeTest, TotalsAndPreceding) {
+  const GridShape g{2, 4, 8, 16};
+  EXPECT_EQ(g.tensor(), 64);
+  EXPECT_EQ(g.total(), 1024);
+  EXPECT_EQ(g.preceding(0), 1);
+  EXPECT_EQ(g.preceding(1), 2);
+  EXPECT_EQ(g.preceding(2), 8);
+  EXPECT_EQ(g.preceding(3), 64);
+  EXPECT_EQ(g.dim(0), 2);
+  EXPECT_EQ(g.dim(3), 16);
+}
+
+TEST(GridShapeTest, ToStringReadable) {
+  EXPECT_EQ((GridShape{2, 2, 2, 2}).to_string(), "(2x2x2, d=2)");
+}
+
+TEST(EnumerateGridsTest, CountIsStarsAndBars) {
+  // Ordered power-of-two factorizations of 2^k into 4 factors: C(k+3, 3).
+  EXPECT_EQ(enumerate_grids(1).size(), 1u);
+  EXPECT_EQ(enumerate_grids(2).size(), 4u);
+  EXPECT_EQ(enumerate_grids(4).size(), 10u);
+  EXPECT_EQ(enumerate_grids(8).size(), 20u);
+  EXPECT_EQ(enumerate_grids(32).size(), 56u);   // GPT-20B validation run
+  EXPECT_EQ(enumerate_grids(64).size(), 84u);   // GPT-40B validation run
+}
+
+TEST(EnumerateGridsTest, EveryGridMultipliesToTotal) {
+  for (const auto& g : enumerate_grids(64)) {
+    EXPECT_EQ(g.total(), 64);
+    EXPECT_GE(g.gx, 1);
+    EXPECT_GE(g.gy, 1);
+    EXPECT_GE(g.gz, 1);
+    EXPECT_GE(g.gdata, 1);
+  }
+}
+
+TEST(EnumerateGridsTest, NoDuplicates) {
+  const auto grids = enumerate_grids(128);
+  std::set<std::tuple<int, int, int, int>> seen;
+  for (const auto& g : grids) {
+    EXPECT_TRUE(seen.insert({g.gx, g.gy, g.gz, g.gdata}).second);
+  }
+}
+
+TEST(EnumerateGridsTest, NonPowerOfTwoCountsSupported) {
+  // Alps runs at 6144 = 3 * 2^11 GPUs; ordered factorizations into four
+  // factors of 2^a*3^b: C(a+3,3)*C(b+3,3) = C(14,3)*C(4,3) = 364 * 4.
+  EXPECT_EQ(enumerate_grids(6144).size(), 1456u);
+  for (const auto& g : enumerate_grids(24)) {
+    EXPECT_EQ(g.total(), 24);
+  }
+  EXPECT_THROW(enumerate_grids(0), Error);
+}
+
+TEST(DegenerateGridsTest, ReductionsOfSectionVA) {
+  // Only-Z == FSDP / ZeRO-3.
+  const GridShape fsdp = fsdp_grid(16);
+  EXPECT_EQ(fsdp.gz, 16);
+  EXPECT_EQ(fsdp.gx * fsdp.gy * fsdp.gdata, 1);
+  // Z + data == hybrid sharded DP / ZeRO++.
+  const GridShape hybrid = hybrid_sharded_grid(8, 4);
+  EXPECT_EQ(hybrid.gz, 8);
+  EXPECT_EQ(hybrid.gdata, 4);
+  // X + transpose == Megatron-LM tensor parallelism.
+  const GridShape mega = megatron_grid(8, 64);
+  EXPECT_EQ(mega.gx, 8);
+  EXPECT_EQ(mega.gdata, 64);
+  EXPECT_EQ(mega.gy * mega.gz, 1);
+  // Pure DP.
+  EXPECT_EQ(pure_data_parallel_grid(32).gdata, 32);
+}
+
+}  // namespace
+}  // namespace axonn::sim

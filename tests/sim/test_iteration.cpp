@@ -1,0 +1,177 @@
+#include "axonn/sim/iteration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axonn/model/gpt.hpp"
+
+namespace axonn::sim {
+namespace {
+
+model::TrainingJob job_20b() {
+  return model::TrainingJob{model::gpt_by_name("GPT-20B"), 16.8e6, true};
+}
+
+TEST(CollectiveCostTest, SingleRankIsFree) {
+  const auto c = ring_collective_cost(CollectiveKind::kAllReduce, 1, 1e9,
+                                      100e9, 10e-6);
+  EXPECT_EQ(c.seconds, 0.0);
+  EXPECT_EQ(c.steps, 0);
+}
+
+TEST(CollectiveCostTest, AllGatherMatchesRingFormula) {
+  const auto c = ring_collective_cost(CollectiveKind::kAllGather, 4, 4e9,
+                                      100e9, 0.0);
+  // (p-1)/p * n / beta = 3/4 * 4 GB / 100 GB/s = 30 ms.
+  EXPECT_NEAR(c.seconds, 0.030, 1e-9);
+  EXPECT_EQ(c.steps, 3);
+  EXPECT_DOUBLE_EQ(c.wire_bytes_per_rank, 3e9);
+}
+
+TEST(CollectiveCostTest, AllReduceIsTwiceReduceScatter) {
+  const auto ar = ring_collective_cost(CollectiveKind::kAllReduce, 8, 1e9,
+                                       50e9, 0.0);
+  const auto rs = ring_collective_cost(CollectiveKind::kReduceScatter, 8, 1e9,
+                                       50e9, 0.0);
+  EXPECT_NEAR(ar.seconds, 2.0 * rs.seconds, 1e-12);
+  EXPECT_EQ(ar.steps, 2 * rs.steps);
+}
+
+TEST(CollectiveCostTest, LatencyAddsPerStep) {
+  const auto without = ring_collective_cost(CollectiveKind::kAllGather, 4,
+                                            1e6, 100e9, 0.0);
+  const auto with = ring_collective_cost(CollectiveKind::kAllGather, 4, 1e6,
+                                         100e9, 1e-5);
+  EXPECT_NEAR(with.seconds - without.seconds, 3e-5, 1e-12);
+}
+
+TEST(FitsInMemoryTest, BigModelNeedsSharding) {
+  const auto machine = frontier();
+  const auto job = job_20b();
+  // 20B params: 16 bytes/param of states alone is 320 GB — one 64 GB GCD
+  // cannot hold it, 512 GCDs with 3D sharding can.
+  EXPECT_FALSE(fits_in_memory(job, machine, GridShape{1, 1, 1, 1}));
+  EXPECT_TRUE(fits_in_memory(job, machine, GridShape{8, 4, 16, 1}));
+}
+
+TEST(SimulateIterationTest, ProducesConsistentBreakdown) {
+  const auto machine = frontier();
+  const auto db = IntraNodeBandwidthDB::profile(machine);
+  const GridShape grid{4, 2, 8, 8};  // 512 GCDs
+  const auto b = simulate_iteration(job_20b(), machine, db, grid);
+  EXPECT_GT(b.total_s, 0.0);
+  EXPECT_GT(b.compute_s, 0.0);
+  EXPECT_GE(b.exposed_comm_s, 0.0);
+  EXPECT_NEAR(b.total_s, b.compute_s + b.exposed_comm_s, 1e-9);
+  EXPECT_GT(b.num_tasks, 100u);
+}
+
+TEST(SimulateIterationTest, OverlapNeverHurts) {
+  const auto machine = frontier();
+  const auto db = IntraNodeBandwidthDB::profile(machine);
+  const GridShape grid{4, 2, 8, 8};
+  SimOptions none;
+  none.overlap = OverlapFlags::none();
+  SimOptions all;
+  all.overlap = OverlapFlags::all();
+  const auto t_none = simulate_iteration(job_20b(), machine, db, grid, none);
+  const auto t_all = simulate_iteration(job_20b(), machine, db, grid, all);
+  EXPECT_LE(t_all.total_s, t_none.total_s * (1.0 + 1e-9));
+  // Compute work is unchanged; only exposure shrinks (Fig. 5's key message).
+  EXPECT_NEAR(t_all.compute_s, t_none.compute_s, t_none.compute_s * 1e-6);
+  EXPECT_LT(t_all.exposed_comm_s, t_none.exposed_comm_s);
+}
+
+TEST(SimulateIterationTest, SuccessiveOverlapsMonotone) {
+  // Fig. 5: baseline -> +OAR -> +ORS -> +OAG, each step reduces (or keeps)
+  // the batch time.
+  const auto machine = frontier();
+  const auto db = IntraNodeBandwidthDB::profile(machine);
+  const GridShape grid{4, 2, 8, 8};
+  SimOptions opts;
+  opts.overlap = OverlapFlags::none();
+  const double t0 = simulate_iteration(job_20b(), machine, db, grid, opts).total_s;
+  opts.overlap.all_reduce = true;
+  const double t1 = simulate_iteration(job_20b(), machine, db, grid, opts).total_s;
+  opts.overlap.reduce_scatter = true;
+  const double t2 = simulate_iteration(job_20b(), machine, db, grid, opts).total_s;
+  opts.overlap.all_gather = true;
+  const double t3 = simulate_iteration(job_20b(), machine, db, grid, opts).total_s;
+  EXPECT_LE(t1, t0 * (1 + 1e-9));
+  EXPECT_LE(t2, t1 * (1 + 1e-9));
+  EXPECT_LE(t3, t2 * (1 + 1e-9));
+  EXPECT_LT(t3, t0);  // the combination must actually help
+}
+
+TEST(SimulateIterationTest, KernelTuningHelpsOnFrontier320B) {
+  // §V-C: GPT-320B's TN matmuls hit the rocBLAS quirk; tuning must cut
+  // compute time substantially (paper: 30.1 s -> 13.19 s).
+  const auto machine = frontier();
+  const auto db = IntraNodeBandwidthDB::profile(machine);
+  model::TrainingJob job{model::gpt_by_name("GPT-320B"), 16.8e6, true};
+  const GridShape grid{8, 8, 8, 64};  // 32768 GCDs
+  SimOptions untuned;
+  untuned.kernel_tuning = false;
+  SimOptions tuned;
+  tuned.kernel_tuning = true;
+  const auto a = simulate_iteration(job, machine, db, grid, untuned);
+  const auto b = simulate_iteration(job, machine, db, grid, tuned);
+  EXPECT_LT(b.compute_s, a.compute_s * 0.7);
+}
+
+TEST(SimulateIterationTest, KernelTuningModestForSmallModels) {
+  // Fig. 7: tuning gains are 2-4% for the 5B-80B series.
+  const auto machine = frontier();
+  const auto db = IntraNodeBandwidthDB::profile(machine);
+  const GridShape grid{4, 2, 8, 8};
+  SimOptions untuned;
+  SimOptions tuned;
+  tuned.kernel_tuning = true;
+  const auto a = simulate_iteration(job_20b(), machine, db, grid, untuned);
+  const auto b = simulate_iteration(job_20b(), machine, db, grid, tuned);
+  EXPECT_LE(b.total_s, a.total_s);
+  EXPECT_GT(b.total_s, a.total_s * 0.80);  // not a dramatic win
+}
+
+TEST(SimulateIterationTest, NoiseIsDeterministicPerSeed) {
+  const auto machine = perlmutter();
+  const auto db = IntraNodeBandwidthDB::profile(machine);
+  const GridShape grid{2, 2, 2, 4};
+  model::TrainingJob job{model::gpt_by_name("GPT-5B"), 1.05e6, true};
+  SimOptions opts;
+  opts.noise_sigma = 0.05;
+  opts.noise_seed = 7;
+  const auto a = simulate_iteration(job, machine, db, grid, opts);
+  const auto b = simulate_iteration(job, machine, db, grid, opts);
+  EXPECT_DOUBLE_EQ(a.total_s, b.total_s);
+  opts.noise_seed = 8;
+  const auto c = simulate_iteration(job, machine, db, grid, opts);
+  EXPECT_NE(a.total_s, c.total_s);
+}
+
+TEST(SimulateIterationTest, MoreDataParallelismCutsActivationComm) {
+  // With fixed total GPUs, trading tensor for data parallelism reduces
+  // per-group activation traffic but adds gradient all-reduce volume — both
+  // configurations must at least be simulable and differ.
+  const auto machine = frontier();
+  const auto db = IntraNodeBandwidthDB::profile(machine);
+  const auto t1 =
+      simulate_iteration(job_20b(), machine, db, GridShape{8, 8, 8, 1});
+  const auto t2 =
+      simulate_iteration(job_20b(), machine, db, GridShape{4, 2, 8, 8});
+  EXPECT_NE(t1.total_s, t2.total_s);
+}
+
+TEST(SimulateIterationTest, CheckpointingAddsRecompute) {
+  const auto machine = frontier();
+  const auto db = IntraNodeBandwidthDB::profile(machine);
+  const GridShape grid{4, 2, 8, 8};
+  auto with = job_20b();
+  auto without = job_20b();
+  without.activation_checkpointing = false;
+  const auto a = simulate_iteration(with, machine, db, grid);
+  const auto b = simulate_iteration(without, machine, db, grid);
+  EXPECT_GT(a.compute_s, b.compute_s * 1.2);  // ~4/3 of the GEMM work
+}
+
+}  // namespace
+}  // namespace axonn::sim

@@ -1,0 +1,108 @@
+#include "axonn/sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axonn/base/error.hpp"
+
+namespace axonn::sim {
+namespace {
+
+TEST(MachineTest, PaperPublishedPeaks) {
+  EXPECT_DOUBLE_EQ(perlmutter().advertised_peak_flops, 312e12);
+  EXPECT_DOUBLE_EQ(perlmutter().empirical_peak_flops, 280e12);
+  EXPECT_DOUBLE_EQ(frontier().advertised_peak_flops, 191.5e12);
+  EXPECT_DOUBLE_EQ(frontier().empirical_peak_flops, 125e12);
+  EXPECT_DOUBLE_EQ(alps().advertised_peak_flops, 989e12);
+  EXPECT_DOUBLE_EQ(alps().empirical_peak_flops, 813e12);
+}
+
+TEST(MachineTest, NodeShapes) {
+  EXPECT_EQ(perlmutter().gpus_per_node, 4);
+  EXPECT_EQ(frontier().gpus_per_node, 8);  // 4 MI250X = 8 GCDs
+  EXPECT_EQ(alps().gpus_per_node, 4);
+}
+
+TEST(MachineTest, AllNodesHaveFourSlingshot11NICs) {
+  for (const auto& machine : all_machines()) {
+    EXPECT_DOUBLE_EQ(machine.internode_bandwidth, 100e9) << machine.name;
+  }
+}
+
+TEST(MachineTest, LookupByName) {
+  EXPECT_EQ(machine_by_name("Frontier").gpus_per_node, 8);
+  EXPECT_THROW(machine_by_name("Summit"), Error);
+}
+
+TEST(GemmEfficiencyTest, GrowsWithSizeAndSaturates) {
+  const auto machine = perlmutter();
+  const double small = machine.gemm.efficiency(GemmMode::kNN, 512, 512, 512);
+  const double medium = machine.gemm.efficiency(GemmMode::kNN, 4096, 4096, 4096);
+  const double large =
+      machine.gemm.efficiency(GemmMode::kNN, 32768, 32768, 32768);
+  EXPECT_LT(small, medium);
+  EXPECT_LT(medium, large);
+  EXPECT_LE(large, machine.gemm.peak_fraction);
+  // §VI-C: ~90% of advertised peak at 32768^2 on Perlmutter.
+  EXPECT_NEAR(large, 280.0 / 312.0, 0.05);
+}
+
+TEST(GemmEfficiencyTest, FrontierLargeSquareHitsSixtyFivePercent) {
+  const auto machine = frontier();
+  const double eff =
+      machine.gemm.efficiency(GemmMode::kNN, 32768, 32768, 32768);
+  EXPECT_NEAR(eff, 125.0 / 191.5, 0.05);
+}
+
+TEST(GemmEfficiencyTest, ModePenaltiesOrderNNBest) {
+  const auto machine = frontier();
+  const double nn = machine.gemm.efficiency(GemmMode::kNN, 8192, 8192, 8192);
+  const double nt = machine.gemm.efficiency(GemmMode::kNT, 8192, 8192, 8192);
+  const double tn = machine.gemm.efficiency(GemmMode::kTN, 8192, 8192, 8192);
+  EXPECT_GT(nn, nt);
+  EXPECT_GT(nt, tn);
+}
+
+TEST(GemmEfficiencyTest, FrontierTNQuirkAtLargeHidden) {
+  // §V-C: TN collapses to 6% of peak on MI250X for GPT-320B-scale matmuls,
+  // while NN stays healthy — an ~8x gap the kernel tuner must fix.
+  const auto machine = frontier();
+  const double tn =
+      machine.gemm.efficiency(GemmMode::kTN, 16384, 16384, 524288);
+  EXPECT_DOUBLE_EQ(tn, 0.06);
+  const double nn =
+      machine.gemm.efficiency(GemmMode::kNN, 16384, 16384, 524288);
+  EXPECT_GT(nn / tn, 7.0);
+  // The quirk does not fire for smaller shapes.
+  const double tn_small =
+      machine.gemm.efficiency(GemmMode::kTN, 8192, 8192, 8192);
+  EXPECT_GT(tn_small, 0.2);
+}
+
+TEST(GemmEfficiencyTest, PerlmutterHasNoTNQuirk) {
+  const auto machine = perlmutter();
+  const double tn =
+      machine.gemm.efficiency(GemmMode::kTN, 16384, 16384, 524288);
+  EXPECT_GT(tn, 0.5);
+}
+
+TEST(GemmSecondsTest, ConsistentWithFlopsAndEfficiency) {
+  const auto machine = perlmutter();
+  const std::uint64_t d = 8192;
+  const double eff = machine.gemm.efficiency(GemmMode::kNN, d, d, d);
+  const double expected = 2.0 * static_cast<double>(d) * d * d /
+                          (machine.advertised_peak_flops * eff);
+  EXPECT_NEAR(machine.gemm_seconds(GemmMode::kNN, d, d, d), expected, 1e-12);
+}
+
+TEST(GemmSecondsTest, FrontierTunerWinEightX) {
+  // The §V-C anecdote: switching the pathological TN matmul to NN makes it
+  // nearly 8x faster.
+  const auto machine = frontier();
+  const double tn = machine.gemm_seconds(GemmMode::kTN, 16384, 16384, 65536);
+  const double nn = machine.gemm_seconds(GemmMode::kNN, 16384, 16384, 65536);
+  EXPECT_GT(tn / nn, 7.0);
+  EXPECT_LT(tn / nn, 12.0);
+}
+
+}  // namespace
+}  // namespace axonn::sim

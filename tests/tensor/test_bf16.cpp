@@ -1,0 +1,75 @@
+#include "axonn/tensor/bf16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace axonn {
+namespace {
+
+TEST(Bf16Test, ExactValuesRoundTrip) {
+  // Values with <= 8 significant mantissa bits are exactly representable.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 96.0f, -0.25f, 1.5f}) {
+    EXPECT_EQ(Bf16(v).to_float(), v) << v;
+  }
+}
+
+TEST(Bf16Test, RoundToNearestEven) {
+  // 1 + 2^-8 lies exactly between bf16 neighbours 1.0 and 1 + 2^-7;
+  // ties round to even mantissa, which is 1.0.
+  const float tie = 1.0f + std::ldexp(1.0f, -8);
+  EXPECT_EQ(bf16_round(tie), 1.0f);
+  // Just above the tie rounds up.
+  const float above = 1.0f + std::ldexp(1.0f, -8) + std::ldexp(1.0f, -12);
+  EXPECT_EQ(bf16_round(above), 1.0f + std::ldexp(1.0f, -7));
+}
+
+TEST(Bf16Test, RelativeErrorBounded) {
+  // Max relative rounding error for bf16 is 2^-8.
+  for (float v : {3.14159f, 2.71828f, 1e10f, 1e-10f, 123456.789f}) {
+    const float r = bf16_round(v);
+    EXPECT_LE(std::fabs(r - v) / std::fabs(v), std::ldexp(1.0f, -8)) << v;
+  }
+}
+
+TEST(Bf16Test, PreservesSign) {
+  EXPECT_LT(bf16_round(-3.7f), 0.0f);
+  EXPECT_GT(bf16_round(3.7f), 0.0f);
+  EXPECT_TRUE(std::signbit(Bf16(-0.0f).to_float()));
+}
+
+TEST(Bf16Test, InfinityPassesThrough) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(Bf16(inf).to_float(), inf);
+  EXPECT_EQ(Bf16(-inf).to_float(), -inf);
+}
+
+TEST(Bf16Test, NanStaysNan) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(Bf16(nan).to_float()));
+}
+
+TEST(Bf16Test, SameDynamicRangeAsFp32) {
+  // The paper picks bf16 over fp16 because it keeps the fp32 exponent range.
+  const float big = 1e38f;
+  EXPECT_FALSE(std::isinf(bf16_round(big)));
+  const float tiny = 1e-38f;
+  EXPECT_GT(bf16_round(tiny), 0.0f);
+}
+
+TEST(Bf16Test, BitsAccessors) {
+  const Bf16 one(1.0f);
+  EXPECT_EQ(one.bits(), 0x3F80);
+  EXPECT_EQ(Bf16::from_bits(0x3F80).to_float(), 1.0f);
+  EXPECT_EQ(Bf16::from_bits(one.bits()), one);
+}
+
+TEST(Bf16Test, LargeMagnitudeRoundingCarriesIntoExponent) {
+  // Rounding up the mantissa of 255.75 (0x437F C000...) carries into the
+  // exponent: nearest bf16 is 256.
+  EXPECT_EQ(bf16_round(255.75f), 256.0f);
+}
+
+}  // namespace
+}  // namespace axonn

@@ -1,0 +1,129 @@
+#include "axonn/tensor/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axonn/base/error.hpp"
+#include "axonn/base/rng.hpp"
+
+namespace axonn {
+namespace {
+
+Matrix iota(std::size_t rows, std::size_t cols) {
+  Matrix m(rows, cols);
+  float v = 0.0f;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = v++;
+    }
+  }
+  return m;
+}
+
+TEST(MatrixTest, ConstructionAndShape) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_EQ(m(2, 3), 0.0f);
+}
+
+TEST(MatrixTest, IdentityHasOnesOnDiagonal) {
+  const Matrix eye = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(eye(r, c), r == c ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(MatrixTest, BlockExtraction) {
+  const Matrix m = iota(4, 4);
+  const Matrix b = m.block(Range{1, 3}, Range{2, 4});
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_EQ(b.cols(), 2u);
+  EXPECT_EQ(b(0, 0), m(1, 2));
+  EXPECT_EQ(b(1, 1), m(2, 3));
+}
+
+TEST(MatrixTest, SetBlockWritesBack) {
+  Matrix m = Matrix::zeros(4, 4);
+  Matrix b = Matrix::full(2, 2, 7.0f);
+  m.set_block(Range{1, 3}, Range{1, 3}, b);
+  EXPECT_EQ(m(1, 1), 7.0f);
+  EXPECT_EQ(m(2, 2), 7.0f);
+  EXPECT_EQ(m(0, 0), 0.0f);
+  EXPECT_EQ(m(3, 3), 0.0f);
+}
+
+TEST(MatrixTest, SetBlockShapeMismatchThrows) {
+  Matrix m(4, 4);
+  Matrix b(3, 3);
+  EXPECT_THROW(m.set_block(Range{0, 2}, Range{0, 2}, b), Error);
+}
+
+TEST(MatrixTest, GridBlocksTileTheMatrix) {
+  const Matrix m = iota(5, 7);  // deliberately non-divisible
+  Matrix rebuilt(5, 7);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const Matrix b = m.grid_block(2, 3, i, j);
+      rebuilt.set_block(chunk_range(5, 2, i), chunk_range(7, 3, j), b);
+    }
+  }
+  EXPECT_EQ(Matrix::max_abs_diff(m, rebuilt), 0.0f);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Rng rng(5);
+  const Matrix m = Matrix::randn(3, 5, rng);
+  EXPECT_EQ(Matrix::max_abs_diff(m.transposed().transposed(), m), 0.0f);
+  EXPECT_EQ(m.transposed()(4, 2), m(2, 4));
+}
+
+TEST(MatrixTest, AddAndAxpy) {
+  Matrix a = Matrix::full(2, 2, 1.0f);
+  const Matrix b = Matrix::full(2, 2, 2.0f);
+  a.add_inplace(b);
+  EXPECT_EQ(a(0, 0), 3.0f);
+  a.axpy_inplace(0.5f, b);
+  EXPECT_EQ(a(1, 1), 4.0f);
+  a.scale_inplace(0.25f);
+  EXPECT_EQ(a(0, 1), 1.0f);
+}
+
+TEST(MatrixTest, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.add_inplace(b), Error);
+  EXPECT_THROW(Matrix::max_abs_diff(a, b), Error);
+}
+
+TEST(MatrixTest, MaxAbsAndSum) {
+  Matrix m(2, 2);
+  m(0, 0) = -5.0f;
+  m(1, 1) = 3.0f;
+  EXPECT_EQ(m.max_abs(), 5.0f);
+  EXPECT_DOUBLE_EQ(m.sum(), -2.0);
+}
+
+TEST(MatrixTest, RandnIsSeeded) {
+  Rng rng1(9);
+  Rng rng2(9);
+  const Matrix a = Matrix::randn(4, 4, rng1);
+  const Matrix b = Matrix::randn(4, 4, rng2);
+  EXPECT_EQ(Matrix::max_abs_diff(a, b), 0.0f);
+}
+
+TEST(MatrixTest, RoundToBf16LosesAtMostRelative2e8) {
+  Rng rng(13);
+  Matrix m = Matrix::randn(8, 8, rng);
+  const Matrix orig = m;
+  m.round_to_bf16();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const float o = orig.data()[i];
+    EXPECT_LE(std::abs(m.data()[i] - o), std::abs(o) * 0.00391f);
+  }
+}
+
+}  // namespace
+}  // namespace axonn

@@ -1,0 +1,217 @@
+#include "axonn/tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "axonn/base/rng.hpp"
+
+namespace axonn {
+namespace {
+
+// Central finite difference of a scalar function of one matrix entry.
+template <typename F>
+float numerical_grad(F&& f, Matrix& x, std::size_t r, std::size_t c,
+                     float eps = 1e-3f) {
+  const float orig = x(r, c);
+  x(r, c) = orig + eps;
+  const float fp = f();
+  x(r, c) = orig - eps;
+  const float fm = f();
+  x(r, c) = orig;
+  return (fp - fm) / (2.0f * eps);
+}
+
+TEST(GeluTest, KnownValues) {
+  EXPECT_NEAR(gelu(0.0f), 0.0f, 1e-7f);
+  EXPECT_NEAR(gelu(100.0f), 100.0f, 1e-4f);   // saturates to identity
+  EXPECT_NEAR(gelu(-100.0f), 0.0f, 1e-4f);    // saturates to zero
+  EXPECT_NEAR(gelu(1.0f), 0.8412f, 1e-3f);    // published value
+}
+
+TEST(GeluTest, GradMatchesFiniteDifference) {
+  for (float x : {-3.0f, -1.0f, -0.1f, 0.0f, 0.5f, 2.0f, 4.0f}) {
+    const float eps = 1e-3f;
+    const float numeric = (gelu(x + eps) - gelu(x - eps)) / (2 * eps);
+    EXPECT_NEAR(gelu_grad(x), numeric, 1e-3f) << x;
+  }
+}
+
+TEST(GeluTest, MatrixFormMatchesScalar) {
+  Rng rng(2);
+  const Matrix x = Matrix::randn(3, 4, rng);
+  const Matrix y = gelu(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(y.data()[i], gelu(x.data()[i]));
+  }
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(4);
+  const Matrix logits = Matrix::randn(5, 9, rng, 0.0f, 3.0f);
+  const Matrix p = softmax_rows(logits);
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < p.cols(); ++c) {
+      EXPECT_GT(p(r, c), 0.0f);
+      sum += p(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(SoftmaxTest, StableForHugeLogits) {
+  Matrix logits(1, 3);
+  logits(0, 0) = 1e4f;
+  logits(0, 1) = 1e4f - 1.0f;
+  logits(0, 2) = -1e4f;
+  const Matrix p = softmax_rows(logits);
+  EXPECT_FALSE(std::isnan(p(0, 0)));
+  EXPECT_GT(p(0, 0), p(0, 1));
+  EXPECT_NEAR(p(0, 2), 0.0f, 1e-6f);
+}
+
+TEST(SoftmaxTest, BackwardMatchesFiniteDifference) {
+  Rng rng(8);
+  Matrix x = Matrix::randn(2, 4, rng);
+  // Scalar objective: sum of softmax output weighted by fixed coefficients.
+  Matrix w = Matrix::randn(2, 4, rng);
+  auto objective = [&] {
+    const Matrix y = softmax_rows(x);
+    float total = 0.0f;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      total += y.data()[i] * w.data()[i];
+    }
+    return total;
+  };
+  const Matrix y = softmax_rows(x);
+  const Matrix dx = softmax_rows_backward(w, y);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(dx(r, c), numerical_grad(objective, x, r, c), 2e-3f);
+    }
+  }
+}
+
+TEST(LayerNormTest, OutputIsNormalizedWithUnitGamma) {
+  Rng rng(6);
+  const Matrix x = Matrix::randn(4, 16, rng, 5.0f, 3.0f);
+  std::vector<float> gamma(16, 1.0f);
+  std::vector<float> beta(16, 0.0f);
+  LayerNormCache cache;
+  const Matrix y = layernorm(x, gamma, beta, cache);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (std::size_t c = 0; c < y.cols(); ++c) mean += y(r, c);
+    mean /= 16.0;
+    for (std::size_t c = 0; c < y.cols(); ++c) {
+      var += (y(r, c) - mean) * (y(r, c) - mean);
+    }
+    var /= 16.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNormTest, GammaBetaApplied) {
+  const Matrix x = Matrix::full(1, 4, 2.0f);  // zero variance rows
+  std::vector<float> gamma{1.0f, 2.0f, 3.0f, 4.0f};
+  std::vector<float> beta{0.5f, 0.5f, 0.5f, 0.5f};
+  LayerNormCache cache;
+  const Matrix y = layernorm(x, gamma, beta, cache);
+  // normalized value is 0 everywhere, so output == beta.
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(y(0, c), 0.5f, 1e-5f);
+  }
+}
+
+TEST(LayerNormTest, BackwardMatchesFiniteDifference) {
+  Rng rng(10);
+  Matrix x = Matrix::randn(2, 6, rng);
+  std::vector<float> gamma{1.1f, 0.9f, 1.3f, 0.7f, 1.0f, 1.2f};
+  std::vector<float> beta(6, 0.1f);
+  Matrix w = Matrix::randn(2, 6, rng);
+  auto objective = [&] {
+    LayerNormCache cache;
+    const Matrix y = layernorm(x, gamma, beta, cache);
+    float total = 0.0f;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      total += y.data()[i] * w.data()[i];
+    }
+    return total;
+  };
+  LayerNormCache cache;
+  layernorm(x, gamma, beta, cache);
+  std::vector<float> dgamma, dbeta;
+  const Matrix dx = layernorm_backward(w, cache, gamma, dgamma, dbeta);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) {
+      EXPECT_NEAR(dx(r, c), numerical_grad(objective, x, r, c), 5e-3f);
+    }
+  }
+}
+
+TEST(CrossEntropyTest, PerfectPredictionNearZeroLoss) {
+  Matrix logits(2, 3);
+  logits(0, 0) = 50.0f;
+  logits(1, 2) = 50.0f;
+  Matrix dlogits;
+  const float loss =
+      cross_entropy(logits, {0, 2}, /*mask=*/{}, dlogits);
+  EXPECT_NEAR(loss, 0.0f, 1e-4f);
+}
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogV) {
+  const std::size_t vocab = 8;
+  Matrix logits(1, vocab);  // all zeros -> uniform
+  Matrix dlogits;
+  const float loss = cross_entropy(logits, {3}, {}, dlogits);
+  EXPECT_NEAR(loss, std::log(static_cast<float>(vocab)), 1e-5f);
+}
+
+TEST(CrossEntropyTest, GradientMatchesFiniteDifference) {
+  Rng rng(12);
+  Matrix logits = Matrix::randn(3, 5, rng);
+  const std::vector<std::int32_t> targets{1, 4, 0};
+  auto objective = [&] { return cross_entropy_loss(logits, targets, {}); };
+  Matrix dlogits;
+  cross_entropy(logits, targets, {}, dlogits);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_NEAR(dlogits(r, c), numerical_grad(objective, logits, r, c), 2e-3f);
+    }
+  }
+}
+
+TEST(CrossEntropyTest, MaskedRowsContributeNothing) {
+  Rng rng(14);
+  Matrix logits = Matrix::randn(4, 6, rng);
+  const std::vector<std::int32_t> targets{0, 1, 2, 3};
+  // Mask out rows 1 and 3 (the Goldfish-loss mechanism).
+  const std::vector<std::uint8_t> mask{1, 0, 1, 0};
+  Matrix dlogits;
+  const float masked_loss = cross_entropy(logits, targets, mask, dlogits);
+  for (std::size_t c = 0; c < 6; ++c) {
+    EXPECT_EQ(dlogits(1, c), 0.0f);
+    EXPECT_EQ(dlogits(3, c), 0.0f);
+  }
+  // Equivalent to computing the loss on only the unmasked rows.
+  Matrix two_rows(2, 6);
+  two_rows.set_block(Range{0, 1}, Range{0, 6}, logits.block(Range{0, 1}, Range{0, 6}));
+  two_rows.set_block(Range{1, 2}, Range{0, 6}, logits.block(Range{2, 3}, Range{0, 6}));
+  const float direct = cross_entropy_loss(two_rows, {0, 2}, {});
+  EXPECT_NEAR(masked_loss, direct, 1e-5f);
+}
+
+TEST(CrossEntropyTest, AllMaskedIsZeroLossZeroGrad) {
+  Matrix logits = Matrix::full(2, 3, 1.0f);
+  Matrix dlogits;
+  const float loss =
+      cross_entropy(logits, {0, 1}, {0, 0}, dlogits);
+  EXPECT_EQ(loss, 0.0f);
+  EXPECT_EQ(dlogits.max_abs(), 0.0f);
+}
+
+}  // namespace
+}  // namespace axonn

@@ -1,0 +1,92 @@
+#include "axonn/train/adam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "axonn/base/error.hpp"
+
+namespace axonn::train {
+namespace {
+
+TEST(AdamTest, FirstStepMovesByLr) {
+  // With bias correction, |first update| == lr for any nonzero gradient.
+  Matrix w = Matrix::full(1, 1, 1.0f);
+  Matrix g = Matrix::full(1, 1, 0.5f);
+  Adam adam(AdamConfig{.lr = 0.1f});
+  adam.add_param(&w, &g);
+  adam.step();
+  EXPECT_NEAR(w(0, 0), 1.0f - 0.1f, 1e-5f);
+}
+
+TEST(AdamTest, DescendsQuadratic) {
+  // Minimize f(w) = (w - 3)^2.
+  Matrix w = Matrix::full(1, 1, 0.0f);
+  Matrix g(1, 1);
+  Adam adam(AdamConfig{.lr = 0.1f});
+  adam.add_param(&w, &g);
+  for (int i = 0; i < 300; ++i) {
+    g(0, 0) = 2.0f * (w(0, 0) - 3.0f);
+    adam.step();
+  }
+  EXPECT_NEAR(w(0, 0), 3.0f, 0.05f);
+}
+
+TEST(AdamTest, MultipleParamsIndependent) {
+  Matrix w1 = Matrix::full(1, 1, 1.0f), g1 = Matrix::full(1, 1, 1.0f);
+  Matrix w2 = Matrix::full(2, 2, 1.0f), g2 = Matrix::full(2, 2, -1.0f);
+  Adam adam(AdamConfig{.lr = 0.01f});
+  adam.add_param(&w1, &g1);
+  adam.add_param(&w2, &g2);
+  adam.step();
+  EXPECT_LT(w1(0, 0), 1.0f);
+  EXPECT_GT(w2(1, 1), 1.0f);
+  EXPECT_EQ(adam.total_parameter_count(), 5u);
+}
+
+TEST(AdamTest, ZeroGradientLeavesWeightsAlone) {
+  Matrix w = Matrix::full(1, 1, 2.0f);
+  Matrix g = Matrix::zeros(1, 1);
+  Adam adam;
+  adam.add_param(&w, &g);
+  adam.step();
+  EXPECT_NEAR(w(0, 0), 2.0f, 1e-6f);
+}
+
+TEST(AdamTest, WeightDecayPullsTowardZero) {
+  Matrix w = Matrix::full(1, 1, 5.0f);
+  Matrix g = Matrix::zeros(1, 1);
+  Adam adam(AdamConfig{.lr = 0.1f, .weight_decay = 0.1f});
+  adam.add_param(&w, &g);
+  for (int i = 0; i < 50; ++i) adam.step();
+  EXPECT_LT(w(0, 0), 5.0f);
+}
+
+TEST(AdamTest, GradClipBoundsUpdateDirection) {
+  Matrix w = Matrix::full(1, 2, 0.0f);
+  Matrix g(1, 2);
+  g(0, 0) = 1e6f;
+  g(0, 1) = 1.0f;
+  Adam adam(AdamConfig{.lr = 0.1f, .grad_clip = 1.0f});
+  adam.add_param(&w, &g);
+  adam.step();
+  // After clipping, both coordinates see gradient 1.0 -> equal updates.
+  EXPECT_NEAR(w(0, 0), w(0, 1), 1e-6f);
+}
+
+TEST(AdamTest, ShapeMismatchThrows) {
+  Matrix w(2, 2);
+  Matrix g(2, 3);
+  Adam adam;
+  EXPECT_THROW(adam.add_param(&w, &g), Error);
+}
+
+TEST(AdamTest, LrScheduleApplies) {
+  Adam adam(AdamConfig{.lr = 0.5f});
+  EXPECT_FLOAT_EQ(adam.lr(), 0.5f);
+  adam.set_lr(0.25f);
+  EXPECT_FLOAT_EQ(adam.lr(), 0.25f);
+}
+
+}  // namespace
+}  // namespace axonn::train

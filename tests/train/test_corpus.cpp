@@ -1,0 +1,116 @@
+#include "axonn/train/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "axonn/base/error.hpp"
+
+namespace axonn::train {
+namespace {
+
+CorpusConfig small_config() {
+  CorpusConfig config;
+  config.vocab = 32;
+  config.doc_tokens = 48;
+  config.docs_per_bucket = 4;
+  config.tail_tokens = 8;
+  config.min_tail_deviations = 2;
+  return config;
+}
+
+TEST(CorpusTest, BucketShapes) {
+  BucketCorpus corpus(small_config());
+  for (int b = 0; b < 4; ++b) {
+    EXPECT_EQ(corpus.bucket(b).size(), 4u);
+    for (const auto& doc : corpus.bucket(b)) {
+      EXPECT_EQ(doc.size(), 48u);
+      for (auto token : doc) {
+        EXPECT_GE(token, 0);
+        EXPECT_LT(token, 32);
+      }
+    }
+  }
+  EXPECT_THROW(corpus.bucket(4), Error);
+}
+
+TEST(CorpusTest, PaperEpochSchedule) {
+  BucketCorpus corpus(small_config());
+  EXPECT_EQ(corpus.epochs_per_bucket(), (std::vector<int>{0, 1, 4, 6}));
+}
+
+TEST(CorpusTest, DeterministicPerSeed) {
+  BucketCorpus a(small_config());
+  BucketCorpus b(small_config());
+  EXPECT_EQ(a.bucket(1), b.bucket(1));
+  auto other = small_config();
+  other.seed = 999;
+  BucketCorpus c(other);
+  EXPECT_NE(a.bucket(1), c.bucket(1));
+}
+
+TEST(CorpusTest, DocumentsAreDistinct) {
+  BucketCorpus corpus(small_config());
+  std::set<TokenSeq> all;
+  for (int b = 0; b < 4; ++b) {
+    for (const auto& doc : corpus.bucket(b)) {
+      EXPECT_TRUE(all.insert(doc).second) << "duplicate document";
+    }
+  }
+}
+
+TEST(CorpusTest, TailDeviationGuarantee) {
+  // Every probe document carries at least min_tail_deviations off-grammar
+  // tokens in its final tail — grammar-following luck cannot pass the probe.
+  const auto config = small_config();
+  BucketCorpus corpus(config);
+  for (int b = 0; b < config.num_buckets; ++b) {
+    for (const auto& doc : corpus.bucket(b)) {
+      EXPECT_GE(corpus.tail_deviations(doc), config.min_tail_deviations);
+    }
+  }
+}
+
+TEST(CorpusTest, BackgroundDocsFollowGrammarMostly) {
+  // With the tail window widened to the whole document, tail_deviations
+  // counts every off-grammar token: the rate should track
+  // noise_probability (deviations can coincide with the grammar, so it
+  // skews slightly low).
+  auto config = small_config();
+  config.noise_probability = 0.2;
+  config.tail_tokens = config.doc_tokens;
+  BucketCorpus corpus(config);
+  int deviations = 0, total = 0;
+  for (std::uint64_t d = 0; d < 50; ++d) {
+    const TokenSeq doc = corpus.background_doc(d);
+    deviations += corpus.tail_deviations(doc);
+    total += static_cast<int>(doc.size()) - 1;
+  }
+  const double rate = static_cast<double>(deviations) / total;
+  EXPECT_GT(rate, 0.10);
+  EXPECT_LT(rate, 0.25);
+}
+
+TEST(CorpusTest, BackgroundDocsDeterministicPerIndex) {
+  BucketCorpus corpus(small_config());
+  EXPECT_EQ(corpus.background_doc(3), corpus.background_doc(3));
+  EXPECT_NE(corpus.background_doc(3), corpus.background_doc(4));
+}
+
+TEST(CorpusTest, SequencesEqualHelper) {
+  EXPECT_TRUE(sequences_equal({1, 2, 3}, {1, 2, 3}));
+  EXPECT_FALSE(sequences_equal({1, 2, 3}, {1, 2, 4}));
+  EXPECT_FALSE(sequences_equal({1, 2}, {1, 2, 3}));
+}
+
+TEST(CorpusTest, InvalidConfigThrows) {
+  CorpusConfig bad = small_config();
+  bad.vocab = 2;
+  EXPECT_THROW(BucketCorpus{bad}, Error);
+  bad = small_config();
+  bad.doc_tokens = 4;
+  EXPECT_THROW(BucketCorpus{bad}, Error);
+}
+
+}  // namespace
+}  // namespace axonn::train

@@ -1,0 +1,97 @@
+#include "axonn/train/goldfish.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axonn/base/error.hpp"
+#include "axonn/base/rng.hpp"
+#include "axonn/train/corpus.hpp"
+
+namespace axonn::train {
+namespace {
+
+TokenSeq random_tokens(std::size_t n, std::uint64_t seed, int vocab = 64) {
+  Rng rng(seed);
+  TokenSeq tokens(n);
+  for (auto& t : tokens) t = static_cast<std::int32_t>(rng.uniform_int(vocab));
+  return tokens;
+}
+
+TEST(GoldfishTest, DeterministicForSameSequence) {
+  const TokenSeq tokens = random_tokens(256, 1);
+  const GoldfishConfig config;
+  EXPECT_EQ(goldfish_mask(tokens, config), goldfish_mask(tokens, config));
+}
+
+TEST(GoldfishTest, DropsRoughlyOneInK) {
+  const GoldfishConfig config{.k = 2, .h = 13};  // the paper's parameters
+  const TokenSeq tokens = random_tokens(4096, 2);
+  const double keep = goldfish_keep_fraction(goldfish_mask(tokens, config));
+  EXPECT_NEAR(keep, 0.5, 0.05);
+
+  const GoldfishConfig k4{.k = 4, .h = 13};
+  const double keep4 = goldfish_keep_fraction(goldfish_mask(tokens, k4));
+  EXPECT_NEAR(keep4, 0.75, 0.05);
+}
+
+TEST(GoldfishTest, SameContextAlwaysMasksIdentically) {
+  // The defining property: a repeated passage is masked the same way in
+  // every occurrence, so dropped tokens can never be learned.
+  const GoldfishConfig config{.k = 2, .h = 4};
+  TokenSeq passage = random_tokens(32, 3, 16);
+  // Embed the passage at two different offsets with different prefixes.
+  TokenSeq doc_a = random_tokens(10, 4, 16);
+  doc_a.insert(doc_a.end(), passage.begin(), passage.end());
+  TokenSeq doc_b = random_tokens(25, 5, 16);
+  doc_b.insert(doc_b.end(), passage.begin(), passage.end());
+
+  const auto mask_a = goldfish_mask(doc_a, config);
+  const auto mask_b = goldfish_mask(doc_b, config);
+  // Positions whose full h-token context lies inside the passage must agree.
+  for (std::size_t i = static_cast<std::size_t>(config.h); i < passage.size();
+       ++i) {
+    EXPECT_EQ(mask_a[10 + i], mask_b[25 + i]) << i;
+  }
+}
+
+TEST(GoldfishTest, FirstTokenAlwaysKept) {
+  const TokenSeq tokens = random_tokens(16, 6);
+  const auto mask = goldfish_mask(tokens, GoldfishConfig{});
+  EXPECT_EQ(mask[0], 1);
+}
+
+TEST(GoldfishTest, KOneDisables) {
+  const TokenSeq tokens = random_tokens(64, 7);
+  const auto mask = goldfish_mask(tokens, GoldfishConfig{.k = 1, .h = 13});
+  EXPECT_DOUBLE_EQ(goldfish_keep_fraction(mask), 1.0);
+}
+
+TEST(GoldfishTest, DifferentSaltsGiveDifferentMasks) {
+  const TokenSeq tokens = random_tokens(512, 8);
+  const auto a = goldfish_mask(tokens, GoldfishConfig{.k = 2, .h = 13, .salt = 1});
+  const auto b = goldfish_mask(tokens, GoldfishConfig{.k = 2, .h = 13, .salt = 2});
+  EXPECT_NE(a, b);
+}
+
+TEST(GoldfishTest, InvalidConfigThrows) {
+  const TokenSeq tokens = random_tokens(8, 9);
+  EXPECT_THROW(goldfish_mask(tokens, GoldfishConfig{.k = 0, .h = 13}), Error);
+  EXPECT_THROW(goldfish_mask(tokens, GoldfishConfig{.k = 2, .h = 0}), Error);
+}
+
+TEST(GoldfishTest, ContextWidthMatters) {
+  // With different h, the same sequence produces different masks (the hash
+  // window changes).
+  const TokenSeq tokens = random_tokens(512, 10);
+  const auto h4 = goldfish_mask(tokens, GoldfishConfig{.k = 2, .h = 4});
+  const auto h13 = goldfish_mask(tokens, GoldfishConfig{.k = 2, .h = 13});
+  EXPECT_NE(h4, h13);
+}
+
+TEST(GoldfishTest, EmptySequence) {
+  const auto mask = goldfish_mask({}, GoldfishConfig{});
+  EXPECT_TRUE(mask.empty());
+  EXPECT_DOUBLE_EQ(goldfish_keep_fraction(mask), 1.0);
+}
+
+}  // namespace
+}  // namespace axonn::train

@@ -1,0 +1,242 @@
+#include "axonn/train/gpt_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "axonn/base/error.hpp"
+#include "axonn/comm/thread_comm.hpp"
+
+namespace axonn::train {
+namespace {
+
+TinyGPTConfig tiny_config() {
+  TinyGPTConfig config;
+  config.vocab = 16;
+  config.max_seq = 24;
+  config.layers = 2;
+  config.hidden = 24;
+  config.heads = 2;
+  config.seed = 42;
+  return config;
+}
+
+std::vector<TokenSeq> tiny_batch(std::size_t batch, std::size_t len,
+                                 std::uint64_t seed, int vocab = 16) {
+  Rng rng(seed);
+  std::vector<TokenSeq> out(batch);
+  for (auto& seq : out) {
+    seq.resize(len);
+    for (auto& t : seq) t = static_cast<std::int32_t>(rng.uniform_int(vocab));
+  }
+  return out;
+}
+
+TEST(GPTModelTest, ParameterCountMatchesRegisteredParams) {
+  comm::run_ranks(1, [](comm::Communicator& world) {
+    core::Grid4D grid(world, sim::GridShape{1, 1, 1, 1});
+    GPTModel model(grid, tiny_config());
+    Adam adam;
+    model.register_params(adam);
+    EXPECT_EQ(adam.total_parameter_count(), model.parameter_count());
+  });
+}
+
+TEST(GPTModelTest, LossDecreasesOnFixedBatch) {
+  comm::run_ranks(1, [](comm::Communicator& world) {
+    core::Grid4D grid(world, sim::GridShape{1, 1, 1, 1});
+    GPTModel model(grid, tiny_config());
+    Adam adam(AdamConfig{.lr = 5e-3f});
+    model.register_params(adam);
+    const auto batch = tiny_batch(2, 24, 1);
+    float first = 0, last = 0;
+    for (int step = 0; step < 25; ++step) {
+      model.zero_grad();
+      const float loss = model.train_step(batch);
+      adam.step();
+      if (step == 0) first = loss;
+      last = loss;
+    }
+    EXPECT_LT(last, first * 0.5f);
+  });
+}
+
+TEST(GPTModelTest, InitialLossNearLogVocab) {
+  comm::run_ranks(1, [](comm::Communicator& world) {
+    core::Grid4D grid(world, sim::GridShape{1, 1, 1, 1});
+    GPTModel model(grid, tiny_config());
+    const float loss = model.evaluate_loss(tiny_batch(4, 24, 2));
+    EXPECT_NEAR(loss, std::log(16.0f), 0.8f);
+  });
+}
+
+TEST(GPTModelTest, ZShardingMatchesSerialTraining) {
+  // FSDP semantics: 2 Z-ranks each process half the batch; the weight
+  // updates must equal single-rank training on the full batch.
+  const auto batch = tiny_batch(4, 24, 3);
+  float serial_loss_after = 0;
+  comm::run_ranks(1, [&](comm::Communicator& world) {
+    core::Grid4D grid(world, sim::GridShape{1, 1, 1, 1});
+    GPTModel model(grid, tiny_config());
+    Adam adam(AdamConfig{.lr = 1e-3f});
+    model.register_params(adam);
+    for (int step = 0; step < 3; ++step) {
+      model.zero_grad();
+      model.train_step(batch);
+      adam.step();
+    }
+    serial_loss_after = model.evaluate_loss(batch);
+  });
+
+  float sharded_loss_after = 0;
+  comm::run_ranks(2, [&](comm::Communicator& world) {
+    core::Grid4D grid(world, sim::GridShape{1, 1, 2, 1});
+    GPTModel model(grid, tiny_config());
+    Adam adam(AdamConfig{.lr = 1e-3f});
+    model.register_params(adam);
+    // Each Z rank takes its half of the batch.
+    const std::vector<TokenSeq> half(
+        batch.begin() + grid.z() * 2, batch.begin() + grid.z() * 2 + 2);
+    for (int step = 0; step < 3; ++step) {
+      model.zero_grad();
+      model.train_step(half);
+      adam.step();
+    }
+    // evaluate_loss is collective when gz > 1 (weight all-gathers): every
+    // rank must participate.
+    const float loss = model.evaluate_loss(batch);
+    if (world.rank() == 0) {
+      sharded_loss_after = loss;
+    }
+  });
+  EXPECT_NEAR(sharded_loss_after, serial_loss_after, 5e-3f);
+}
+
+TEST(GPTModelTest, DataParallelMatchesSerialTraining) {
+  const auto batch = tiny_batch(4, 24, 3);
+  float serial_loss_after = 0;
+  comm::run_ranks(1, [&](comm::Communicator& world) {
+    core::Grid4D grid(world, sim::GridShape{1, 1, 1, 1});
+    GPTModel model(grid, tiny_config());
+    Adam adam(AdamConfig{.lr = 1e-3f});
+    model.register_params(adam);
+    model.zero_grad();
+    model.train_step(batch);
+    adam.step();
+    serial_loss_after = model.evaluate_loss(batch);
+  });
+
+  float dp_loss_after = 0;
+  comm::run_ranks(2, [&](comm::Communicator& world) {
+    core::Grid4D grid(world, sim::GridShape{1, 1, 1, 2});
+    GPTModel model(grid, tiny_config());
+    Adam adam(AdamConfig{.lr = 1e-3f});
+    model.register_params(adam);
+    const std::vector<TokenSeq> shard(
+        batch.begin() + grid.d() * 2, batch.begin() + grid.d() * 2 + 2);
+    model.zero_grad();
+    model.train_step(shard);
+    adam.step();
+    if (world.rank() == 0) {
+      dp_loss_after = model.evaluate_loss(batch);
+    }
+  });
+  EXPECT_NEAR(dp_loss_after, serial_loss_after, 5e-3f);
+}
+
+TEST(GPTModelTest, GreedyGenerationDeterministic) {
+  comm::run_ranks(1, [](comm::Communicator& world) {
+    core::Grid4D grid(world, sim::GridShape{1, 1, 1, 1});
+    GPTModel model(grid, tiny_config());
+    const TokenSeq prompt{1, 2, 3, 4};
+    const TokenSeq a = model.greedy_generate(prompt, 6);
+    const TokenSeq b = model.greedy_generate(prompt, 6);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), 10u);
+    // The prompt is preserved as a prefix.
+    for (std::size_t i = 0; i < prompt.size(); ++i) {
+      EXPECT_EQ(a[i], prompt[i]);
+    }
+  });
+}
+
+TEST(GPTModelTest, ExactMatchAgreesWithGreedyGeneration) {
+  // The teacher-forced shortcut must decide exactly the same event as
+  // actually generating the probe region greedily.
+  comm::run_ranks(1, [](comm::Communicator& world) {
+    core::Grid4D grid(world, sim::GridShape{1, 1, 1, 1});
+    GPTModel model(grid, tiny_config());
+    Adam adam(AdamConfig{.lr = 5e-3f});
+    model.register_params(adam);
+    const auto docs = tiny_batch(3, 20, 9);
+    // Train on doc 0 heavily so at least one doc is memorized.
+    for (int step = 0; step < 30; ++step) {
+      model.zero_grad();
+      model.train_step({docs[0]});
+      adam.step();
+    }
+    for (const auto& doc : docs) {
+      const int probe = 5;
+      const TokenSeq prompt(doc.begin(), doc.end() - probe);
+      const TokenSeq generated = model.greedy_generate(prompt, probe);
+      EXPECT_EQ(model.exact_match(doc, probe), sequences_equal(generated, doc));
+    }
+  });
+}
+
+TEST(GPTModelTest, ProbeAccuracyBounds) {
+  comm::run_ranks(1, [](comm::Communicator& world) {
+    core::Grid4D grid(world, sim::GridShape{1, 1, 1, 1});
+    GPTModel model(grid, tiny_config());
+    const auto docs = tiny_batch(1, 20, 10);
+    const double acc = model.probe_accuracy(docs[0], 8);
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+    // exact_match true iff accuracy == 1.
+    EXPECT_EQ(model.exact_match(docs[0], 8), acc == 1.0);
+  });
+}
+
+TEST(GPTModelTest, GoldfishMaskReducesTrainedPositions) {
+  // With goldfish on, the loss is computed over ~half the targets; training
+  // still works and the step runs without error.
+  comm::run_ranks(1, [](comm::Communicator& world) {
+    core::Grid4D grid(world, sim::GridShape{1, 1, 1, 1});
+    GPTModel model(grid, tiny_config());
+    Adam adam(AdamConfig{.lr = 5e-3f});
+    model.register_params(adam);
+    GoldfishConfig goldfish{.k = 2, .h = 5};
+    const auto batch = tiny_batch(2, 24, 11);
+    float first = 0, last = 0;
+    for (int step = 0; step < 20; ++step) {
+      model.zero_grad();
+      const float loss = model.train_step(batch, &goldfish);
+      adam.step();
+      if (step == 0) first = loss;
+      last = loss;
+    }
+    EXPECT_LT(last, first);
+  });
+}
+
+TEST(GPTModelTest, RejectsXYTensorParallelGrids) {
+  EXPECT_THROW(
+      comm::run_ranks(2,
+                      [](comm::Communicator& world) {
+                        core::Grid4D grid(world, sim::GridShape{2, 1, 1, 1});
+                        GPTModel model(grid, tiny_config());
+                      }),
+      Error);
+}
+
+TEST(GPTModelTest, RaggedBatchThrows) {
+  comm::run_ranks(1, [](comm::Communicator& world) {
+    core::Grid4D grid(world, sim::GridShape{1, 1, 1, 1});
+    GPTModel model(grid, tiny_config());
+    std::vector<TokenSeq> ragged{{1, 2, 3}, {1, 2}};
+    EXPECT_THROW(model.train_step(ragged), Error);
+  });
+}
+
+}  // namespace
+}  // namespace axonn::train

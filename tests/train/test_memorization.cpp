@@ -1,0 +1,81 @@
+// Integration tests of the memorization protocol (fast settings: the full
+// calibrated sweep lives in bench_fig10/11).
+
+#include "axonn/train/memorization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axonn/comm/thread_comm.hpp"
+
+namespace axonn::train {
+namespace {
+
+MemorizationConfig fast_config() {
+  MemorizationConfig config;
+  config.model = memorization_model_zoo()[0].model;  // GPT-XS
+  config.warmup_steps = 10;
+  config.finalize();
+  return config;
+}
+
+TEST(MemorizationTest, ProtocolRunsAndReportsAllBuckets) {
+  const auto result = run_memorization_experiment_serial("GPT-XS", fast_config());
+  EXPECT_EQ(result.model_name, "GPT-XS");
+  EXPECT_GT(result.parameter_count, 0u);
+  ASSERT_EQ(result.exact_match_per_bucket.size(), 4u);
+  ASSERT_EQ(result.probe_accuracy_per_bucket.size(), 4u);
+  EXPECT_EQ(result.epochs_per_bucket, (std::vector<int>{0, 1, 4, 6}));
+  for (double em : result.exact_match_per_bucket) {
+    EXPECT_GE(em, 0.0);
+    EXPECT_LE(em, 1.0);
+  }
+  // Steps = warmup + ceil(44 injection instances / batch 1).
+  EXPECT_EQ(result.total_steps, 10 + 4 * (1 + 4 + 6));
+}
+
+TEST(MemorizationTest, DeterministicPerTrial) {
+  const auto a = run_memorization_experiment_serial("GPT-XS", fast_config());
+  const auto b = run_memorization_experiment_serial("GPT-XS", fast_config());
+  EXPECT_EQ(a.exact_match_per_bucket, b.exact_match_per_bucket);
+  EXPECT_EQ(a.final_train_loss, b.final_train_loss);
+}
+
+TEST(MemorizationTest, TrialsChangeTheCorpus) {
+  auto config = fast_config();
+  config.trial = 1;
+  config.finalize();
+  const auto a = run_memorization_experiment_serial("GPT-XS", config);
+  const auto b = run_memorization_experiment_serial("GPT-XS", fast_config());
+  EXPECT_NE(a.final_train_loss, b.final_train_loss);
+}
+
+TEST(MemorizationTest, GoldfishVariantRuns) {
+  auto config = fast_config();
+  config.use_goldfish = true;
+  const auto result = run_memorization_experiment_serial("GPT-XS", config);
+  ASSERT_EQ(result.exact_match_per_bucket.size(), 4u);
+}
+
+TEST(MemorizationTest, ZooIsOrderedByCapacity) {
+  const auto zoo = memorization_model_zoo();
+  ASSERT_EQ(zoo.size(), 5u);
+  for (std::size_t i = 1; i < zoo.size(); ++i) {
+    EXPECT_GT(zoo[i].model.hidden, zoo[i - 1].model.hidden);
+  }
+}
+
+TEST(MemorizationTest, RunsOnZShardedGrid) {
+  // The paper runs this study with Z-tensor parallelism; 2 Z-ranks split the
+  // warmup batches and each trains the shared model.
+  comm::run_ranks(2, [](comm::Communicator& world) {
+    core::Grid4D grid(world, sim::GridShape{1, 1, 2, 1});
+    auto config = fast_config();
+    config.warmup_batch_size = 2;  // per rank
+    const auto result =
+        run_memorization_experiment(grid, "GPT-XS", config);
+    ASSERT_EQ(result.exact_match_per_bucket.size(), 4u);
+  });
+}
+
+}  // namespace
+}  // namespace axonn::train
