@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_memorization"
+  "../bench/bench_fig10_memorization.pdb"
+  "CMakeFiles/bench_fig10_memorization.dir/bench_fig10_memorization.cpp.o"
+  "CMakeFiles/bench_fig10_memorization.dir/bench_fig10_memorization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_memorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

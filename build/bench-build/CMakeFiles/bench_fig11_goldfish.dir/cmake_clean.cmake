@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_goldfish"
+  "../bench/bench_fig11_goldfish.pdb"
+  "CMakeFiles/bench_fig11_goldfish.dir/bench_fig11_goldfish.cpp.o"
+  "CMakeFiles/bench_fig11_goldfish.dir/bench_fig11_goldfish.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_goldfish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

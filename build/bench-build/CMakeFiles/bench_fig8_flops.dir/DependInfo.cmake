@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_flops.cpp" "bench-build/CMakeFiles/bench_fig8_flops.dir/bench_fig8_flops.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig8_flops.dir/bench_fig8_flops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/axonn_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/axonn_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/axonn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/axonn_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/axonn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/axonn_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/axonn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/axonn_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_time_to_solution"
+  "../bench/bench_fig9_time_to_solution.pdb"
+  "CMakeFiles/bench_fig9_time_to_solution.dir/bench_fig9_time_to_solution.cpp.o"
+  "CMakeFiles/bench_fig9_time_to_solution.dir/bench_fig9_time_to_solution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_time_to_solution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_gemm_survey"
+  "../bench/bench_gemm_survey.pdb"
+  "CMakeFiles/bench_gemm_survey.dir/bench_gemm_survey.cpp.o"
+  "CMakeFiles/bench_gemm_survey.dir/bench_gemm_survey.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gemm_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_llama_finetune"
+  "../bench/bench_llama_finetune.pdb"
+  "CMakeFiles/bench_llama_finetune.dir/bench_llama_finetune.cpp.o"
+  "CMakeFiles/bench_llama_finetune.dir/bench_llama_finetune.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_llama_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

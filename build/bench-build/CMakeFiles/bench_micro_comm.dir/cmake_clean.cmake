@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_comm"
+  "../bench/bench_micro_comm.pdb"
+  "CMakeFiles/bench_micro_comm.dir/bench_micro_comm.cpp.o"
+  "CMakeFiles/bench_micro_comm.dir/bench_micro_comm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

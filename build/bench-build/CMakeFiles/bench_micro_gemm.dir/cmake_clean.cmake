@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_gemm"
+  "../bench/bench_micro_gemm.pdb"
+  "CMakeFiles/bench_micro_gemm.dir/bench_micro_gemm.cpp.o"
+  "CMakeFiles/bench_micro_gemm.dir/bench_micro_gemm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_peak_fractions"
+  "../bench/bench_table3_peak_fractions.pdb"
+  "CMakeFiles/bench_table3_peak_fractions.dir/bench_table3_peak_fractions.cpp.o"
+  "CMakeFiles/bench_table3_peak_fractions.dir/bench_table3_peak_fractions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_peak_fractions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/memorization_demo"
+  "../examples/memorization_demo.pdb"
+  "CMakeFiles/memorization_demo.dir/memorization_demo.cpp.o"
+  "CMakeFiles/memorization_demo.dir/memorization_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memorization_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/perf_explorer"
+  "../examples/perf_explorer.pdb"
+  "CMakeFiles/perf_explorer.dir/perf_explorer.cpp.o"
+  "CMakeFiles/perf_explorer.dir/perf_explorer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axonn_base.dir/error.cpp.o"
+  "CMakeFiles/axonn_base.dir/error.cpp.o.d"
+  "CMakeFiles/axonn_base.dir/log.cpp.o"
+  "CMakeFiles/axonn_base.dir/log.cpp.o.d"
+  "CMakeFiles/axonn_base.dir/table.cpp.o"
+  "CMakeFiles/axonn_base.dir/table.cpp.o.d"
+  "CMakeFiles/axonn_base.dir/units.cpp.o"
+  "CMakeFiles/axonn_base.dir/units.cpp.o.d"
+  "libaxonn_base.a"
+  "libaxonn_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axonn_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axonn_comm.dir/thread_comm.cpp.o"
+  "CMakeFiles/axonn_comm.dir/thread_comm.cpp.o.d"
+  "libaxonn_comm.a"
+  "libaxonn_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axonn_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

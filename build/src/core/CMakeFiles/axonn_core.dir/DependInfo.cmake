@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fc_layer.cpp" "src/core/CMakeFiles/axonn_core.dir/fc_layer.cpp.o" "gcc" "src/core/CMakeFiles/axonn_core.dir/fc_layer.cpp.o.d"
+  "/root/repo/src/core/grid4d.cpp" "src/core/CMakeFiles/axonn_core.dir/grid4d.cpp.o" "gcc" "src/core/CMakeFiles/axonn_core.dir/grid4d.cpp.o.d"
+  "/root/repo/src/core/kernel_tuner.cpp" "src/core/CMakeFiles/axonn_core.dir/kernel_tuner.cpp.o" "gcc" "src/core/CMakeFiles/axonn_core.dir/kernel_tuner.cpp.o.d"
+  "/root/repo/src/core/mlp.cpp" "src/core/CMakeFiles/axonn_core.dir/mlp.cpp.o" "gcc" "src/core/CMakeFiles/axonn_core.dir/mlp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/axonn_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/axonn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/axonn_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/axonn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/axonn_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axonn_core.dir/fc_layer.cpp.o"
+  "CMakeFiles/axonn_core.dir/fc_layer.cpp.o.d"
+  "CMakeFiles/axonn_core.dir/grid4d.cpp.o"
+  "CMakeFiles/axonn_core.dir/grid4d.cpp.o.d"
+  "CMakeFiles/axonn_core.dir/kernel_tuner.cpp.o"
+  "CMakeFiles/axonn_core.dir/kernel_tuner.cpp.o.d"
+  "CMakeFiles/axonn_core.dir/mlp.cpp.o"
+  "CMakeFiles/axonn_core.dir/mlp.cpp.o.d"
+  "libaxonn_core.a"
+  "libaxonn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axonn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

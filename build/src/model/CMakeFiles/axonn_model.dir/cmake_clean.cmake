@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axonn_model.dir/gpt.cpp.o"
+  "CMakeFiles/axonn_model.dir/gpt.cpp.o.d"
+  "libaxonn_model.a"
+  "libaxonn_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axonn_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

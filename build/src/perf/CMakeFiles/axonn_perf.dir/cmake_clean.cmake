@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axonn_perf.dir/comm_model.cpp.o"
+  "CMakeFiles/axonn_perf.dir/comm_model.cpp.o.d"
+  "libaxonn_perf.a"
+  "libaxonn_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axonn_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

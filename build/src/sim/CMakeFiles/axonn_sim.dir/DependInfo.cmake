@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bandwidth.cpp" "src/sim/CMakeFiles/axonn_sim.dir/bandwidth.cpp.o" "gcc" "src/sim/CMakeFiles/axonn_sim.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/sim/event_sim.cpp" "src/sim/CMakeFiles/axonn_sim.dir/event_sim.cpp.o" "gcc" "src/sim/CMakeFiles/axonn_sim.dir/event_sim.cpp.o.d"
+  "/root/repo/src/sim/grid_shape.cpp" "src/sim/CMakeFiles/axonn_sim.dir/grid_shape.cpp.o" "gcc" "src/sim/CMakeFiles/axonn_sim.dir/grid_shape.cpp.o.d"
+  "/root/repo/src/sim/iteration.cpp" "src/sim/CMakeFiles/axonn_sim.dir/iteration.cpp.o" "gcc" "src/sim/CMakeFiles/axonn_sim.dir/iteration.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/axonn_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/axonn_sim.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/axonn_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/axonn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/axonn_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

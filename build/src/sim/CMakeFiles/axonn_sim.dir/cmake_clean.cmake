@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axonn_sim.dir/bandwidth.cpp.o"
+  "CMakeFiles/axonn_sim.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/axonn_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/axonn_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/axonn_sim.dir/grid_shape.cpp.o"
+  "CMakeFiles/axonn_sim.dir/grid_shape.cpp.o.d"
+  "CMakeFiles/axonn_sim.dir/iteration.cpp.o"
+  "CMakeFiles/axonn_sim.dir/iteration.cpp.o.d"
+  "CMakeFiles/axonn_sim.dir/machine.cpp.o"
+  "CMakeFiles/axonn_sim.dir/machine.cpp.o.d"
+  "libaxonn_sim.a"
+  "libaxonn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axonn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

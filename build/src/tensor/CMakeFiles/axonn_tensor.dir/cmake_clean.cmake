@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axonn_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/axonn_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/axonn_tensor.dir/matrix.cpp.o"
+  "CMakeFiles/axonn_tensor.dir/matrix.cpp.o.d"
+  "CMakeFiles/axonn_tensor.dir/ops.cpp.o"
+  "CMakeFiles/axonn_tensor.dir/ops.cpp.o.d"
+  "libaxonn_tensor.a"
+  "libaxonn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axonn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaxonn_tensor.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/adam.cpp" "src/train/CMakeFiles/axonn_train.dir/adam.cpp.o" "gcc" "src/train/CMakeFiles/axonn_train.dir/adam.cpp.o.d"
+  "/root/repo/src/train/corpus.cpp" "src/train/CMakeFiles/axonn_train.dir/corpus.cpp.o" "gcc" "src/train/CMakeFiles/axonn_train.dir/corpus.cpp.o.d"
+  "/root/repo/src/train/goldfish.cpp" "src/train/CMakeFiles/axonn_train.dir/goldfish.cpp.o" "gcc" "src/train/CMakeFiles/axonn_train.dir/goldfish.cpp.o.d"
+  "/root/repo/src/train/gpt_model.cpp" "src/train/CMakeFiles/axonn_train.dir/gpt_model.cpp.o" "gcc" "src/train/CMakeFiles/axonn_train.dir/gpt_model.cpp.o.d"
+  "/root/repo/src/train/memorization.cpp" "src/train/CMakeFiles/axonn_train.dir/memorization.cpp.o" "gcc" "src/train/CMakeFiles/axonn_train.dir/memorization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/axonn_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/axonn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/axonn_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/axonn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/axonn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/axonn_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axonn_train.dir/adam.cpp.o"
+  "CMakeFiles/axonn_train.dir/adam.cpp.o.d"
+  "CMakeFiles/axonn_train.dir/corpus.cpp.o"
+  "CMakeFiles/axonn_train.dir/corpus.cpp.o.d"
+  "CMakeFiles/axonn_train.dir/goldfish.cpp.o"
+  "CMakeFiles/axonn_train.dir/goldfish.cpp.o.d"
+  "CMakeFiles/axonn_train.dir/gpt_model.cpp.o"
+  "CMakeFiles/axonn_train.dir/gpt_model.cpp.o.d"
+  "CMakeFiles/axonn_train.dir/memorization.cpp.o"
+  "CMakeFiles/axonn_train.dir/memorization.cpp.o.d"
+  "libaxonn_train.a"
+  "libaxonn_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axonn_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

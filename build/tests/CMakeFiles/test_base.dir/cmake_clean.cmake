@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base.dir/base/test_error.cpp.o"
+  "CMakeFiles/test_base.dir/base/test_error.cpp.o.d"
+  "CMakeFiles/test_base.dir/base/test_partition.cpp.o"
+  "CMakeFiles/test_base.dir/base/test_partition.cpp.o.d"
+  "CMakeFiles/test_base.dir/base/test_rng.cpp.o"
+  "CMakeFiles/test_base.dir/base/test_rng.cpp.o.d"
+  "CMakeFiles/test_base.dir/base/test_table.cpp.o"
+  "CMakeFiles/test_base.dir/base/test_table.cpp.o.d"
+  "CMakeFiles/test_base.dir/base/test_units.cpp.o"
+  "CMakeFiles/test_base.dir/base/test_units.cpp.o.d"
+  "test_base"
+  "test_base.pdb"
+  "test_base[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

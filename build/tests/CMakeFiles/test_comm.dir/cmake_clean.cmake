@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm.dir/comm/test_collectives.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/test_collectives.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/test_nonblocking.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/test_nonblocking.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/test_ring_algorithms.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/test_ring_algorithms.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/test_self_comm.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/test_self_comm.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/test_split.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/test_split.cpp.o.d"
+  "test_comm"
+  "test_comm.pdb"
+  "test_comm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

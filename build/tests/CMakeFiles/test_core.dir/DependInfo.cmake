@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_degenerate_grids.cpp" "tests/CMakeFiles/test_core.dir/core/test_degenerate_grids.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_degenerate_grids.cpp.o.d"
+  "/root/repo/tests/core/test_fc_layer.cpp" "tests/CMakeFiles/test_core.dir/core/test_fc_layer.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_fc_layer.cpp.o.d"
+  "/root/repo/tests/core/test_grid4d.cpp" "tests/CMakeFiles/test_core.dir/core/test_grid4d.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_grid4d.cpp.o.d"
+  "/root/repo/tests/core/test_kernel_tuner.cpp" "tests/CMakeFiles/test_core.dir/core/test_kernel_tuner.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_kernel_tuner.cpp.o.d"
+  "/root/repo/tests/core/test_mlp.cpp" "tests/CMakeFiles/test_core.dir/core/test_mlp.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_mlp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/axonn_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/axonn_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/axonn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/axonn_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/axonn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/axonn_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/axonn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/axonn_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

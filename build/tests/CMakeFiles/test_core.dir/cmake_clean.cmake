@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_degenerate_grids.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_degenerate_grids.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_fc_layer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_fc_layer.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_grid4d.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_grid4d.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_kernel_tuner.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_kernel_tuner.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mlp.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mlp.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

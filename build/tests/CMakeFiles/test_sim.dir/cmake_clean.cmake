@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_bandwidth.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_bandwidth.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_event_sim.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_event_sim.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_grid_shape.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_grid_shape.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_iteration.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_iteration.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_machine.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_machine.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_train.dir/train/test_adam.cpp.o"
+  "CMakeFiles/test_train.dir/train/test_adam.cpp.o.d"
+  "CMakeFiles/test_train.dir/train/test_corpus.cpp.o"
+  "CMakeFiles/test_train.dir/train/test_corpus.cpp.o.d"
+  "CMakeFiles/test_train.dir/train/test_goldfish.cpp.o"
+  "CMakeFiles/test_train.dir/train/test_goldfish.cpp.o.d"
+  "CMakeFiles/test_train.dir/train/test_gpt_model.cpp.o"
+  "CMakeFiles/test_train.dir/train/test_gpt_model.cpp.o.d"
+  "CMakeFiles/test_train.dir/train/test_memorization.cpp.o"
+  "CMakeFiles/test_train.dir/train/test_memorization.cpp.o.d"
+  "test_train"
+  "test_train.pdb"
+  "test_train[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
