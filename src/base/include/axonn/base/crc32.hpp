@@ -1,0 +1,32 @@
+#pragma once
+
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320).
+//
+// Used by the fault-tolerance layer: checkpoint sections carry a CRC so a
+// torn or bit-flipped file is detected at restore time instead of silently
+// poisoning a resumed run, and ChaosComm uses the same checksum to detect
+// injected payload corruption after a collective. Incremental interface so
+// large tensors can be folded in without a staging copy.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace axonn {
+
+/// Folds `size` bytes into a running CRC. Start from crc32_init(), finish
+/// with crc32_finish(). Standard reflected CRC-32: crc32("123456789") ==
+/// 0xCBF43926.
+std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                           std::size_t size);
+
+inline std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+inline std::uint32_t crc32_finish(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a buffer.
+inline std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32_finish(crc32_update(crc32_init(), data, size));
+}
+
+}  // namespace axonn

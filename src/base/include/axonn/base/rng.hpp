@@ -110,6 +110,16 @@ class Rng {
   /// Normal with explicit mean/stddev.
   double normal(double mean, double stddev) { return mean + stddev * normal(); }
 
+  /// Full generator state for checkpoint/restart. Restoring via set_state()
+  /// resumes the exact stream (the cached Box–Muller half is deliberately
+  /// dropped: a restored generator re-draws the pair, which keeps the state
+  /// a plain 4-word value at the cost of one discarded sample).
+  std::array<std::uint64_t, 4> state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    state_ = state;
+    has_cached_ = false;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

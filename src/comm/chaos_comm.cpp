@@ -1,0 +1,198 @@
+#include "axonn/comm/chaos_comm.hpp"
+
+#include <thread>
+#include <utility>
+
+#include "axonn/base/crc32.hpp"
+#include "axonn/base/error.hpp"
+#include "axonn/base/log.hpp"
+#include "axonn/base/rng.hpp"
+
+namespace axonn::comm {
+
+namespace {
+
+/// Deterministic per-(seed, rank, op) draw in [0, 1).
+double schedule_draw(std::uint64_t seed, int rank, std::uint64_t op) {
+  const std::uint64_t h = mix64(hash_combine(
+      hash_combine(seed, static_cast<std::uint64_t>(rank)), op));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Deterministic bit index into a buffer of `n` floats.
+std::size_t schedule_bit(std::uint64_t seed, int rank, std::uint64_t op,
+                         std::size_t n) {
+  const std::uint64_t h = mix64(hash_combine(
+      hash_combine(hash_combine(seed, static_cast<std::uint64_t>(rank)), op),
+      0xB17Full));
+  return static_cast<std::size_t>(h % (n * 32));
+}
+
+}  // namespace
+
+ChaosComm::ChaosComm(Communicator& inner, const ChaosConfig& config)
+    : inner_(&inner), state_(std::make_shared<State>()) {
+  state_->config = config;
+  state_->world_rank = inner.rank();
+}
+
+ChaosComm::ChaosComm(std::unique_ptr<Communicator> owned,
+                     std::shared_ptr<State> state)
+    : inner_(owned.get()), owned_(std::move(owned)), state_(std::move(state)) {}
+
+const std::vector<FaultEvent>& ChaosComm::fault_log() const {
+  return state_->log;
+}
+
+std::uint64_t ChaosComm::collectives_issued() const {
+  return state_->next_collective;
+}
+
+std::uint64_t ChaosComm::begin_collective() {
+  State& s = *state_;
+  const std::uint64_t op = s.next_collective++;
+  if (s.config.slow_rank == s.world_rank && s.config.slow_delay.count() > 0) {
+    s.log.push_back({FaultEvent::Kind::kDelay, op,
+                     "delayed " + std::to_string(s.config.slow_delay.count()) +
+                         "us on \"" + inner_->name() + "\""});
+    std::this_thread::sleep_for(s.config.slow_delay);
+  }
+  if (s.config.crash_rank == s.world_rank &&
+      op == s.config.crash_at_collective) {
+    s.log.push_back({FaultEvent::Kind::kCrash, op,
+                     "rank " + std::to_string(s.world_rank) + " crashed on \"" +
+                         inner_->name() + "\""});
+    AXONN_LOG_WARN << "ChaosComm: injecting crash of rank " << s.world_rank
+                   << " at collective #" << op;
+    throw RankFailure(s.world_rank, op);
+  }
+  return op;
+}
+
+void ChaosComm::maybe_corrupt(std::uint64_t op, std::span<float> result) {
+  State& s = *state_;
+  if (s.config.corrupt_probability <= 0.0 || result.empty()) return;
+  if (schedule_draw(s.config.seed, s.world_rank, op) >=
+      s.config.corrupt_probability) {
+    return;
+  }
+  const std::size_t bit =
+      schedule_bit(s.config.seed, s.world_rank, op, result.size());
+  auto* words = reinterpret_cast<std::uint32_t*>(result.data());
+  words[bit / 32] ^= (1u << (bit % 32));
+  s.log.push_back({FaultEvent::Kind::kCorruption, op,
+                   "flipped bit " + std::to_string(bit % 32) + " of element " +
+                       std::to_string(bit / 32) + " on \"" + inner_->name() +
+                       "\""});
+}
+
+void ChaosComm::verify_replicated(std::uint64_t op,
+                                  std::span<const float> result) {
+  if (!state_->config.verify_replicated_results) return;
+  // CRC32 of the result, split into two 16-bit halves so the values are
+  // exactly representable as floats, cross-checked with an all_gather on the
+  // *inner* communicator (the check itself must not be chaos-targeted).
+  const std::uint32_t crc = crc32(result.data(), result.size_bytes());
+  const float mine[2] = {static_cast<float>(crc & 0xFFFFu),
+                         static_cast<float>(crc >> 16)};
+  std::vector<float> all(static_cast<std::size_t>(inner_->size()) * 2);
+  inner_->all_gather(std::span<const float>(mine, 2), all);
+  for (std::size_t i = 0; i < all.size(); i += 2) {
+    if (all[i] != mine[0] || all[i + 1] != mine[1]) {
+      throw DataCorruptionError(inner_->name(), op);
+    }
+  }
+}
+
+void ChaosComm::all_reduce(std::span<float> buffer, ReduceOp op) {
+  const std::uint64_t index = begin_collective();
+  inner_->all_reduce(buffer, op);
+  maybe_corrupt(index, buffer);
+  verify_replicated(index, buffer);
+}
+
+void ChaosComm::all_gather(std::span<const float> send,
+                           std::span<float> recv) {
+  const std::uint64_t index = begin_collective();
+  inner_->all_gather(send, recv);
+  maybe_corrupt(index, recv);
+  verify_replicated(index, recv);
+}
+
+void ChaosComm::all_gatherv(std::span<const float> send, std::span<float> recv,
+                            std::span<const std::size_t> recv_counts) {
+  const std::uint64_t index = begin_collective();
+  inner_->all_gatherv(send, recv, recv_counts);
+  maybe_corrupt(index, recv);
+  verify_replicated(index, recv);
+}
+
+void ChaosComm::reduce_scatter(std::span<const float> send,
+                               std::span<float> recv, ReduceOp op) {
+  const std::uint64_t index = begin_collective();
+  inner_->reduce_scatter(send, recv, op);
+  // Per-rank results differ by construction; no replication check.
+  maybe_corrupt(index, recv);
+}
+
+void ChaosComm::reduce_scatterv(std::span<const float> send,
+                                std::span<float> recv,
+                                std::span<const std::size_t> counts,
+                                ReduceOp op) {
+  const std::uint64_t index = begin_collective();
+  inner_->reduce_scatterv(send, recv, counts, op);
+  maybe_corrupt(index, recv);
+}
+
+void ChaosComm::broadcast(std::span<float> buffer, int root) {
+  const std::uint64_t index = begin_collective();
+  inner_->broadcast(buffer, root);
+  maybe_corrupt(index, buffer);
+  verify_replicated(index, buffer);
+}
+
+void ChaosComm::barrier() {
+  begin_collective();
+  inner_->barrier();
+}
+
+Request ChaosComm::iall_reduce(std::span<float> buffer, ReduceOp op) {
+  begin_collective();
+  return inner_->iall_reduce(buffer, op);
+}
+
+Request ChaosComm::iall_gather(std::span<const float> send,
+                               std::span<float> recv) {
+  begin_collective();
+  return inner_->iall_gather(send, recv);
+}
+
+Request ChaosComm::iall_gatherv(std::span<const float> send,
+                                std::span<float> recv,
+                                std::span<const std::size_t> recv_counts) {
+  begin_collective();
+  return inner_->iall_gatherv(send, recv, recv_counts);
+}
+
+Request ChaosComm::ireduce_scatter(std::span<const float> send,
+                                   std::span<float> recv, ReduceOp op) {
+  begin_collective();
+  return inner_->ireduce_scatter(send, recv, op);
+}
+
+Request ChaosComm::ireduce_scatterv(std::span<const float> send,
+                                    std::span<float> recv,
+                                    std::span<const std::size_t> counts,
+                                    ReduceOp op) {
+  begin_collective();
+  return inner_->ireduce_scatterv(send, recv, counts, op);
+}
+
+std::unique_ptr<Communicator> ChaosComm::split(int color, int key) {
+  std::unique_ptr<Communicator> sub = inner_->split(color, key);
+  if (!sub) return nullptr;
+  return std::unique_ptr<Communicator>(
+      new ChaosComm(std::move(sub), state_));
+}
+
+}  // namespace axonn::comm

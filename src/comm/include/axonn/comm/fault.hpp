@@ -1,0 +1,85 @@
+#pragma once
+
+// Typed failures for the fault-tolerance layer.
+//
+// At the scale of the paper's headline runs (up to 32,768 GCDs on Frontier)
+// rank crashes and stuck collectives are routine operational events, not
+// exceptional ones. Plain axonn::Error is too coarse for a supervisor that
+// must decide between "restart from checkpoint" (a rank died), "escalate"
+// (the network wedged), and "data is poisoned" (payload corruption): these
+// subclasses carry the structured fields a recovery driver needs.
+
+#include <cstdint>
+#include <string>
+
+#include "axonn/base/error.hpp"
+
+namespace axonn::comm {
+
+/// A rank terminated mid-collective (injected by ChaosComm, or raised by a
+/// transport when a peer vanishes). Recoverable by restart-from-checkpoint.
+class RankFailure : public Error {
+ public:
+  RankFailure(int rank, std::uint64_t collective_index)
+      : Error("rank " + std::to_string(rank) + " failed at collective #" +
+              std::to_string(collective_index)),
+        rank_(rank),
+        collective_index_(collective_index) {}
+
+  /// World rank that failed.
+  int rank() const { return rank_; }
+  /// Index of the collective (per-rank issue order) at which it failed.
+  std::uint64_t collective_index() const { return collective_index_; }
+
+ private:
+  int rank_;
+  std::uint64_t collective_index_;
+};
+
+/// A collective exceeded the watchdog budget: some peer never delivered.
+/// Carries enough context to name the stuck communicator, the sequence
+/// number of the wedged collective, and the peer being waited on.
+class CommTimeoutError : public Error {
+ public:
+  CommTimeoutError(std::string communicator, std::uint64_t sequence,
+                   int peer_world_rank, long long budget_ms)
+      : Error("collective watchdog: timeout after " +
+              std::to_string(budget_ms) + " ms on communicator \"" +
+              communicator + "\" seq " + std::to_string(sequence) +
+              " — no message from world rank " +
+              std::to_string(peer_world_rank)),
+        communicator_(std::move(communicator)),
+        sequence_(sequence),
+        peer_world_rank_(peer_world_rank) {}
+
+  const std::string& communicator() const { return communicator_; }
+  std::uint64_t sequence() const { return sequence_; }
+  /// World rank of the peer whose message never arrived.
+  int peer_world_rank() const { return peer_world_rank_; }
+
+ private:
+  std::string communicator_;
+  std::uint64_t sequence_;
+  int peer_world_rank_;
+};
+
+/// A collective's result buffer disagrees across ranks (detected by CRC
+/// cross-check) — bit flips on the wire or a diverged reduction.
+class DataCorruptionError : public Error {
+ public:
+  DataCorruptionError(std::string communicator, std::uint64_t collective_index)
+      : Error("data corruption detected on communicator \"" + communicator +
+              "\" at collective #" + std::to_string(collective_index) +
+              ": result checksums differ across ranks"),
+        communicator_(std::move(communicator)),
+        collective_index_(collective_index) {}
+
+  const std::string& communicator() const { return communicator_; }
+  std::uint64_t collective_index() const { return collective_index_; }
+
+ private:
+  std::string communicator_;
+  std::uint64_t collective_index_;
+};
+
+}  // namespace axonn::comm

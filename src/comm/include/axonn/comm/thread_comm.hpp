@@ -15,6 +15,7 @@
 // independent.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -31,11 +32,20 @@ namespace axonn::comm {
 
 class ThreadComm;
 
+/// Tunables for a ThreadWorld.
+struct WorldOptions {
+  /// Per-receive watchdog budget. A blocked receive (including one running
+  /// inside a progress-stream task) that waits longer than this for a peer's
+  /// message throws CommTimeoutError naming the stuck communicator, sequence
+  /// number and peer. Zero disables the watchdog (wait forever).
+  std::chrono::milliseconds collective_timeout{0};
+};
+
 /// Shared state for a group of thread ranks. Construct one, then either use
 /// run_ranks() (preferred) or call world_comm(rank) from each rank thread.
 class ThreadWorld {
  public:
-  explicit ThreadWorld(int size);
+  explicit ThreadWorld(int size, WorldOptions options = {});
   ~ThreadWorld();
 
   ThreadWorld(const ThreadWorld&) = delete;
@@ -48,11 +58,29 @@ class ThreadWorld {
   std::unique_ptr<ThreadComm> world_comm(int rank);
 
   /// Marks the world as aborted (e.g. a rank threw). All pending and future
-  /// receives wake up and throw, preventing deadlock of surviving ranks.
+  /// receives wake up and throw, and queued progress-stream tasks fail their
+  /// futures promptly, preventing deadlock of surviving ranks. Only the first
+  /// reason is stored; subsequent reasons are logged (warn level) so
+  /// multi-rank failure cascades stay diagnosable.
   void abort(const std::string& reason);
+
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  /// Adjusts the receive watchdog budget (see WorldOptions). Thread-safe.
+  void set_collective_timeout(std::chrono::milliseconds budget) {
+    timeout_ms_.store(budget.count(), std::memory_order_relaxed);
+  }
 
  private:
   friend class ThreadComm;
+
+  /// Context a receive carries so watchdog/abort errors can name the stuck
+  /// collective instead of reporting a bare deadlock.
+  struct RecvContext {
+    const std::string* comm_name;
+    std::uint64_t seq;
+    int src_world_rank;
+  };
 
   struct MessageKey {
     std::uint64_t comm_id;
@@ -78,7 +106,13 @@ class ThreadWorld {
 
   void deliver(int dest_world_rank, const MessageKey& key,
                std::vector<float> payload);
-  std::vector<float> collect(int my_world_rank, const MessageKey& key);
+  std::vector<float> collect(int my_world_rank, const MessageKey& key,
+                             const RecvContext& context);
+
+  [[noreturn]] void throw_aborted();
+  void throw_if_aborted() {
+    if (aborted()) throw_aborted();
+  }
 
   /// Returns a stable id for the subcommunicator created by the
   /// (parent, generation, color) split — every member rank gets the same id.
@@ -100,6 +134,7 @@ class ThreadWorld {
   std::mutex abort_mutex_;
   std::atomic<bool> aborted_{false};
   std::string abort_reason_;
+  std::atomic<long long> timeout_ms_{0};
 };
 
 class ThreadComm final : public Communicator {
@@ -191,7 +226,7 @@ class ThreadComm final : public Communicator {
 /// Spawns `nranks` threads, each running `body` with its own world
 /// communicator, and joins them. If any rank throws, the world is aborted
 /// (unblocking the other ranks) and the first exception is rethrown.
-void run_ranks(int nranks,
-               const std::function<void(Communicator&)>& body);
+void run_ranks(int nranks, const std::function<void(Communicator&)>& body,
+               const WorldOptions& options = {});
 
 }  // namespace axonn::comm

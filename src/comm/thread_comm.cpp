@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "axonn/base/error.hpp"
+#include "axonn/base/log.hpp"
+#include "axonn/comm/fault.hpp"
 #include "axonn/comm/ring.hpp"
 
 namespace axonn::comm {
@@ -13,8 +15,10 @@ namespace axonn::comm {
 // ThreadWorld
 // ---------------------------------------------------------------------------
 
-ThreadWorld::ThreadWorld(int size) : size_(size) {
+ThreadWorld::ThreadWorld(int size, WorldOptions options) : size_(size) {
   AXONN_CHECK_MSG(size >= 1, "ThreadWorld needs at least one rank");
+  timeout_ms_.store(options.collective_timeout.count(),
+                    std::memory_order_relaxed);
   mailboxes_.reserve(static_cast<std::size_t>(size));
   streams_.reserve(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r) {
@@ -51,7 +55,14 @@ std::unique_ptr<ThreadComm> ThreadWorld::world_comm(int rank) {
 void ThreadWorld::abort(const std::string& reason) {
   {
     std::lock_guard<std::mutex> lock(abort_mutex_);
-    if (aborted_.load(std::memory_order_relaxed)) return;
+    if (aborted_.load(std::memory_order_relaxed)) {
+      // First reason wins, but later failures in the cascade are still worth
+      // a trace: "rank 3 timed out" after "rank 1 crashed" tells the operator
+      // the timeout was collateral damage, not an independent fault.
+      AXONN_LOG_WARN << "ThreadWorld::abort: additional reason after \""
+                     << abort_reason_ << "\": " << reason;
+      return;
+    }
     abort_reason_ = reason;
     aborted_.store(true, std::memory_order_release);
   }
@@ -59,6 +70,16 @@ void ThreadWorld::abort(const std::string& reason) {
     std::lock_guard<std::mutex> lock(mailbox->mutex);
     mailbox->cv.notify_all();
   }
+  // Wake idle progress workers too so queued tasks drain (and fail) promptly.
+  for (auto& stream : streams_) {
+    std::lock_guard<std::mutex> lock(stream->mutex);
+    stream->cv.notify_all();
+  }
+}
+
+void ThreadWorld::throw_aborted() {
+  std::lock_guard<std::mutex> lock(abort_mutex_);
+  throw Error("ThreadWorld aborted: " + abort_reason_);
 }
 
 void ThreadWorld::deliver(int dest_world_rank, const MessageKey& key,
@@ -72,18 +93,29 @@ void ThreadWorld::deliver(int dest_world_rank, const MessageKey& key,
 }
 
 std::vector<float> ThreadWorld::collect(int my_world_rank,
-                                        const MessageKey& key) {
+                                        const MessageKey& key,
+                                        const RecvContext& context) {
   Mailbox& mailbox = *mailboxes_[static_cast<std::size_t>(my_world_rank)];
   std::unique_lock<std::mutex> lock(mailbox.mutex);
-  mailbox.cv.wait(lock, [&] {
+  const auto pred = [&] {
     if (aborted_.load(std::memory_order_acquire)) return true;
     auto it = mailbox.queues.find(key);
     return it != mailbox.queues.end() && !it->second.empty();
-  });
-  if (aborted_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> abort_lock(abort_mutex_);
-    throw Error("ThreadWorld aborted: " + abort_reason_);
+  };
+  const long long budget_ms = timeout_ms_.load(std::memory_order_relaxed);
+  if (budget_ms <= 0) {
+    mailbox.cv.wait(lock, pred);
+  } else {
+    // The watchdog: a peer that never delivers turns a silent hang into a
+    // structured error naming exactly which collective wedged on whom.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
+    if (!mailbox.cv.wait_until(lock, deadline, pred)) {
+      throw CommTimeoutError(*context.comm_name, context.seq,
+                             context.src_world_rank, budget_ms);
+    }
   }
+  if (aborted_.load(std::memory_order_acquire)) throw_aborted();
   auto it = mailbox.queues.find(key);
   std::vector<float> payload = std::move(it->second.front());
   it->second.pop_front();
@@ -143,6 +175,7 @@ ThreadComm::ThreadComm(ThreadWorld* world, std::uint64_t comm_id,
 
 void ThreadComm::Transport::send_to(int dest, std::span<const float> data) {
   ThreadWorld::MessageKey key{comm_->comm_id_, comm_->rank_, seq_};
+  comm_->bump(&CommStats::point_to_point_calls);
   comm_->world_->deliver(comm_->members_[static_cast<std::size_t>(dest)], key,
                          std::vector<float>(data.begin(), data.end()));
   comm_->add_wire_bytes(data.size() * sizeof(float));
@@ -150,14 +183,23 @@ void ThreadComm::Transport::send_to(int dest, std::span<const float> data) {
 
 void ThreadComm::Transport::recv_from(int src, std::span<float> out) {
   ThreadWorld::MessageKey key{comm_->comm_id_, src, seq_};
+  comm_->bump(&CommStats::point_to_point_calls);
+  const ThreadWorld::RecvContext context{
+      &comm_->name_, seq_, comm_->members_[static_cast<std::size_t>(src)]};
   const std::vector<float> payload = comm_->world_->collect(
-      comm_->members_[static_cast<std::size_t>(comm_->rank_)], key);
+      comm_->members_[static_cast<std::size_t>(comm_->rank_)], key, context);
   AXONN_CHECK_MSG(payload.size() == out.size(),
                   "ring message size mismatch — mismatched collective call?");
   std::copy(payload.begin(), payload.end(), out.begin());
 }
 
-std::uint64_t ThreadComm::next_seq() { return seq_++; }
+std::uint64_t ThreadComm::next_seq() {
+  // Issue-time abort check: once the world is aborted, every further
+  // collective (blocking or nonblocking) fails fast instead of queueing work
+  // that could never complete.
+  world_->throw_if_aborted();
+  return seq_++;
+}
 
 void ThreadComm::add_wire_bytes(std::uint64_t bytes) {
   std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -170,7 +212,16 @@ void ThreadComm::bump(std::uint64_t CommStats::*counter) {
 }
 
 Request ThreadComm::post_async(std::function<void()> body) {
-  auto task = std::make_shared<std::packaged_task<void()>>(std::move(body));
+  // The task re-checks the abort flag when the progress worker picks it up:
+  // a collective queued behind others when the world aborts must fail its
+  // future promptly rather than run a ring algorithm whose peers are gone
+  // (otherwise Request::wait() can hang on a dead world).
+  ThreadWorld* world = world_;
+  auto task = std::make_shared<std::packaged_task<void()>>(
+      [world, body = std::move(body)] {
+        world->throw_if_aborted();
+        body();
+      });
   std::shared_future<void> done = task->get_future().share();
   world_->enqueue_task(members_[static_cast<std::size_t>(rank_)],
                        [task] { (*task)(); });
@@ -354,8 +405,9 @@ void ThreadComm::reset_stats() {
 // run_ranks
 // ---------------------------------------------------------------------------
 
-void run_ranks(int nranks, const std::function<void(Communicator&)>& body) {
-  ThreadWorld world(nranks);
+void run_ranks(int nranks, const std::function<void(Communicator&)>& body,
+               const WorldOptions& options) {
+  ThreadWorld world(nranks, options);
   std::mutex error_mutex;
   std::exception_ptr first_error;
 
@@ -366,6 +418,12 @@ void run_ranks(int nranks, const std::function<void(Communicator&)>& body) {
       try {
         auto comm = world.world_comm(r);
         body(*comm);
+      } catch (const std::exception& e) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        world.abort("rank " + std::to_string(r) + " threw: " + e.what());
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(error_mutex);

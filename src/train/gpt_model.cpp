@@ -108,6 +108,26 @@ void GPTModel::register_params(Adam& adam) {
   adam.add_param(&lm_head_, &lm_head_grad_);
 }
 
+void GPTModel::for_each_parameter(const std::function<void(Matrix&)>& fn) {
+  // Must mirror register_params() exactly: checkpoints serialize tensors in
+  // this order and restore them positionally.
+  fn(tok_emb_);
+  fn(pos_emb_);
+  for (Block& block : blocks_) {
+    fn(block.ln1_gamma);
+    fn(block.ln1_beta);
+    fn(block.ln2_gamma);
+    fn(block.ln2_beta);
+    for (auto* fc : {block.qkv.get(), block.attn_out.get(), block.mlp_up.get(),
+                     block.mlp_down.get()}) {
+      fn(fc->mutable_weight_shard());
+    }
+  }
+  fn(final_gamma_);
+  fn(final_beta_);
+  fn(lm_head_);
+}
+
 Matrix GPTModel::embed(const std::vector<TokenSeq>& sequences,
                        std::size_t input_len) {
   const auto h = static_cast<std::size_t>(config_.hidden);

@@ -44,6 +44,19 @@ class Adam {
   std::size_t num_params() const { return params_.size(); }
   std::int64_t step_count() const { return t_; }
 
+  /// Checkpoint access: first/second moment of parameter `i` (registration
+  /// order), and restoring the step counter so bias correction resumes
+  /// exactly where the saved run left off.
+  Matrix& moment1(std::size_t i) {
+    AXONN_CHECK(i < params_.size());
+    return params_[i].m;
+  }
+  Matrix& moment2(std::size_t i) {
+    AXONN_CHECK(i < params_.size());
+    return params_[i].v;
+  }
+  void set_step_count(std::int64_t t) { t_ = t; }
+
   /// Total scalar parameters under management.
   std::size_t total_parameter_count() const;
 

@@ -17,6 +17,7 @@
 // groups in sync_gradients().
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -55,6 +56,12 @@ class GPTModel {
   /// Registers every parameter (FC shards + replicated tensors) with the
   /// optimizer. Call once.
   void register_params(Adam& adam);
+
+  /// Visits every parameter tensor in the exact order register_params()
+  /// registers them — the serialization order of the checkpoint format.
+  /// Note: with gz > 1 the FC tensors are this rank's Z-shards, so
+  /// checkpoints are per-rank.
+  void for_each_parameter(const std::function<void(Matrix&)>& fn);
 
   /// Forward + backward + gradient sync over this rank's batch of
   /// equal-length sequences. Returns the mean next-token cross-entropy over

@@ -1,0 +1,69 @@
+#pragma once
+
+// Resilient training driver: the supervisor loop that makes the training
+// stack survive the fault classes ChaosComm can inject.
+//
+// One call runs `total_steps` of GPT training across a thread-rank world,
+// checkpointing every `checkpoint_every` steps (per-rank files, atomic
+// writes, CRC-protected — see checkpoint.hpp). If a rank fails mid-run
+// (e.g. an injected RankFailure) the world aborts, every surviving rank
+// unblocks, and the driver re-spawns the world via run_ranks, restores the
+// latest checkpoint whose files all validate (skipping torn or corrupted
+// ones), and replays forward. Because the snapshot is bit-exact and all
+// training arithmetic is deterministic, the recovered run finishes with a
+// loss bit-identical to an uninterrupted run — the property the end-to-end
+// test asserts.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "axonn/comm/chaos_comm.hpp"
+#include "axonn/sim/grid_shape.hpp"
+#include "axonn/train/adam.hpp"
+#include "axonn/train/corpus.hpp"
+#include "axonn/train/gpt_model.hpp"
+
+namespace axonn::train {
+
+struct ResilientTrainConfig {
+  TinyGPTConfig model;
+  sim::GridShape grid{1, 1, 1, 2};  ///< gx == gy == 1 (GPTModel's contract)
+  AdamConfig adam;
+  CorpusConfig corpus;
+
+  int total_steps = 12;
+  int batch_per_rank = 2;
+  int checkpoint_every = 4;
+  std::string checkpoint_dir;  ///< created if missing
+
+  /// Restart budget: how many failed attempts may be retried before the
+  /// driver gives up and rethrows the last failure.
+  int max_restarts = 4;
+
+  /// Fault injection applied to every rank's world communicator. The crash
+  /// fault only fires on the first attempt — a restart models the failed
+  /// node being replaced by a healthy one.
+  bool enable_chaos = false;
+  comm::ChaosConfig chaos;
+
+  /// Collective watchdog budget for the spawned worlds (0 = off).
+  std::chrono::milliseconds collective_timeout{0};
+
+  /// Seed for the data-order RNG (part of the checkpointed cursor).
+  std::uint64_t data_seed = 0xDA7A0DD5ULL;
+};
+
+struct ResilientTrainResult {
+  float final_loss = 0.0f;  ///< rank 0's eval loss after the last step
+  int restarts = 0;
+  std::uint64_t checkpoints_written = 0;  ///< files written across all ranks
+  std::uint64_t steps_executed = 0;  ///< rank-0 steps incl. replays
+};
+
+/// Runs the supervisor loop to completion (or rethrows after the restart
+/// budget is exhausted). Collective: spawns config.grid.total() thread
+/// ranks internally.
+ResilientTrainResult run_resilient_training(const ResilientTrainConfig& config);
+
+}  // namespace axonn::train

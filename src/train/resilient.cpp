@@ -1,0 +1,157 @@
+#include "axonn/train/resilient.hpp"
+
+#include <filesystem>
+#include <mutex>
+
+#include "axonn/base/log.hpp"
+#include "axonn/comm/thread_comm.hpp"
+#include "axonn/core/grid4d.hpp"
+#include "axonn/train/checkpoint.hpp"
+
+namespace axonn::train {
+
+namespace {
+
+/// One attempt: spawn the world, restore the newest fully-valid checkpoint,
+/// train to total_steps, evaluate. Throws whatever a rank threw (RankFailure
+/// under chaos, CommTimeoutError from the watchdog, ...).
+void run_attempt(const ResilientTrainConfig& config,
+                 const comm::ChaosConfig& chaos, ResilientTrainResult& result,
+                 std::mutex& result_mutex) {
+  namespace fs = std::filesystem;
+  const int world_size = static_cast<int>(config.grid.total());
+
+  comm::run_ranks(
+      world_size,
+      [&](comm::Communicator& world) {
+        std::unique_ptr<comm::ChaosComm> chaos_comm;
+        comm::Communicator* comm = &world;
+        if (config.enable_chaos) {
+          chaos_comm = std::make_unique<comm::ChaosComm>(world, chaos);
+          comm = chaos_comm.get();
+        }
+
+        core::Grid4D grid(*comm, config.grid);
+        GPTModel model(grid, config.model);
+        Adam adam(config.adam);
+        model.register_params(adam);
+        const BucketCorpus corpus(config.corpus);
+
+        const int rank = world.rank();
+        TrainCursor cursor;
+        cursor.rng = Rng(config.data_seed);
+
+        // Restore: every rank loads its own file of the newest step whose
+        // *entire* rank set validates — all ranks agree on the step because
+        // the scan is deterministic over the same directory.
+        const std::int64_t restored_step =
+            find_latest_valid_step(config.checkpoint_dir, world_size);
+        if (restored_step >= 0) {
+          const std::string path =
+              (fs::path(config.checkpoint_dir) /
+               checkpoint_filename(static_cast<std::uint64_t>(restored_step),
+                                   rank))
+                  .string();
+          load_checkpoint(path, model, adam, cursor, rank, world_size);
+          if (rank == 0) {
+            AXONN_LOG_INFO << "resilient: restored step " << restored_step
+                           << " from " << config.checkpoint_dir;
+          }
+        }
+
+        const auto batch = static_cast<std::uint64_t>(config.batch_per_rank);
+        for (std::uint64_t step = cursor.step;
+             step < static_cast<std::uint64_t>(config.total_steps); ++step) {
+          // One shared RNG draw per step jitters the document window; every
+          // rank draws identically (same cursor state), then takes its own
+          // slice — the data-parallel sharding.
+          const std::uint64_t jitter = cursor.rng.uniform_int(1u << 16);
+          std::vector<TokenSeq> sequences;
+          sequences.reserve(batch);
+          for (std::uint64_t b = 0; b < batch; ++b) {
+            sequences.push_back(corpus.background_doc(
+                cursor.next_doc + jitter +
+                static_cast<std::uint64_t>(rank) * batch + b));
+          }
+
+          model.zero_grad();
+          const float loss = model.train_step(sequences);
+          adam.step();
+
+          cursor.step = step + 1;
+          cursor.next_doc += static_cast<std::uint64_t>(world_size) * batch;
+          if (rank == 0) {
+            std::lock_guard<std::mutex> lock(result_mutex);
+            ++result.steps_executed;
+            AXONN_LOG_DEBUG << "resilient: step " << cursor.step << " loss "
+                            << loss;
+          }
+
+          if (config.checkpoint_every > 0 &&
+              cursor.step %
+                      static_cast<std::uint64_t>(config.checkpoint_every) ==
+                  0) {
+            const std::string path =
+                (fs::path(config.checkpoint_dir) /
+                 checkpoint_filename(cursor.step, rank))
+                    .string();
+            save_checkpoint(path, model, adam, cursor, rank, world_size);
+            std::lock_guard<std::mutex> lock(result_mutex);
+            ++result.checkpoints_written;
+          }
+        }
+
+        // Fixed eval batch (independent of the cursor) so the final loss is
+        // comparable across faulted and fault-free runs.
+        std::vector<TokenSeq> eval_batch;
+        for (std::uint64_t b = 0; b < batch; ++b) {
+          eval_batch.push_back(corpus.background_doc(
+              1'000'000 + static_cast<std::uint64_t>(rank) * batch + b));
+        }
+        const float eval_loss = model.evaluate_loss(eval_batch);
+        if (rank == 0) {
+          std::lock_guard<std::mutex> lock(result_mutex);
+          result.final_loss = eval_loss;
+        }
+      },
+      comm::WorldOptions{config.collective_timeout});
+}
+
+}  // namespace
+
+ResilientTrainResult run_resilient_training(
+    const ResilientTrainConfig& config) {
+  AXONN_CHECK_MSG(config.grid.gx == 1 && config.grid.gy == 1,
+                  "GPTModel supports Z x data grids only");
+  AXONN_CHECK_MSG(!config.checkpoint_dir.empty(),
+                  "resilient training needs a checkpoint directory");
+  std::filesystem::create_directories(config.checkpoint_dir);
+
+  ResilientTrainResult result;
+  std::mutex result_mutex;
+
+  for (int attempt = 0;; ++attempt) {
+    comm::ChaosConfig chaos = config.chaos;
+    if (attempt > 0) {
+      // The restarted world models the failed node having been replaced:
+      // the crash fault does not re-fire, but latency/corruption chaos (and
+      // the watchdog) stay armed.
+      chaos.crash_rank = -1;
+    }
+    try {
+      run_attempt(config, chaos, result, result_mutex);
+      return result;
+    } catch (const std::exception& e) {
+      if (attempt >= config.max_restarts) {
+        AXONN_LOG_ERROR << "resilient: restart budget exhausted after "
+                        << attempt + 1 << " attempts: " << e.what();
+        throw;
+      }
+      ++result.restarts;
+      AXONN_LOG_WARN << "resilient: attempt " << attempt + 1 << " failed ("
+                     << e.what() << ") — restarting from latest checkpoint";
+    }
+  }
+}
+
+}  // namespace axonn::train

@@ -1,0 +1,56 @@
+// CRC-32: known-answer vectors, incremental == one-shot, bit-flip
+// sensitivity (the property the checkpoint and chaos layers rely on).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "axonn/base/crc32.hpp"
+
+namespace axonn {
+namespace {
+
+TEST(Crc32Test, KnownAnswerVectors) {
+  // The classic CRC-32/ISO-HDLC check value.
+  const std::string check = "123456789";
+  EXPECT_EQ(crc32(check.data(), check.size()), 0xCBF43926u);
+
+  EXPECT_EQ(crc32(nullptr, 0), 0x00000000u);
+
+  const std::string a = "a";
+  EXPECT_EQ(crc32(a.data(), a.size()), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  std::vector<unsigned char> data(1337);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<unsigned char>(i * 37 + 11);
+  }
+  const std::uint32_t one_shot = crc32(data.data(), data.size());
+
+  std::uint32_t state = crc32_init();
+  std::size_t pos = 0;
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{100}, std::size_t{1229}}) {
+    state = crc32_update(state, data.data() + pos, chunk);
+    pos += chunk;
+  }
+  ASSERT_EQ(pos, data.size());
+  EXPECT_EQ(crc32_finish(state), one_shot);
+}
+
+TEST(Crc32Test, SingleBitFlipChangesChecksum) {
+  std::vector<float> payload(256, 1.5f);
+  const std::uint32_t clean =
+      crc32(payload.data(), payload.size() * sizeof(float));
+  std::uint32_t word;
+  std::memcpy(&word, &payload[100], sizeof(word));
+  word ^= (1u << 13);
+  std::memcpy(&payload[100], &word, sizeof(word));
+  EXPECT_NE(crc32(payload.data(), payload.size() * sizeof(float)), clean);
+}
+
+}  // namespace
+}  // namespace axonn

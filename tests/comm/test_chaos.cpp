@@ -1,0 +1,159 @@
+// ChaosComm fault injection: corruption is caught by the CRC cross-check, a
+// crashed rank unblocks every survivor with a structured error within the
+// watchdog budget, and the same seed reproduces the same fault sequence.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "axonn/comm/chaos_comm.hpp"
+#include "axonn/comm/thread_comm.hpp"
+
+namespace axonn::comm {
+namespace {
+
+ChaosConfig corrupting_config() {
+  ChaosConfig config;
+  config.seed = 99;
+  config.corrupt_probability = 1.0;  // corrupt every collective
+  config.verify_replicated_results = true;
+  return config;
+}
+
+TEST(ChaosTest, CorruptionIsDetectedByChecksum) {
+  EXPECT_THROW(
+      run_ranks(4,
+                [&](Communicator& world) {
+                  ChaosComm chaos(world, corrupting_config());
+                  std::vector<float> buffer(64, 1.0f);
+                  chaos.all_reduce(buffer, ReduceOp::kSum);
+                }),
+      DataCorruptionError);
+}
+
+TEST(ChaosTest, CleanCollectivesPassVerification) {
+  ChaosConfig config;
+  config.seed = 5;
+  config.verify_replicated_results = true;  // checks on, no faults armed
+  run_ranks(4, [&](Communicator& world) {
+    ChaosComm chaos(world, config);
+    std::vector<float> buffer{static_cast<float>(world.rank())};
+    chaos.all_reduce(buffer, ReduceOp::kSum);
+    EXPECT_EQ(buffer[0], 6.0f);
+
+    std::vector<float> recv(4);
+    const std::vector<float> mine{static_cast<float>(world.rank() * 2)};
+    chaos.all_gather(mine, recv);
+    EXPECT_EQ(recv, (std::vector<float>{0.0f, 2.0f, 4.0f, 6.0f}));
+    EXPECT_TRUE(chaos.fault_log().empty());
+  });
+}
+
+TEST(ChaosTest, CrashedRankUnblocksSurvivorsWithinDeadline) {
+  WorldOptions options;
+  options.collective_timeout = std::chrono::milliseconds(2000);
+
+  ChaosConfig config;
+  config.crash_rank = 1;
+  config.crash_at_collective = 3;
+
+  const auto start = std::chrono::steady_clock::now();
+  bool saw_rank_failure = false;
+  try {
+    run_ranks(
+        4,
+        [&](Communicator& world) {
+          ChaosComm chaos(world, config);
+          std::vector<float> buffer{1.0f};
+          for (int i = 0; i < 10; ++i) {
+            chaos.all_reduce(buffer, ReduceOp::kSum);
+          }
+        },
+        options);
+  } catch (const RankFailure& failure) {
+    saw_rank_failure = true;
+    EXPECT_EQ(failure.rank(), 1);
+    EXPECT_EQ(failure.collective_index(), 3u);
+  }
+  // Survivors were mid-all-reduce when rank 1 died: the abort (or, at the
+  // latest, the watchdog) must release them — the join in run_ranks would
+  // otherwise hang far past the deadline.
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(saw_rank_failure);
+  EXPECT_LT(elapsed, std::chrono::milliseconds(4000));
+}
+
+TEST(ChaosTest, SameSeedReproducesSameFaultSequence) {
+  ChaosConfig config;
+  config.seed = 1234;
+  config.corrupt_probability = 0.35;
+
+  auto run_once = [&config] {
+    std::vector<FaultEvent> rank0_log;
+    std::mutex log_mutex;
+    run_ranks(2, [&](Communicator& world) {
+      ChaosComm chaos(world, config);
+      std::vector<float> buffer(16, 1.0f);
+      for (int i = 0; i < 20; ++i) {
+        chaos.all_reduce(buffer, ReduceOp::kSum);
+      }
+      if (world.rank() == 0) {
+        std::lock_guard<std::mutex> lock(log_mutex);
+        rank0_log = chaos.fault_log();
+      }
+    });
+    return rank0_log;
+  };
+
+  const std::vector<FaultEvent> first = run_once();
+  const std::vector<FaultEvent> second = run_once();
+  EXPECT_FALSE(first.empty());  // p=0.35 over 20 ops: schedule fires
+  EXPECT_EQ(first, second);
+
+  // A different seed draws a different schedule.
+  config.seed = 4321;
+  const std::vector<FaultEvent> other = run_once();
+  EXPECT_NE(first, other);
+}
+
+TEST(ChaosTest, OpCounterSpansSplitCommunicators) {
+  // The crash index counts collectives across every communicator derived
+  // from the wrapped world — exactly how a real rank failure behaves.
+  ChaosConfig config;
+  config.crash_rank = 0;
+  config.crash_at_collective = 2;
+  EXPECT_THROW(
+      run_ranks(2,
+                [&](Communicator& world) {
+                  ChaosComm chaos(world, config);
+                  auto sub = chaos.split(/*color=*/0, /*key=*/world.rank());
+                  std::vector<float> buffer{1.0f};
+                  chaos.all_reduce(buffer, ReduceOp::kSum);   // op 0
+                  sub->all_reduce(buffer, ReduceOp::kSum);    // op 1
+                  sub->all_reduce(buffer, ReduceOp::kSum);    // op 2: crash
+                  ADD_FAILURE() << "rank 0 should have crashed";
+                }),
+      RankFailure);
+}
+
+TEST(ChaosTest, SlowRankDelaysButCompletes) {
+  ChaosConfig config;
+  config.slow_rank = 0;
+  config.slow_delay = std::chrono::microseconds(2000);
+  run_ranks(2, [&](Communicator& world) {
+    ChaosComm chaos(world, config);
+    std::vector<float> buffer{1.0f};
+    chaos.all_reduce(buffer, ReduceOp::kSum);
+    EXPECT_EQ(buffer[0], 2.0f);
+    if (world.rank() == 0) {
+      ASSERT_EQ(chaos.fault_log().size(), 1u);
+      EXPECT_EQ(chaos.fault_log()[0].kind, FaultEvent::Kind::kDelay);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace axonn::comm
