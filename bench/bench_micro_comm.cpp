@@ -1,11 +1,15 @@
 // Micro-benchmarks of the thread-rank communicator: ring collectives across
-// rank counts and message sizes (google-benchmark).
+// rank counts and message sizes (google-benchmark). `--json <path>` writes
+// each benchmark's real time as a BENCH_*.json series alongside the normal
+// console report.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "axonn/comm/thread_comm.hpp"
+#include "json_out.hpp"
 
 namespace {
 
@@ -87,5 +91,39 @@ void BM_CommunicatorSplit(benchmark::State& state) {
 }
 BENCHMARK(BM_CommunicatorSplit)->Arg(8);
 
+/// Console reporter that additionally captures every run's mean real time
+/// into the JSON series writer (series = benchmark name, y = seconds/iter).
+class SeriesReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit SeriesReporter(axonn::bench::JsonSeriesWriter& json)
+      : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      json_.add(run.benchmark_name(), static_cast<double>(index_++),
+                run.real_accumulated_time /
+                    static_cast<double>(run.iterations));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  axonn::bench::JsonSeriesWriter& json_;
+  int index_ = 0;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = axonn::bench::extract_json_path(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  axonn::bench::JsonSeriesWriter json("micro_comm");
+  SeriesReporter reporter(json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) json.write_file(json_path);
+  return 0;
+}
 

@@ -1,0 +1,108 @@
+#pragma once
+
+// Machine-readable bench output: every bench binary accepts `--json <path>`
+// and writes a BENCH_*.json with its data series so the perf trajectory can
+// be tracked across PRs. Schema:
+//
+//   {"benchmark": "<name>",
+//    "series": [{"name": "...", "units": "...",
+//                "points": [{"x": ..., "y": ...}, ...]}, ...]}
+//
+// Human-readable tables on stdout are unchanged; JSON is additive.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace axonn::bench {
+
+class JsonSeriesWriter {
+ public:
+  explicit JsonSeriesWriter(std::string benchmark_name)
+      : benchmark_name_(std::move(benchmark_name)) {}
+
+  void add(const std::string& series, double x, double y,
+           const std::string& units = "s") {
+    points_.push_back(Point{series, units, x, y});
+  }
+
+  bool empty() const { return points_.empty(); }
+
+  /// Writes the collected series; returns false (after a stderr note) if
+  /// the file cannot be written.
+  bool write_file(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write bench JSON to " << path << "\n";
+      return false;
+    }
+    out << "{\"benchmark\":" << quoted(benchmark_name_) << ",\"series\":[";
+    // Group points by (series, units) preserving first-seen order.
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      bool seen = false;
+      for (std::size_t j : order) {
+        if (points_[j].series == points_[i].series) seen = true;
+      }
+      if (!seen) order.push_back(i);
+    }
+    for (std::size_t s = 0; s < order.size(); ++s) {
+      const Point& head = points_[order[s]];
+      if (s) out << ",";
+      out << "\n{\"name\":" << quoted(head.series)
+          << ",\"units\":" << quoted(head.units) << ",\"points\":[";
+      bool first = true;
+      for (const Point& p : points_) {
+        if (p.series != head.series) continue;
+        if (!first) out << ",";
+        first = false;
+        out << "{\"x\":" << p.x << ",\"y\":" << p.y << "}";
+      }
+      out << "]}";
+    }
+    out << "\n]}\n";
+    return out.good();
+  }
+
+ private:
+  struct Point {
+    std::string series;
+    std::string units;
+    double x = 0;
+    double y = 0;
+  };
+
+  static std::string quoted(const std::string& s) {
+    std::string q = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') q += '\\';
+      q += c;
+    }
+    q += '"';
+    return q;
+  }
+
+  std::string benchmark_name_;
+  std::vector<Point> points_;
+};
+
+/// Removes `--json <path>` from argv (so later arg parsers never see it)
+/// and returns the path, or "" when absent.
+inline std::string extract_json_path(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      path = argv[i + 1];
+      ++i;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return path;
+}
+
+}  // namespace axonn::bench

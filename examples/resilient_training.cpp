@@ -7,16 +7,23 @@
 // by side at the end.
 //
 //   $ ./resilient_training [checkpoint_dir]
+//
+// Set AXONN_TRACE=out.json to record both runs with the flight recorder —
+// the Chrome trace shows training iterations, the injected crash, and the
+// collectives of the restarted world.
 
 #include <cstdio>
 #include <exception>
 #include <filesystem>
 
+#include "axonn/base/trace.hpp"
 #include "axonn/train/resilient.hpp"
 
 int main(int argc, char** argv) try {
   using namespace axonn;
   namespace fs = std::filesystem;
+
+  obs::TraceSession trace;  // honours AXONN_TRACE
 
   const std::string base =
       argc > 1 ? argv[1] : (fs::temp_directory_path() / "axonn-resilient").string();

@@ -1,0 +1,478 @@
+#include "axonn/base/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string_view>
+#include <utility>
+
+#include "axonn/base/log.hpp"
+
+namespace axonn::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::size_t> g_capacity{std::size_t{1} << 16};
+std::atomic<std::uint32_t> g_next_tid{0};
+
+Clock::time_point trace_epoch() {
+  // First use wins; every timestamp is relative to this instant.
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(Clock::now() - trace_epoch())
+      .count();
+}
+
+// One per thread, shared with the global registry so events survive thread
+// exit (progress workers are joined before traces are merged, but rank
+// threads from run_ranks() are gone by then too).
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;  // ring once size reaches capacity
+  std::size_t head = 0;            // next overwrite position when full
+  std::size_t capacity = 0;
+  std::uint64_t dropped = 0;
+  int rank = -1;
+  StreamKind stream = StreamKind::kUnknown;
+  std::uint32_t tid = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: outlives all threads
+  return *r;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    b->capacity = g_capacity.load(std::memory_order_relaxed);
+    b->tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void record(Phase phase, const char* category, std::string name,
+            double value) {
+  ThreadBuffer& buf = local_buffer();
+  TraceEvent ev;
+  ev.t_us = now_us();
+  ev.phase = phase;
+  ev.stream = buf.stream;
+  ev.rank = buf.rank;
+  ev.tid = buf.tid;
+  ev.category = category;
+  ev.name = std::move(name);
+  ev.value = value;
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  if (buf.events.size() < buf.capacity) {
+    buf.events.push_back(std::move(ev));
+  } else if (buf.capacity > 0) {
+    buf.events[buf.head] = std::move(ev);
+    buf.head = (buf.head + 1) % buf.capacity;
+    ++buf.dropped;
+  } else {
+    ++buf.dropped;
+  }
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  trace_epoch();  // pin the epoch no later than the first enable
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_thread_ident(int rank, StreamKind stream) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.rank = rank;
+  buf.stream = stream;
+}
+
+void set_ring_capacity(std::size_t events) {
+  g_capacity.store(events, std::memory_order_relaxed);
+}
+
+std::uint64_t dropped_events() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::uint64_t total = 0;
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    total += buf->dropped;
+  }
+  return total;
+}
+
+void clear() {
+  const std::size_t capacity = g_capacity.load(std::memory_order_relaxed);
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    buf->events.clear();
+    buf->head = 0;
+    buf->dropped = 0;
+    buf->capacity = capacity;
+  }
+}
+
+void begin_span(const char* category, std::string name) {
+  if (!enabled()) return;
+  record(Phase::kBegin, category, std::move(name), 0);
+}
+
+void end_span() {
+  if (!enabled()) return;
+  record(Phase::kEnd, "", std::string(), 0);
+}
+
+void counter(const char* category, std::string name, double value) {
+  if (!enabled()) return;
+  record(Phase::kCounter, category, std::move(name), value);
+}
+
+void instant(const char* category, std::string name) {
+  if (!enabled()) return;
+  record(Phase::kInstant, category, std::move(name), 0);
+}
+
+std::vector<TraceEvent> merged_events() {
+  std::vector<TraceEvent> merged;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto& buf : reg.buffers) {
+      std::lock_guard<std::mutex> buf_lock(buf->mutex);
+      // Unroll the ring into chronological per-thread order.
+      const std::size_t n = buf->events.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        merged.push_back(buf->events[(buf->head + i) % n]);
+      }
+    }
+  }
+  // Stable: ties keep per-thread relative order (buffers were appended whole).
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.t_us < b.t_us;
+                   });
+  return merged;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace JSON
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void write_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          out << hex;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+int chrome_pid(const TraceEvent& ev) { return ev.rank >= 0 ? ev.rank : 9999; }
+
+int chrome_tid(const TraceEvent& ev) {
+  switch (ev.stream) {
+    case StreamKind::kMain: return 0;
+    case StreamKind::kProgress: return 1;
+    case StreamKind::kUnknown: break;
+  }
+  return 100 + static_cast<int>(ev.tid);
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events) {
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&](auto&& body) {
+    if (!first) out << ",\n";
+    first = false;
+    out << '{';
+    body();
+    out << '}';
+  };
+
+  // Thread-name metadata for every (pid, tid) pair that appears.
+  std::vector<std::pair<int, int>> named;
+  for (const TraceEvent& ev : events) {
+    const std::pair<int, int> key{chrome_pid(ev), chrome_tid(ev)};
+    if (std::find(named.begin(), named.end(), key) != named.end()) continue;
+    named.push_back(key);
+    emit([&] {
+      const char* label = key.second == 0   ? "compute"
+                          : key.second == 1 ? "comm stream"
+                                            : "untagged";
+      out << "\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << key.first
+          << ",\"tid\":" << key.second << ",\"args\":{\"name\":";
+      write_json_string(out, label);
+      out << "}";
+    });
+    if (key.second == 0) {
+      emit([&] {
+        out << "\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << key.first
+            << ",\"tid\":0,\"args\":{\"name\":";
+        write_json_string(out, "rank " + std::to_string(key.first));
+        out << "}";
+      });
+    }
+  }
+
+  for (const TraceEvent& ev : events) {
+    emit([&] {
+      const char* ph = "i";
+      switch (ev.phase) {
+        case Phase::kBegin: ph = "B"; break;
+        case Phase::kEnd: ph = "E"; break;
+        case Phase::kCounter: ph = "C"; break;
+        case Phase::kInstant: ph = "i"; break;
+      }
+      out << "\"ph\":\"" << ph << "\",\"ts\":" << ev.t_us
+          << ",\"pid\":" << chrome_pid(ev) << ",\"tid\":" << chrome_tid(ev);
+      if (ev.phase != Phase::kEnd) {
+        out << ",\"name\":";
+        write_json_string(out, ev.name);
+        out << ",\"cat\":";
+        write_json_string(out, ev.category);
+      }
+      if (ev.phase == Phase::kCounter) {
+        out << ",\"args\":{\"value\":" << ev.value << "}";
+      } else if (ev.phase == Phase::kInstant) {
+        out << ",\"s\":\"t\"";
+      }
+    });
+  }
+  out << "\n]}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    AXONN_LOG_WARN << "trace: cannot open '" << path << "' for writing";
+    return false;
+  }
+  write_chrome_trace(out, merged_events());
+  return out.good();
+}
+
+TraceSession::TraceSession() {
+  if (const char* env = std::getenv("AXONN_TRACE")) {
+    path_ = *env ? env : "axonn.trace.json";
+    set_enabled(true);
+  }
+}
+
+TraceSession::TraceSession(std::string path) : path_(std::move(path)) {
+  if (!path_.empty()) set_enabled(true);
+}
+
+TraceSession::~TraceSession() {
+  if (path_.empty()) return;
+  set_enabled(false);
+  if (write_chrome_trace_file(path_)) {
+    AXONN_LOG_INFO << "trace: wrote " << path_
+                   << " (open in chrome://tracing or Perfetto)";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Iteration breakdowns
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Interval {
+  double begin = 0;
+  double end = 0;
+};
+
+// Total measure of the union of `intervals`, clipped to [lo, hi].
+double union_within(std::vector<Interval> intervals, double lo, double hi) {
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+  double total = 0;
+  double cursor = lo;
+  for (const Interval& iv : intervals) {
+    const double b = std::max(iv.begin, std::max(cursor, lo));
+    const double e = std::min(iv.end, hi);
+    if (e > b) {
+      total += e - b;
+      cursor = e;
+    } else {
+      cursor = std::max(cursor, std::min(iv.end, hi));
+    }
+  }
+  return total;
+}
+
+bool is_comm_category(const char* cat) {
+  const std::string_view c{cat};
+  return c == kCatComm || c == kCatWait;
+}
+
+}  // namespace
+
+std::vector<IterationReport> iteration_reports(
+    const std::vector<TraceEvent>& events, int rank) {
+  // Reconstruct closed spans per thread with a begin-stack; unmatched begins
+  // are closed at the last observed timestamp.
+  double t_max = 0;
+  for (const TraceEvent& ev : events) t_max = std::max(t_max, ev.t_us);
+
+  struct Span {
+    Interval iv;
+    StreamKind stream = StreamKind::kUnknown;
+    const char* category = "";
+  };
+  std::vector<Span> spans;
+  std::vector<Interval> iters;
+  {
+    struct Open {
+      double begin;
+      const char* category;
+    };
+    // Per-tid begin stacks; tids are small dense integers.
+    std::vector<std::vector<Open>> stacks;
+    auto stack_for = [&](std::uint32_t tid) -> std::vector<Open>& {
+      if (tid >= stacks.size()) stacks.resize(tid + 1);
+      return stacks[tid];
+    };
+    std::vector<StreamKind> streams;
+    auto note_stream = [&](const TraceEvent& ev) {
+      if (ev.tid >= streams.size())
+        streams.resize(ev.tid + 1, StreamKind::kUnknown);
+      streams[ev.tid] = ev.stream;
+    };
+    auto close = [&](std::uint32_t tid, double end) {
+      auto& stack = stack_for(tid);
+      if (stack.empty()) return;
+      const Open open = stack.back();
+      stack.pop_back();
+      Span s;
+      s.iv = {open.begin, end};
+      s.stream = tid < streams.size() ? streams[tid] : StreamKind::kUnknown;
+      s.category = open.category;
+      if (std::string_view{open.category} == kCatIter) {
+        iters.push_back(s.iv);
+      } else {
+        spans.push_back(s);
+      }
+    };
+    for (const TraceEvent& ev : events) {
+      if (ev.rank != rank) continue;
+      note_stream(ev);
+      if (ev.phase == Phase::kBegin) {
+        stack_for(ev.tid).push_back({ev.t_us, ev.category});
+      } else if (ev.phase == Phase::kEnd) {
+        close(ev.tid, ev.t_us);
+      }
+    }
+    for (std::uint32_t tid = 0; tid < stacks.size(); ++tid) {
+      while (!stacks[tid].empty()) close(tid, t_max);
+    }
+  }
+  std::sort(iters.begin(), iters.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+
+  std::vector<IterationReport> reports;
+  reports.reserve(iters.size());
+  for (const Interval& iter : iters) {
+    std::vector<Interval> exposed;   // compute-thread comm/wait stalls
+    std::vector<Interval> comm_any;  // comm activity on either stream
+    std::vector<Interval> compute;   // explicit compute spans
+    for (const Span& s : spans) {
+      if (s.iv.end <= iter.begin || s.iv.begin >= iter.end) continue;
+      if (is_comm_category(s.category)) {
+        comm_any.push_back(s.iv);
+        if (s.stream == StreamKind::kMain) exposed.push_back(s.iv);
+      } else if (std::string_view{s.category} == kCatCompute &&
+                 s.stream == StreamKind::kMain) {
+        compute.push_back(s.iv);
+      }
+    }
+    IterationReport r;
+    constexpr double kUsToS = 1e-6;
+    r.wall_s = (iter.end - iter.begin) * kUsToS;
+    r.exposed_comm_s =
+        union_within(std::move(exposed), iter.begin, iter.end) * kUsToS;
+    r.compute_s = r.wall_s - r.exposed_comm_s;
+    r.instrumented_compute_s =
+        union_within(std::move(compute), iter.begin, iter.end) * kUsToS;
+    r.comm_busy_s =
+        union_within(std::move(comm_any), iter.begin, iter.end) * kUsToS;
+    r.hidden_comm_s = std::max(0.0, r.comm_busy_s - r.exposed_comm_s);
+    r.overlap_efficiency =
+        r.comm_busy_s > 0 ? r.hidden_comm_s / r.comm_busy_s : 0.0;
+    reports.push_back(r);
+  }
+  return reports;
+}
+
+IterationReport mean_report(const std::vector<IterationReport>& reports) {
+  IterationReport mean;
+  if (reports.empty()) return mean;
+  for (const IterationReport& r : reports) {
+    mean.wall_s += r.wall_s;
+    mean.exposed_comm_s += r.exposed_comm_s;
+    mean.compute_s += r.compute_s;
+    mean.instrumented_compute_s += r.instrumented_compute_s;
+    mean.comm_busy_s += r.comm_busy_s;
+    mean.hidden_comm_s += r.hidden_comm_s;
+    mean.overlap_efficiency += r.overlap_efficiency;
+  }
+  const double n = static_cast<double>(reports.size());
+  mean.wall_s /= n;
+  mean.exposed_comm_s /= n;
+  mean.compute_s /= n;
+  mean.instrumented_compute_s /= n;
+  mean.comm_busy_s /= n;
+  mean.hidden_comm_s /= n;
+  mean.overlap_efficiency /= n;
+  return mean;
+}
+
+}  // namespace axonn::obs

@@ -120,7 +120,7 @@ class ThreadWorld {
                            int color);
 
   void enqueue_task(int world_rank, std::function<void()> task);
-  void progress_loop(ProgressStream& stream);
+  void progress_loop(int rank, ProgressStream& stream);
 
   int size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
@@ -202,9 +202,14 @@ class ThreadComm final : public Communicator {
   void add_wire_bytes(std::uint64_t bytes);
   void bump(std::uint64_t CommStats::*counter);
 
-  // Executes `body` (which runs a ring algorithm) either inline or on the
-  // rank's progress stream, returning a Request in the latter case.
-  Request post_async(std::function<void()> body);
+  /// Emits the communicator's cumulative wire_bytes_sent as a trace counter
+  /// (no-op when tracing is disabled).
+  void trace_wire_total();
+
+  // Executes `body` (which runs a ring algorithm) on the rank's progress
+  // stream, returning a Request. `op` names the collective in the trace
+  // (the task body is recorded as a comm-stream span).
+  Request post_async(const char* op, std::function<void()> body);
 
   ThreadWorld* world_;
   std::uint64_t comm_id_;

@@ -6,10 +6,21 @@
 
 #include "axonn/base/error.hpp"
 #include "axonn/base/log.hpp"
+#include "axonn/base/trace.hpp"
 #include "axonn/comm/fault.hpp"
 #include "axonn/comm/ring.hpp"
 
 namespace axonn::comm {
+
+namespace {
+// Opens `span` as "<op>(<comm name>)" in the comm category; the name string
+// is only built when tracing is on.
+void open_comm_span(obs::SpanGuard& span, const char* op,
+                    const std::string& comm_name) {
+  if (!obs::enabled()) return;
+  span.open(obs::kCatComm, std::string(op) + "(" + comm_name + ")");
+}
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // ThreadWorld
@@ -27,7 +38,7 @@ ThreadWorld::ThreadWorld(int size, WorldOptions options) : size_(size) {
   }
   for (int r = 0; r < size; ++r) {
     ProgressStream& stream = *streams_[static_cast<std::size_t>(r)];
-    stream.worker = std::thread([this, &stream] { progress_loop(stream); });
+    stream.worker = std::thread([this, r, &stream] { progress_loop(r, stream); });
   }
 }
 
@@ -46,6 +57,8 @@ ThreadWorld::~ThreadWorld() {
 
 std::unique_ptr<ThreadComm> ThreadWorld::world_comm(int rank) {
   AXONN_CHECK(rank >= 0 && rank < size_);
+  // The caller is (by contract) rank's compute thread; tag it for the trace.
+  obs::set_thread_ident(rank, obs::StreamKind::kMain);
   std::vector<int> members(static_cast<std::size_t>(size_));
   for (int r = 0; r < size_; ++r) members[static_cast<std::size_t>(r)] = r;
   return std::unique_ptr<ThreadComm>(
@@ -141,7 +154,8 @@ void ThreadWorld::enqueue_task(int world_rank, std::function<void()> task) {
   stream.cv.notify_all();
 }
 
-void ThreadWorld::progress_loop(ProgressStream& stream) {
+void ThreadWorld::progress_loop(int rank, ProgressStream& stream) {
+  obs::set_thread_ident(rank, obs::StreamKind::kProgress);
   for (;;) {
     std::function<void()> task;
     {
@@ -184,6 +198,12 @@ void ThreadComm::Transport::send_to(int dest, std::span<const float> data) {
 void ThreadComm::Transport::recv_from(int src, std::span<float> out) {
   ThreadWorld::MessageKey key{comm_->comm_id_, src, seq_};
   comm_->bump(&CommStats::point_to_point_calls);
+  // A nested span per ring hop: receives are where a ring step blocks, so
+  // these make the ring's pipeline structure visible in the trace.
+  obs::SpanGuard span;
+  if (obs::enabled()) {
+    span.open(obs::kCatComm, "recv(src=" + std::to_string(src) + ")");
+  }
   const ThreadWorld::RecvContext context{
       &comm_->name_, seq_, comm_->members_[static_cast<std::size_t>(src)]};
   const std::vector<float> payload = comm_->world_->collect(
@@ -211,16 +231,36 @@ void ThreadComm::bump(std::uint64_t CommStats::*counter) {
   stats_.*counter += 1;
 }
 
-Request ThreadComm::post_async(std::function<void()> body) {
+void ThreadComm::trace_wire_total() {
+  if (!obs::enabled()) return;
+  std::uint64_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    total = stats_.wire_bytes_sent;
+  }
+  obs::counter(obs::kCatComm, "wire_bytes(" + name_ + ")",
+               static_cast<double>(total));
+}
+
+Request ThreadComm::post_async(const char* op, std::function<void()> body) {
   // The task re-checks the abort flag when the progress worker picks it up:
   // a collective queued behind others when the world aborts must fail its
   // future promptly rather than run a ring algorithm whose peers are gone
   // (otherwise Request::wait() can hang on a dead world).
   ThreadWorld* world = world_;
+  std::string label;
+  if (obs::enabled()) label = std::string(op) + "(" + name_ + ")";
   auto task = std::make_shared<std::packaged_task<void()>>(
-      [world, body = std::move(body)] {
+      [this, world, label = std::move(label), body = std::move(body)] {
         world->throw_if_aborted();
-        body();
+        {
+          // Recorded on the progress thread: this is the comm-stream span
+          // that overlaps compute spans on the rank's main thread.
+          obs::SpanGuard span;
+          if (!label.empty() && obs::enabled()) span.open(obs::kCatComm, label);
+          body();
+        }
+        trace_wire_total();
       });
   std::shared_future<void> done = task->get_future().share();
   world_->enqueue_task(members_[static_cast<std::size_t>(rank_)],
@@ -236,8 +276,12 @@ std::vector<std::size_t> equal_counts(int parts, std::size_t each) {
 
 void ThreadComm::all_reduce(std::span<float> buffer, ReduceOp op) {
   bump(&CommStats::all_reduce_calls);
+  obs::SpanGuard span;
+  open_comm_span(span, "all_reduce", name_);
   Transport t(this, next_seq());
   ring_all_reduce(t, buffer, op);
+  span.close();
+  trace_wire_total();
 }
 
 void ThreadComm::all_gather(std::span<const float> send,
@@ -246,15 +290,23 @@ void ThreadComm::all_gather(std::span<const float> send,
                   "all_gather recv size must be size() * send size");
   const auto counts = equal_counts(size(), send.size());
   bump(&CommStats::all_gather_calls);
+  obs::SpanGuard span;
+  open_comm_span(span, "all_gather", name_);
   Transport t(this, next_seq());
   ring_all_gatherv(t, send, recv, counts);
+  span.close();
+  trace_wire_total();
 }
 
 void ThreadComm::all_gatherv(std::span<const float> send, std::span<float> recv,
                              std::span<const std::size_t> recv_counts) {
   bump(&CommStats::all_gather_calls);
+  obs::SpanGuard span;
+  open_comm_span(span, "all_gatherv", name_);
   Transport t(this, next_seq());
   ring_all_gatherv(t, send, recv, recv_counts);
+  span.close();
+  trace_wire_total();
 }
 
 void ThreadComm::reduce_scatter(std::span<const float> send,
@@ -263,8 +315,12 @@ void ThreadComm::reduce_scatter(std::span<const float> send,
                   "reduce_scatter send size must be size() * recv size");
   const auto counts = equal_counts(size(), recv.size());
   bump(&CommStats::reduce_scatter_calls);
+  obs::SpanGuard span;
+  open_comm_span(span, "reduce_scatter", name_);
   Transport t(this, next_seq());
   ring_reduce_scatterv(t, send, recv, counts, op);
+  span.close();
+  trace_wire_total();
 }
 
 void ThreadComm::reduce_scatterv(std::span<const float> send,
@@ -272,18 +328,28 @@ void ThreadComm::reduce_scatterv(std::span<const float> send,
                                  std::span<const std::size_t> counts,
                                  ReduceOp op) {
   bump(&CommStats::reduce_scatter_calls);
+  obs::SpanGuard span;
+  open_comm_span(span, "reduce_scatterv", name_);
   Transport t(this, next_seq());
   ring_reduce_scatterv(t, send, recv, counts, op);
+  span.close();
+  trace_wire_total();
 }
 
 void ThreadComm::broadcast(std::span<float> buffer, int root) {
   bump(&CommStats::broadcast_calls);
+  obs::SpanGuard span;
+  open_comm_span(span, "broadcast", name_);
   Transport t(this, next_seq());
   tree_broadcast(t, buffer, root);
+  span.close();
+  trace_wire_total();
 }
 
 void ThreadComm::barrier() {
   float token = 0.0f;
+  obs::SpanGuard span;
+  open_comm_span(span, "barrier", name_);
   Transport t(this, next_seq());
   ring_all_reduce(t, std::span<float>(&token, 1), ReduceOp::kSum);
 }
@@ -291,7 +357,7 @@ void ThreadComm::barrier() {
 Request ThreadComm::iall_reduce(std::span<float> buffer, ReduceOp op) {
   bump(&CommStats::all_reduce_calls);
   const std::uint64_t seq = next_seq();
-  return post_async([this, buffer, op, seq] {
+  return post_async("iall_reduce", [this, buffer, op, seq] {
     Transport t(this, seq);
     ring_all_reduce(t, buffer, op);
   });
@@ -304,7 +370,7 @@ Request ThreadComm::iall_gather(std::span<const float> send,
   bump(&CommStats::all_gather_calls);
   const std::uint64_t seq = next_seq();
   auto counts = equal_counts(size(), send.size());
-  return post_async([this, send, recv, counts = std::move(counts), seq] {
+  return post_async("iall_gather", [this, send, recv, counts = std::move(counts), seq] {
     Transport t(this, seq);
     ring_all_gatherv(t, send, recv, counts);
   });
@@ -316,7 +382,7 @@ Request ThreadComm::iall_gatherv(std::span<const float> send,
   bump(&CommStats::all_gather_calls);
   const std::uint64_t seq = next_seq();
   std::vector<std::size_t> counts(recv_counts.begin(), recv_counts.end());
-  return post_async([this, send, recv, counts = std::move(counts), seq] {
+  return post_async("iall_gatherv", [this, send, recv, counts = std::move(counts), seq] {
     Transport t(this, seq);
     ring_all_gatherv(t, send, recv, counts);
   });
@@ -329,7 +395,7 @@ Request ThreadComm::ireduce_scatter(std::span<const float> send,
   bump(&CommStats::reduce_scatter_calls);
   const std::uint64_t seq = next_seq();
   auto counts = equal_counts(size(), recv.size());
-  return post_async([this, send, recv, counts = std::move(counts), op, seq] {
+  return post_async("ireduce_scatter", [this, send, recv, counts = std::move(counts), op, seq] {
     Transport t(this, seq);
     ring_reduce_scatterv(t, send, recv, counts, op);
   });
@@ -342,7 +408,7 @@ Request ThreadComm::ireduce_scatterv(std::span<const float> send,
   bump(&CommStats::reduce_scatter_calls);
   const std::uint64_t seq = next_seq();
   std::vector<std::size_t> counts(counts_in.begin(), counts_in.end());
-  return post_async([this, send, recv, counts = std::move(counts), op, seq] {
+  return post_async("ireduce_scatterv", [this, send, recv, counts = std::move(counts), op, seq] {
     Transport t(this, seq);
     ring_reduce_scatterv(t, send, recv, counts, op);
   });

@@ -1,0 +1,107 @@
+#include "axonn/core/comm_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "axonn/base/log.hpp"
+#include "axonn/base/trace.hpp"
+#include "axonn/perf/comm_model.hpp"
+
+namespace axonn::core {
+
+namespace {
+// The model prices bf16 elements (2 bytes); ThreadComm moves fp32 floats.
+constexpr double kFp32OverBf16 = 4.0 / 2.0;
+}  // namespace
+
+LayerWireBytes predicted_layer_wire_bytes(const TensorParallelFC& fc,
+                                          std::size_t group_rows,
+                                          bool include_data_grad_sync) {
+  // Bandwidths only shape predicted *times*; bytes are bandwidth-free.
+  perf::DimensionBandwidths unit_beta{1.0, 1.0, 1.0, 1.0};
+  const bool transposed = fc.options().transposed;
+  const perf::LayerCommPrediction p = perf::predict_layer(
+      static_cast<double>(group_rows), static_cast<double>(fc.in_features()),
+      static_cast<double>(fc.out_features()), transposed, fc.grid_shape(),
+      unit_beta);
+
+  LayerWireBytes bytes;
+  bytes.z = kFp32OverBf16 * (p.bytes_ag_z + p.bytes_rs_z);
+  // Eq. 3 aggregates the forward output over the row group, Eq. 4 the input
+  // gradient over the column group; row = Y and col = X unless transposed.
+  double& row_bytes = transposed ? bytes.x : bytes.y;
+  double& col_bytes = transposed ? bytes.y : bytes.x;
+  row_bytes += kFp32OverBf16 * p.bytes_ar_fwd;
+  col_bytes += kFp32OverBf16 * p.bytes_ar_bwd;
+  if (include_data_grad_sync) {
+    bytes.data = kFp32OverBf16 * p.bytes_ar_data;
+  }
+  return bytes;
+}
+
+void CommModelChecker::begin() {
+  base_x_ = grid_.x_comm().stats().wire_bytes_sent;
+  base_y_ = grid_.y_comm().stats().wire_bytes_sent;
+  base_z_ = grid_.z_comm().stats().wire_bytes_sent;
+  base_data_ = grid_.data_comm().stats().wire_bytes_sent;
+  expected_ = LayerWireBytes{};
+  active_ = true;
+}
+
+void CommModelChecker::expect(const LayerWireBytes& bytes) {
+  expected_ += bytes;
+}
+
+CommModelChecker::Result CommModelChecker::finish() {
+  active_ = false;
+  Result result;
+  result.predicted = expected_;
+  result.measured.x = static_cast<double>(
+      grid_.x_comm().stats().wire_bytes_sent - base_x_);
+  result.measured.y = static_cast<double>(
+      grid_.y_comm().stats().wire_bytes_sent - base_y_);
+  result.measured.z = static_cast<double>(
+      grid_.z_comm().stats().wire_bytes_sent - base_z_);
+  result.measured.data = static_cast<double>(
+      grid_.data_comm().stats().wire_bytes_sent - base_data_);
+
+  struct Dim {
+    const char* name;
+    double predicted;
+    double measured;
+  };
+  const Dim dims[] = {
+      {"x", result.predicted.x, result.measured.x},
+      {"y", result.predicted.y, result.measured.y},
+      {"z", result.predicted.z, result.measured.z},
+      {"data", result.predicted.data, result.measured.data},
+  };
+  for (const Dim& dim : dims) {
+    const double scale = std::max(dim.predicted, dim.measured);
+    if (scale <= 0) continue;  // no traffic predicted nor observed: agreed
+    const double rel = std::abs(dim.measured - dim.predicted) / scale;
+    result.worst_rel_error = std::max(result.worst_rel_error, rel);
+    if (obs::enabled()) {
+      obs::counter(obs::kCatCheck, std::string("rel_err_") + dim.name, rel);
+    }
+    if (rel > tolerance_) {
+      result.ok = false;
+      AXONN_LOG_WARN << "comm model divergence on " << dim.name
+                     << ": Eq. 1-5 predict " << dim.predicted
+                     << " wire bytes/rank, runtime counted " << dim.measured
+                     << " (rel err " << rel << " > tol " << tolerance_ << ")";
+      if (obs::enabled()) {
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "divergence %s: predicted %.0f measured %.0f", dim.name,
+                      dim.predicted, dim.measured);
+        obs::instant(obs::kCatCheck, line);
+      }
+    }
+  }
+  last_ = result;
+  return result;
+}
+
+}  // namespace axonn::core

@@ -3,6 +3,7 @@
 #include <span>
 
 #include "axonn/base/error.hpp"
+#include "axonn/base/trace.hpp"
 
 namespace axonn::core {
 
@@ -14,6 +15,10 @@ TensorParallelFC::TensorParallelFC(Grid4D& grid, std::size_t in_features,
       out_features_(out_features),
       options_(options) {
   AXONN_CHECK(in_features >= 1 && out_features >= 1);
+  if (options_.kernel_tuning) {
+    tuner_ = std::make_unique<KernelTuner>(options_.kernel_tuner_repeats,
+                                           options_.mixed_precision);
+  }
   in_range_ = chunk_range(in_features, static_cast<std::size_t>(row_dim()),
                           static_cast<std::size_t>(row_coord()));
   out_range_ = chunk_range(out_features, static_cast<std::size_t>(col_dim()),
@@ -55,7 +60,11 @@ Range TensorParallelFC::input_row_range(std::size_t total_rows) const {
 }
 
 Matrix TensorParallelFC::multiply(GemmMode mode, const Matrix& a,
-                                  const Matrix& b) const {
+                                  const Matrix& b) {
+  // §V-C: with kernel_tuning on, the tuner times every kernel variant for
+  // this (mode, shape) on the first batch and runs the winner thereafter —
+  // this is the layer's real hot path, not a side calibration.
+  if (tuner_) return tuner_->run(mode, a, b);
   return options_.mixed_precision ? gemm_bf16(mode, a, b) : gemm(mode, a, b);
 }
 
@@ -70,6 +79,9 @@ void TensorParallelFC::begin_weight_gather() {
 void TensorParallelFC::gather_weights_into_cache() {
   if (weight_cache_valid_) return;
   if (pending_weight_gather_) {
+    // OAG window closes: time the compute thread spends here is the exposed
+    // remainder of the prefetched all-gather.
+    obs::SpanGuard wait(obs::kCatWait, "AG_z.wait");
     pending_weight_gather_->wait();
     pending_weight_gather_.reset();
   } else {
@@ -85,7 +97,11 @@ Matrix TensorParallelFC::forward(const Matrix& input_local) {
   AXONN_CHECK_MSG(input_local.cols() == in_local(),
                   "local input columns must match this rank's W-row share");
   gather_weights_into_cache();
-  Matrix output = multiply(GemmMode::kNN, input_local, cached_weight_block_);
+  Matrix output;
+  {
+    obs::SpanGuard span(obs::kCatCompute, "fwd_gemm");
+    output = multiply(GemmMode::kNN, input_local, cached_weight_block_);
+  }
   row_comm().all_reduce(std::span<float>(output.storage()),
                         comm::ReduceOp::kSum);
   cached_input_ = input_local;
@@ -102,8 +118,11 @@ Matrix TensorParallelFC::backward(const Matrix& grad_output_local) {
   if (pending_reduce_scatter_) finish_gradients();
 
   // Line 11: dI_hat = dO x W^T.
-  Matrix grad_input =
-      multiply(GemmMode::kNT, grad_output_local, cached_weight_block_);
+  Matrix grad_input;
+  {
+    obs::SpanGuard span(obs::kCatCompute, "bwd_dI_gemm");
+    grad_input = multiply(GemmMode::kNT, grad_output_local, cached_weight_block_);
+  }
 
   std::optional<comm::Request> dI_request;
   if (options_.overlap_input_grad_all_reduce) {
@@ -117,9 +136,15 @@ Matrix TensorParallelFC::backward(const Matrix& grad_output_local) {
 
   // Line 13: dW_hat = I^T x dO — overlapped with the dI all-reduce when OAR
   // is on.
-  rs_send_buffer_ = multiply(GemmMode::kTN, cached_input_, grad_output_local);
+  {
+    obs::SpanGuard span(obs::kCatCompute, "bwd_dW_gemm");
+    rs_send_buffer_ = multiply(GemmMode::kTN, cached_input_, grad_output_local);
+  }
 
-  if (dI_request) dI_request->wait();
+  if (dI_request) {
+    obs::SpanGuard wait(obs::kCatWait, "AR_col.wait");
+    dI_request->wait();
+  }
 
   // Line 14: dW_shard = reduce-scatter_z(dW_hat).
   rs_recv_buffer_ = Matrix(weight_shard_.rows(), weight_shard_.cols());
@@ -140,7 +165,10 @@ Matrix TensorParallelFC::backward(const Matrix& grad_output_local) {
 
 void TensorParallelFC::finish_gradients() {
   if (!pending_reduce_scatter_) return;
-  pending_reduce_scatter_->wait();
+  {
+    obs::SpanGuard wait(obs::kCatWait, "RS_z.wait");
+    pending_reduce_scatter_->wait();
+  }
   pending_reduce_scatter_.reset();
   weight_grad_shard_.add_inplace(rs_recv_buffer_);
 }

@@ -1,0 +1,91 @@
+#pragma once
+
+// Runtime cross-validation of the communication performance model.
+//
+// The paper validates its §V-B model against observed runs (Fig. 2); this
+// header does the same continuously: predicted_layer_wire_bytes() evaluates
+// Eqs. 1–5 for a live TensorParallelFC, and CommModelChecker compares the
+// accumulated predictions against the wire_bytes_sent deltas the ThreadComm
+// runtime actually counted on the four grid communicators, logging any
+// divergence (and emitting trace counters under the "commcheck" category).
+//
+// Granularity: one checker window should span whole iterations (all layers,
+// forward + backward + gradient sync). Per-layer windows are not meaningful
+// under OAG, where layer N+1's prefetched weight all-gather executes on the
+// shared z communicator while layer N is still computing.
+
+#include <cstddef>
+
+#include "axonn/comm/communicator.hpp"
+#include "axonn/core/fc_layer.hpp"
+#include "axonn/core/grid4d.hpp"
+
+namespace axonn::core {
+
+/// Predicted fp32 wire bytes per rank, split by grid dimension.
+struct LayerWireBytes {
+  double x = 0, y = 0, z = 0, data = 0;
+
+  LayerWireBytes& operator+=(const LayerWireBytes& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    data += o.data;
+    return *this;
+  }
+  double total() const { return x + y + z + data; }
+};
+
+/// Eqs. 1–5 for one fwd+bwd of `fc` with `group_rows` input rows in this
+/// data-parallel group (the paper's m = batch_tokens / Gdata). The model's
+/// row/column groups map onto grid dimensions per the layer's transposed
+/// flag (row = Y, col = X; swapped when transposed), and the model's bf16
+/// element size is rescaled to the runtime's fp32 floats. Eq. 5 (the
+/// data-parallel gradient all-reduce share) is included iff
+/// `include_data_grad_sync` — set it when the measurement window covers the
+/// data-parallel gradient synchronization.
+LayerWireBytes predicted_layer_wire_bytes(const TensorParallelFC& fc,
+                                          std::size_t group_rows,
+                                          bool include_data_grad_sync);
+
+/// Measures wire_bytes_sent deltas of the four grid communicators across a
+/// begin()..finish() window and compares them with accumulated expect()
+/// predictions.
+class CommModelChecker {
+ public:
+  struct Result {
+    LayerWireBytes predicted;
+    LayerWireBytes measured;
+    double worst_rel_error = 0;  ///< max over dimensions with traffic
+    bool ok = true;              ///< every dimension within tolerance
+  };
+
+  explicit CommModelChecker(Grid4D& grid, double tolerance = 0.02)
+      : grid_(grid), tolerance_(tolerance) {}
+
+  /// Opens a measurement window: snapshots the communicators' byte counters
+  /// and clears accumulated expectations.
+  void begin();
+  bool active() const { return active_; }
+
+  /// Accumulates a prediction for work executing inside the open window.
+  void expect(const LayerWireBytes& bytes);
+
+  /// Closes the window: compares measured deltas against the expectation,
+  /// warns (AXONN_LOG_WARN) on divergence beyond the tolerance, and emits
+  /// per-dimension relative errors as trace counters.
+  Result finish();
+
+  /// The most recent finish()ed result.
+  const Result& last_result() const { return last_; }
+
+ private:
+  Grid4D& grid_;
+  double tolerance_;
+  bool active_ = false;
+  LayerWireBytes expected_;
+  std::uint64_t base_x_ = 0, base_y_ = 0, base_z_ = 0, base_data_ = 0;
+  Result last_;
+};
+
+}  // namespace axonn::core

@@ -23,11 +23,13 @@
 // begin_weight_gather() (OAG).
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "axonn/base/rng.hpp"
 #include "axonn/core/grid4d.hpp"
+#include "axonn/core/kernel_tuner.hpp"
 #include "axonn/tensor/gemm.hpp"
 #include "axonn/tensor/matrix.hpp"
 
@@ -42,6 +44,13 @@ struct FCOptions {
   /// ORS: issue the dW reduce-scatter asynchronously; completed only at
   /// finish_gradients().
   bool overlap_weight_grad_reduce_scatter = false;
+  /// §V-C kernel tuning: route the layer's three GEMMs (NN forward, NT dI,
+  /// TN dW) through a per-layer KernelTuner that times all kernel variants
+  /// on the first batch and locks in the fastest. Respects mixed_precision;
+  /// numerically a no-op (the variants are bit-identical, see KernelTuner).
+  bool kernel_tuning = false;
+  /// Timing repeats per variant when tuning (first batch only).
+  int kernel_tuner_repeats = 3;
   /// Weight init: N(0, init_std^2), identical on every rank by seed.
   float init_std = 0.02f;
 };
@@ -57,6 +66,7 @@ class TensorParallelFC {
   std::size_t in_features() const { return in_features_; }
   std::size_t out_features() const { return out_features_; }
   const FCOptions& options() const { return options_; }
+  const sim::GridShape& grid_shape() const { return grid_.shape(); }
 
   /// Local tile sizes this rank works with.
   std::size_t in_local() const { return in_range_.size(); }
@@ -81,6 +91,17 @@ class TensorParallelFC {
 
   /// Algorithm 1 lines 9-16. Returns dL/dI_local; accumulates the weight
   /// gradient shard. Requires a preceding forward() (caches I and W).
+  ///
+  /// OAG-in-backward audit: the paper prefetches weight all-gathers in the
+  /// backward pass too, because its implementation frees the gathered W
+  /// block after forward to save memory. This runtime keeps the gathered
+  /// block cached across forward+backward (weight_cache_valid_), so
+  /// backward never re-gathers — there is no communication to prefetch and
+  /// the optimization is intentionally absent. If a future memory
+  /// optimization drops the cache after forward, backward must gain a
+  /// begin_weight_gather() prefetch driven by the *next* layer's backward
+  /// (mirroring mlp.cpp's forward-time OAG). Asserted by the
+  /// BackwardIssuesNoWeightGather test.
   Matrix backward(const Matrix& grad_output_local);
 
   /// Completes any outstanding reduce-scatter (ORS). Must be called before
@@ -114,6 +135,10 @@ class TensorParallelFC {
   /// each Z rank contributes.
   const std::vector<std::size_t>& z_shard_counts() const { return z_counts_; }
 
+  /// The layer's kernel tuner, or nullptr when FCOptions::kernel_tuning is
+  /// off. Decisions accumulate as the real training path runs.
+  const KernelTuner* kernel_tuner() const { return tuner_.get(); }
+
  private:
   comm::Communicator& row_comm() {
     return options_.transposed ? grid_.x_comm() : grid_.y_comm();
@@ -130,13 +155,14 @@ class TensorParallelFC {
     return options_.transposed ? grid_.shape().gy : grid_.shape().gx;
   }
 
-  Matrix multiply(GemmMode mode, const Matrix& a, const Matrix& b) const;
+  Matrix multiply(GemmMode mode, const Matrix& a, const Matrix& b);
   void gather_weights_into_cache();
 
   Grid4D& grid_;
   std::size_t in_features_;
   std::size_t out_features_;
   FCOptions options_;
+  std::unique_ptr<KernelTuner> tuner_;  ///< non-null iff kernel_tuning
 
   Range in_range_;   ///< rows of W / cols of I owned by this row coordinate
   Range out_range_;  ///< cols of W owned by this column coordinate

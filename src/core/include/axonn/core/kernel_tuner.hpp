@@ -38,8 +38,12 @@ class KernelTuner {
     }
   };
 
-  explicit KernelTuner(int timing_repeats = 3)
-      : timing_repeats_(timing_repeats) {}
+  /// `mixed_precision` selects the bf16 kernels (gemm_bf16). The tuned
+  /// kernel choice never changes results in either precision: the kernels
+  /// share one i-l-j loop nest whose summation order over the contraction
+  /// dimension is layout-independent, so every variant is bit-identical.
+  explicit KernelTuner(int timing_repeats = 3, bool mixed_precision = false)
+      : timing_repeats_(timing_repeats), mixed_precision_(mixed_precision) {}
 
   /// Computes op(A) x op(B) under `semantic_mode`. The first call for a
   /// given (mode, shape) times all three kernel variants and records the
@@ -59,13 +63,14 @@ class KernelTuner {
  private:
   /// Executes the product with a specific kernel mode, materializing
   /// transposed copies as needed so the math is unchanged.
-  static Matrix run_with_kernel(GemmMode semantic_mode, GemmMode kernel_mode,
-                                const Matrix& a, const Matrix& b);
+  Matrix run_with_kernel(GemmMode semantic_mode, GemmMode kernel_mode,
+                         const Matrix& a, const Matrix& b) const;
 
   double time_variant(GemmMode semantic_mode, GemmMode kernel_mode,
                       const Matrix& a, const Matrix& b) const;
 
   int timing_repeats_;
+  bool mixed_precision_ = false;
   std::map<Key, Choice> decisions_;
 };
 

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "axonn/core/comm_check.hpp"
 #include "axonn/core/fc_layer.hpp"
 
 namespace axonn::core {
@@ -24,10 +25,17 @@ struct MLPOptions {
   bool overlap_input_grad_all_reduce = false;   ///< OAR
   bool overlap_weight_grad_reduce_scatter = false;  ///< ORS
   bool overlap_weight_all_gather = false;       ///< OAG
+  /// §V-C kernel tuning in every layer's GEMMs (see FCOptions).
+  bool kernel_tuning = false;
   bool gelu_between_layers = true;
   float init_std = 0.02f;
   /// First layer 'transposed' flag; subsequent layers alternate.
   bool first_layer_transposed = false;
+  /// Cross-check measured wire_bytes against Eqs. 1–5 every iteration: a
+  /// window opens at the first forward() and closes (comparing + logging
+  /// divergence) at sync_gradients_data_parallel(). See CommModelChecker.
+  bool validate_comm_model = false;
+  double comm_model_tolerance = 0.02;
 };
 
 class TensorParallelMLP {
@@ -55,11 +63,16 @@ class TensorParallelMLP {
   void zero_grad();
   void apply_sgd(float lr);
 
+  /// The Eq. 1–5 runtime checker (nullptr unless validate_comm_model).
+  /// last_result() is meaningful after sync_gradients_data_parallel().
+  const CommModelChecker* comm_checker() const { return checker_.get(); }
+
  private:
   Grid4D& grid_;
   MLPOptions options_;
   std::vector<std::unique_ptr<TensorParallelFC>> layers_;
   std::vector<Matrix> pre_activations_;  ///< inputs to each GELU
+  std::unique_ptr<CommModelChecker> checker_;
 };
 
 }  // namespace axonn::core

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "axonn/base/error.hpp"
+#include "axonn/base/trace.hpp"
 
 namespace axonn::core {
 
@@ -21,9 +22,13 @@ bool transposes_b(GemmMode mode) {
 
 Matrix KernelTuner::run_with_kernel(GemmMode semantic_mode,
                                     GemmMode kernel_mode, const Matrix& a,
-                                    const Matrix& b) {
+                                    const Matrix& b) const {
+  const auto multiply = [this](GemmMode mode, const Matrix& x,
+                               const Matrix& y) {
+    return mixed_precision_ ? gemm_bf16(mode, x, y) : gemm(mode, x, y);
+  };
   if (kernel_mode == semantic_mode) {
-    return gemm(semantic_mode, a, b);
+    return multiply(semantic_mode, a, b);
   }
   // Pass operands so that op_kernel(passed) == op_semantic(original): when
   // the transpose flags differ, materialize a transposed copy — the layout
@@ -32,7 +37,7 @@ Matrix KernelTuner::run_with_kernel(GemmMode semantic_mode,
   const bool copy_b = transposes_b(kernel_mode) != transposes_b(semantic_mode);
   const Matrix& a_eff = copy_a ? a.transposed() : a;
   const Matrix& b_eff = copy_b ? b.transposed() : b;
-  return gemm(kernel_mode, a_eff, b_eff);
+  return multiply(kernel_mode, a_eff, b_eff);
 }
 
 double KernelTuner::time_variant(GemmMode semantic_mode, GemmMode kernel_mode,
@@ -79,6 +84,23 @@ Matrix KernelTuner::run(GemmMode semantic_mode, const Matrix& a,
   if (it == decisions_.end()) {
     // First batch: measure, then remember (§V-C).
     it = decisions_.emplace(key, tune(semantic_mode, a, b)).first;
+    if (obs::enabled()) {
+      const Choice& choice = it->second;
+      // Counter per kernel mode: how many products tuned to it so far.
+      int same_kernel = 0;
+      for (const auto& [k, c] : decisions_) {
+        if (c.kernel_mode == choice.kernel_mode) ++same_kernel;
+      }
+      obs::counter(obs::kCatTuner,
+                   std::string("tuner_choice_") + to_string(choice.kernel_mode),
+                   same_kernel);
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "tune %s (m=%zu n=%zu k=%zu) -> %s kernel (%.2fx)",
+                    to_string(semantic_mode), key.m, key.n, key.k,
+                    to_string(choice.kernel_mode), choice.speedup());
+      obs::instant(obs::kCatTuner, line);
+    }
   }
   return run_with_kernel(semantic_mode, it->second.kernel_mode, a, b);
 }

@@ -1,6 +1,8 @@
 #include "axonn/sim/event_sim.hpp"
 
 #include <algorithm>
+#include <fstream>
+#include <ostream>
 
 namespace axonn::sim {
 
@@ -46,6 +48,51 @@ EventSimulator::Result EventSimulator::run() const {
     result.makespan = std::max(result.makespan, tr.finish);
   }
   return result;
+}
+
+namespace {
+void write_json_string(std::ostream& out, const std::string& str) {
+  out << '"';
+  for (char c : str) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+}  // namespace
+
+void write_chrome_trace(const EventSimulator::Result& result,
+                        std::ostream& out) {
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  // Stream-name metadata rows, then one complete event per task.
+  for (std::size_t s = 0; s < result.stream_names.size(); ++s) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":" << s
+        << ",\"args\":{\"name\":";
+    write_json_string(out, result.stream_names[s]);
+    out << "}}";
+  }
+  constexpr double kSecToUs = 1e6;
+  for (const EventSimulator::TaskResult& task : result.tasks) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"ph\":\"X\",\"ts\":" << task.start * kSecToUs
+        << ",\"dur\":" << (task.finish - task.start) * kSecToUs
+        << ",\"pid\":0,\"tid\":" << task.stream << ",\"name\":";
+    write_json_string(out, task.name.empty() ? std::string("task") : task.name);
+    out << ",\"cat\":\"sim\"}";
+  }
+  out << "\n]}\n";
+}
+
+bool write_chrome_trace_file(const EventSimulator::Result& result,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(result, out);
+  return out.good();
 }
 
 }  // namespace axonn::sim

@@ -11,6 +11,7 @@
 // "computation vs non-overlapped communication" breakdown of Figs. 5 and 7.
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -72,5 +73,16 @@ class EventSimulator {
   std::vector<std::string> stream_names_;
   std::vector<Task> tasks_;
 };
+
+/// Chrome-trace ("chrome://tracing" / Perfetto) JSON for a simulated
+/// timeline: one complete ('X') event per task, pid 0, one tid per stream
+/// (named from stream_names). Simulated seconds become trace microseconds
+/// scaled by 1e6, so real-runtime traces from axonn::obs and simulated ones
+/// are visually comparable side by side.
+void write_chrome_trace(const EventSimulator::Result& result,
+                        std::ostream& out);
+/// Convenience file variant; returns false if the file cannot be written.
+bool write_chrome_trace_file(const EventSimulator::Result& result,
+                             const std::string& path);
 
 }  // namespace axonn::sim

@@ -59,12 +59,16 @@ struct IterationBreakdown {
 
 /// Simulates one iteration. Throws if grid.total() is not consistent with a
 /// whole number of nodes or the model does not fit in device memory is NOT
-/// checked here — use fits_in_memory() to pre-filter.
+/// checked here — use fits_in_memory() to pre-filter. When `timeline` is
+/// non-null it receives the full task-level schedule, exportable with
+/// write_chrome_trace() for side-by-side comparison with real-runtime
+/// traces from axonn::obs.
 IterationBreakdown simulate_iteration(const model::TrainingJob& job,
                                       const MachineConfig& machine,
                                       const IntraNodeBandwidthDB& db,
                                       const GridShape& grid,
-                                      const SimOptions& options = {});
+                                      const SimOptions& options = {},
+                                      EventSimulator::Result* timeline = nullptr);
 
 /// Memory feasibility filter: the per-GPU footprint of the job under this
 /// grid, compared against usable device DRAM (with a fragmentation margin).

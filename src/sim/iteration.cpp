@@ -83,7 +83,7 @@ class ScheduleBuilder {
     tokens_local_ = job.batch_tokens / static_cast<double>(grid.gdata);
   }
 
-  IterationBreakdown build_and_run() {
+  IterationBreakdown build_and_run(EventSimulator::Result* timeline) {
     const auto fcs = job_.model.fc_layers_per_block();
     std::vector<SublayerPlan> plan;
     std::size_t fc_index = 0;
@@ -101,6 +101,7 @@ class ScheduleBuilder {
     finish();
 
     const EventSimulator::Result r = sim_.run();
+    if (timeline) *timeline = r;
     IterationBreakdown out;
     out.total_s = r.makespan;
     out.compute_s = r.stream_busy[compute_];
@@ -417,10 +418,11 @@ IterationBreakdown simulate_iteration(const model::TrainingJob& job,
                                       const MachineConfig& machine,
                                       const IntraNodeBandwidthDB& db,
                                       const GridShape& grid,
-                                      const SimOptions& options) {
+                                      const SimOptions& options,
+                                      EventSimulator::Result* timeline) {
   AXONN_CHECK_MSG(grid.total() >= 1, "empty grid");
   ScheduleBuilder builder(job, machine, db, grid, options);
-  return builder.build_and_run();
+  return builder.build_and_run(timeline);
 }
 
 }  // namespace axonn::sim

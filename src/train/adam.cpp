@@ -1,5 +1,7 @@
 #include "axonn/train/adam.hpp"
 
+#include "axonn/base/trace.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -17,6 +19,7 @@ std::size_t Adam::add_param(Matrix* weight, Matrix* grad) {
 }
 
 void Adam::step() {
+  obs::SpanGuard span(obs::kCatCompute, "optimizer_step");
   ++t_;
   const float bias1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
   const float bias2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));

@@ -5,6 +5,7 @@
 #include <span>
 
 #include "axonn/base/error.hpp"
+#include "axonn/base/trace.hpp"
 
 namespace axonn::train {
 
@@ -47,6 +48,7 @@ GPTModel::GPTModel(core::Grid4D& grid, const TinyGPTConfig& config)
   fc.mixed_precision = config.mixed_precision;
   fc.overlap_input_grad_all_reduce = config.overlap_collectives;
   fc.overlap_weight_grad_reduce_scatter = config.overlap_collectives;
+  fc.kernel_tuning = config.kernel_tuning;
   fc.init_std = config.init_std;
 
   blocks_.resize(static_cast<std::size_t>(config.layers));
@@ -155,6 +157,7 @@ Matrix GPTModel::attention_forward(Block& block, const Matrix& qkv_out,
                                    std::size_t batch, std::size_t input_len,
                                    BlockCache* cache) {
   (void)block;
+  obs::SpanGuard span(obs::kCatCompute, "attn_fwd");
   const auto h = static_cast<std::size_t>(config_.hidden);
   const auto dh = static_cast<std::size_t>(head_dim_);
   const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(head_dim_));
@@ -209,6 +212,7 @@ Matrix GPTModel::attention_backward(Block& block, const BlockCache& cache,
                                     const Matrix& d_concat, std::size_t batch,
                                     std::size_t input_len) {
   (void)block;
+  obs::SpanGuard span(obs::kCatCompute, "attn_bwd");
   const auto h = static_cast<std::size_t>(config_.hidden);
   const auto dh = static_cast<std::size_t>(head_dim_);
   const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(head_dim_));
@@ -323,6 +327,8 @@ Matrix GPTModel::forward_logits(const std::vector<TokenSeq>& sequences,
 
 float GPTModel::train_step(const std::vector<TokenSeq>& sequences,
                            const GoldfishConfig* goldfish) {
+  // One flight-recorder iteration window per training step (Fig. 5).
+  obs::IterationScope iteration;
   AXONN_CHECK(!sequences.empty());
   const std::size_t full_len = sequences.front().size();
   for (const auto& seq : sequences) {

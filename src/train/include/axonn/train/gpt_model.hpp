@@ -41,6 +41,8 @@ struct TinyGPTConfig {
   std::uint64_t seed = 1;
   /// ORS/OAR/OAG on the FC sublayers.
   bool overlap_collectives = true;
+  /// §V-C kernel tuning on the FC sublayers' GEMMs (see FCOptions).
+  bool kernel_tuning = false;
 };
 
 class GPTModel {

@@ -246,6 +246,57 @@ TEST(MLPTest, TrainingReducesLossOn4DGrid) {
   });
 }
 
+TEST(MLPTest, CommModelCheckerValidatesFullIterations) {
+  // validate_comm_model opens an Eq. 1-5 window per gradient step (forward
+  // -> sync_gradients_data_parallel) and compares against the instrumented
+  // wire bytes — on a Y x Z x data grid with every overlap on, so OAG
+  // prefetches, deferred reduce-scatters and the Eq. 5 data-parallel
+  // all-reduce all land inside the window they were predicted for.
+  const std::size_t rows = 12;
+  const std::vector<std::size_t> dims{16, 24, 16};
+  const Matrix full_input = make_input(rows, dims.front(), 61);
+  const Matrix full_dout = make_input(rows, dims.back(), 62);
+
+  comm::run_ranks(8, [&](comm::Communicator& world) {
+    Grid4D grid(world, sim::GridShape{1, 2, 2, 2});
+    MLPOptions options;
+    options.overlap_input_grad_all_reduce = true;
+    options.overlap_weight_grad_reduce_scatter = true;
+    options.overlap_weight_all_gather = true;
+    options.validate_comm_model = true;
+    options.comm_model_tolerance = 1e-6;
+    TensorParallelMLP mlp(grid, dims, kSeed, options);
+    ASSERT_NE(mlp.comm_checker(), nullptr);
+
+    const Range group_rows =
+        chunk_range(rows, 2, static_cast<std::size_t>(grid.d()));
+    const Matrix group_input =
+        full_input.block(group_rows, Range{0, dims.front()});
+    const Matrix group_dout =
+        full_dout.block(group_rows, Range{0, dims.back()});
+
+    for (int step = 0; step < 2; ++step) {
+      mlp.zero_grad();
+      mlp.forward(mlp.scatter_input(group_input));
+      const auto& last = mlp.layer(1);
+      mlp.backward(group_dout.block(
+          last.input_row_range(group_rows.size()), last.output_col_range()));
+      mlp.sync_gradients_data_parallel();
+
+      const auto& result = mlp.comm_checker()->last_result();
+      EXPECT_TRUE(result.ok)
+          << "step " << step << ": worst rel error " << result.worst_rel_error;
+      EXPECT_GT(result.measured.total(), 0.0);
+      EXPECT_GT(result.predicted.data, 0.0) << "Eq. 5 must be exercised";
+      EXPECT_GT(result.predicted.z, 0.0);
+
+      // Weight updates invalidate the gathered-weight caches, so the next
+      // iteration's predicted all-gathers really happen.
+      mlp.apply_sgd(0.05f);
+    }
+  });
+}
+
 TEST(MLPTest, DeepStackAlternatesTransposition) {
   comm::run_ranks(4, [](comm::Communicator& world) {
     Grid4D grid(world, sim::GridShape{2, 2, 1, 1});

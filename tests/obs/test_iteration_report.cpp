@@ -1,0 +1,187 @@
+// IterationReport — Fig. 5's per-iteration breakdown (compute vs exposed
+// communication vs hidden/overlapped communication) computed from merged
+// trace spans: exact arithmetic on synthetic events, and structural
+// invariants on traces recorded from the real 2x2x2 runtime.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "axonn/base/trace.hpp"
+#include "axonn/comm/thread_comm.hpp"
+#include "axonn/core/mlp.hpp"
+
+namespace axonn::obs {
+namespace {
+
+TraceEvent make_event(double t_us, Phase phase, StreamKind stream, int rank,
+                      std::uint32_t tid, const char* category,
+                      std::string name = {}) {
+  TraceEvent ev;
+  ev.t_us = t_us;
+  ev.phase = phase;
+  ev.stream = stream;
+  ev.rank = rank;
+  ev.tid = tid;
+  ev.category = category;
+  ev.name = std::move(name);
+  return ev;
+}
+
+TEST(IterationReportTest, SyntheticSpansProduceExactBreakdown) {
+  // Rank 0, tid 0 = compute thread, tid 1 = progress thread. One iteration
+  // [0, 100]us containing:
+  //   compute span        [ 0, 10] on main
+  //   blocking comm span  [10, 30] on main          -> exposed 20us
+  //   async comm span     [20, 60] on progress
+  // comm union = [10, 60] = 50us; hidden = 30us; efficiency = 0.6.
+  // A second iteration [100, 200] has no communication at all.
+  std::vector<TraceEvent> events;
+  auto main_ev = [&](double t, Phase ph, const char* cat,
+                     const char* name = "") {
+    events.push_back(make_event(t, ph, StreamKind::kMain, 0, 0, cat, name));
+  };
+  auto prog_ev = [&](double t, Phase ph, const char* cat,
+                     const char* name = "") {
+    events.push_back(make_event(t, ph, StreamKind::kProgress, 0, 1, cat, name));
+  };
+  main_ev(0, Phase::kBegin, kCatIter, "iteration");
+  main_ev(0, Phase::kBegin, kCatCompute, "gemm");
+  main_ev(10, Phase::kEnd, "");
+  main_ev(10, Phase::kBegin, kCatComm, "all_reduce");
+  main_ev(30, Phase::kEnd, "");
+  prog_ev(20, Phase::kBegin, kCatComm, "iall_gather");
+  prog_ev(60, Phase::kEnd, "");
+  main_ev(100, Phase::kEnd, "");
+  main_ev(100, Phase::kBegin, kCatIter, "iteration");
+  main_ev(200, Phase::kEnd, "");
+  // Another rank's events must not leak into rank 0's reports.
+  events.push_back(
+      make_event(5, Phase::kBegin, StreamKind::kMain, 1, 2, kCatComm, "x"));
+  events.push_back(make_event(95, Phase::kEnd, StreamKind::kMain, 1, 2, ""));
+
+  const auto reports = iteration_reports(events, 0);
+  ASSERT_EQ(reports.size(), 2u);
+
+  const IterationReport& r0 = reports[0];
+  EXPECT_DOUBLE_EQ(r0.wall_s, 100e-6);
+  EXPECT_DOUBLE_EQ(r0.exposed_comm_s, 20e-6);
+  EXPECT_DOUBLE_EQ(r0.compute_s, 80e-6);
+  EXPECT_DOUBLE_EQ(r0.instrumented_compute_s, 10e-6);
+  EXPECT_DOUBLE_EQ(r0.comm_busy_s, 50e-6);
+  EXPECT_DOUBLE_EQ(r0.hidden_comm_s, 30e-6);
+  EXPECT_DOUBLE_EQ(r0.overlap_efficiency, 0.6);
+
+  const IterationReport& r1 = reports[1];
+  EXPECT_DOUBLE_EQ(r1.wall_s, 100e-6);
+  EXPECT_DOUBLE_EQ(r1.exposed_comm_s, 0.0);
+  EXPECT_DOUBLE_EQ(r1.compute_s, 100e-6);
+  EXPECT_DOUBLE_EQ(r1.overlap_efficiency, 0.0);
+
+  const IterationReport mean = mean_report(reports);
+  EXPECT_DOUBLE_EQ(mean.wall_s, 100e-6);
+  EXPECT_DOUBLE_EQ(mean.exposed_comm_s, 10e-6);
+  EXPECT_DOUBLE_EQ(mean.overlap_efficiency, 0.3);
+}
+
+TEST(IterationReportTest, SpanCrossingIterationBoundaryIsClipped) {
+  // A comm span [50, 150] straddling the iteration [0, 100] only counts for
+  // the 50us inside the window.
+  std::vector<TraceEvent> events;
+  events.push_back(
+      make_event(0, Phase::kBegin, StreamKind::kMain, 0, 0, kCatIter, "it"));
+  events.push_back(make_event(100, Phase::kEnd, StreamKind::kMain, 0, 0, ""));
+  events.push_back(
+      make_event(50, Phase::kBegin, StreamKind::kMain, 0, 0, kCatComm, "ar"));
+  events.push_back(make_event(150, Phase::kEnd, StreamKind::kMain, 0, 0, ""));
+
+  const auto reports = iteration_reports(events, 0);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_DOUBLE_EQ(reports[0].exposed_comm_s, 50e-6);
+  EXPECT_DOUBLE_EQ(reports[0].compute_s, 50e-6);
+}
+
+struct VariantResult {
+  std::vector<IterationReport> reports;
+  bool saw_progress_comm = false;
+};
+
+// Runs `iters` iterations of a 3-layer MLP on the 2x2x2 grid with the given
+// overlap setting and returns rank 0's reports.
+VariantResult run_variant(bool overlapped, int iters) {
+  const bool was_enabled = enabled();
+  set_enabled(true);
+  clear();
+
+  const std::vector<std::size_t> dims{16, 24, 16};
+  constexpr std::size_t kRows = 8;
+  comm::run_ranks(8, [&](comm::Communicator& world) {
+    core::Grid4D grid(world, sim::GridShape{2, 2, 2, 1});
+    core::MLPOptions options;
+    options.overlap_input_grad_all_reduce = overlapped;
+    options.overlap_weight_grad_reduce_scatter = overlapped;
+    options.overlap_weight_all_gather = overlapped;
+    core::TensorParallelMLP mlp(grid, dims, /*seed=*/9, options);
+    Rng rng(7);
+    const Matrix local =
+        mlp.scatter_input(Matrix::randn(kRows, dims.front(), rng));
+    for (int it = 0; it < iters; ++it) {
+      IterationScope iteration;
+      mlp.zero_grad();
+      Matrix out = mlp.forward(local);
+      mlp.backward(out);
+      mlp.sync_gradients_data_parallel();
+    }
+  });
+
+  VariantResult result;
+  const auto events = merged_events();
+  result.reports = iteration_reports(events, 0);
+  for (const TraceEvent& ev : events) {
+    if (ev.rank == 0 && ev.stream == StreamKind::kProgress &&
+        ev.phase == Phase::kBegin && std::string(ev.category) == kCatComm) {
+      result.saw_progress_comm = true;
+    }
+  }
+  set_enabled(was_enabled);
+  clear();
+  return result;
+}
+
+TEST(IterationReportTest, RealRuntimeReportsSatisfyFig5Identities) {
+  const VariantResult run = run_variant(/*overlapped=*/true, /*iters=*/3);
+  ASSERT_EQ(run.reports.size(), 3u);
+  for (const IterationReport& r : run.reports) {
+    EXPECT_GT(r.wall_s, 0.0);
+    // Fig. 5's defining identity: compute = wall - exposed comm.
+    EXPECT_NEAR(r.compute_s + r.exposed_comm_s, r.wall_s, 1e-12);
+    EXPECT_GT(r.instrumented_compute_s, 0.0) << "GEMM spans must be present";
+    EXPECT_LE(r.instrumented_compute_s, r.wall_s + 1e-12);
+    EXPECT_GE(r.hidden_comm_s, 0.0);
+    EXPECT_GE(r.comm_busy_s, r.hidden_comm_s);
+    EXPECT_GE(r.overlap_efficiency, 0.0);
+    EXPECT_LE(r.overlap_efficiency, 1.0);
+    EXPECT_GT(r.comm_busy_s, 0.0) << "a 2x2x2 grid must communicate";
+  }
+}
+
+TEST(IterationReportTest, OnlyOverlapVariantsHideCommunication) {
+  // Without overlap every collective blocks the compute thread: nothing runs
+  // on the progress stream, so hidden communication is exactly zero. With
+  // all overlaps on, the collectives execute on the progress stream.
+  const VariantResult baseline = run_variant(/*overlapped=*/false, 2);
+  ASSERT_FALSE(baseline.reports.empty());
+  EXPECT_FALSE(baseline.saw_progress_comm);
+  for (const IterationReport& r : baseline.reports) {
+    EXPECT_DOUBLE_EQ(r.hidden_comm_s, 0.0);
+    EXPECT_DOUBLE_EQ(r.overlap_efficiency, 0.0);
+  }
+
+  const VariantResult overlapped = run_variant(/*overlapped=*/true, 2);
+  ASSERT_FALSE(overlapped.reports.empty());
+  EXPECT_TRUE(overlapped.saw_progress_comm);
+}
+
+}  // namespace
+}  // namespace axonn::obs

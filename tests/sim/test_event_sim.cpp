@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 namespace axonn::sim {
 namespace {
 
@@ -117,6 +120,39 @@ TEST(EventSimTest, TaskNamesPreserved) {
   const auto r = sim.run();
   EXPECT_EQ(r.tasks[t].name, "fwd_gemm");
   EXPECT_EQ(r.stream_names[s], "compute");
+}
+
+TEST(EventSimTest, ChromeTraceExportEmitsCompleteEvents) {
+  EventSimulator sim;
+  const StreamId compute = sim.add_stream("compute");
+  const StreamId comm = sim.add_stream("comm");
+  const TaskId ag = sim.add_task(comm, 0.5, {}, "AG_z \"layer0\"");
+  sim.add_task(compute, 1.0, {ag}, "fwd_gemm");
+  sim.add_task(compute, 0.25, {}, "");  // unnamed -> placeholder name
+  const auto r = sim.run();
+
+  std::ostringstream out;
+  write_chrome_trace(r, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // One thread-name metadata row per stream.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("fwd_gemm"), std::string::npos);
+  EXPECT_NE(json.find("AG_z \\\"layer0\\\""), std::string::npos)
+      << "names must be JSON-escaped";
+  EXPECT_NE(json.find("\"task\""), std::string::npos);
+  // Sim seconds scale to trace microseconds: the 1.0s GEMM starts at the
+  // 0.5s mark = ts 500000.
+  EXPECT_NE(json.find("\"ts\":500000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1e+06"), std::string::npos);
+  long braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
 }
 
 }  // namespace
