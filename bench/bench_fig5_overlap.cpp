@@ -51,9 +51,11 @@ core::MLPOptions mlp_options(const sim::OverlapFlags& flags) {
 
 /// Runs `iters` training iterations of a 3-layer MLP on a 2x2x2 grid with
 /// the flight recorder on and returns rank 0's mean report (first iteration
-/// dropped as warmup).
+/// dropped as warmup). `segment_elems` feeds WorldOptions.ring_segment_elems:
+/// 0 runs the monolithic ring schedules, nonzero the chunk-pipelined ones.
 obs::IterationReport measure_real_variant(const sim::OverlapFlags& flags,
-                                          int iters) {
+                                          int iters,
+                                          std::size_t segment_elems) {
   const bool was_enabled = obs::enabled();
   obs::set_enabled(true);
   obs::clear();
@@ -62,6 +64,8 @@ obs::IterationReport measure_real_variant(const sim::OverlapFlags& flags,
   const std::vector<std::size_t> dims = {256, 384, 384, 256};
   constexpr std::size_t kRows = 48;
 
+  comm::WorldOptions world_options;
+  world_options.ring_segment_elems = segment_elems;
   comm::run_ranks(shape.total(), [&](comm::Communicator& world) {
     core::Grid4D grid(world, shape);
     core::TensorParallelMLP mlp(grid, dims, /*seed=*/7, mlp_options(flags));
@@ -75,12 +79,27 @@ obs::IterationReport measure_real_variant(const sim::OverlapFlags& flags,
       mlp.backward(out);  // output doubles as the upstream gradient
       mlp.sync_gradients_data_parallel();
     }
-  });
+  }, world_options);
 
   auto reports = obs::iteration_reports(obs::merged_events(), /*rank=*/0);
   obs::set_enabled(was_enabled);
   if (reports.size() > 1) reports.erase(reports.begin());  // warmup
-  return obs::mean_report(reports);
+  // Per-field median: this host runs all rank threads on very few cores, so
+  // individual iterations see multi-ms scheduler noise that a mean would
+  // keep; the median is stable enough to compare ring schedules.
+  obs::IterationReport median;
+  auto med = [&](auto field) {
+    std::vector<double> v;
+    for (const auto& r : reports) v.push_back(r.*field);
+    std::sort(v.begin(), v.end());
+    return v.empty() ? 0.0 : v[v.size() / 2];
+  };
+  median.wall_s = med(&obs::IterationReport::wall_s);
+  median.compute_s = med(&obs::IterationReport::compute_s);
+  median.exposed_comm_s = med(&obs::IterationReport::exposed_comm_s);
+  median.hidden_comm_s = med(&obs::IterationReport::hidden_comm_s);
+  median.overlap_efficiency = med(&obs::IterationReport::overlap_efficiency);
+  return median;
 }
 
 }  // namespace
@@ -150,27 +169,68 @@ int main(int argc, char** argv) {
 
   std::cout << "== Real thread-rank runtime on a 2x2x2 grid (flight recorder) "
                "==\n\n";
-  Table real_table({"Variant", "Iter (ms)", "Compute (ms)",
-                    "Exposed comm (ms)", "Hidden comm (ms)",
-                    "Overlap efficiency"});
-  int variant_index = 0;
-  std::vector<double> efficiencies;
-  for (const Variant& variant : kVariants) {
-    const obs::IterationReport mean = measure_real_variant(variant.flags, 4);
-    real_table.add_row(
-        {variant.label, Table::cell(mean.wall_s * 1e3, 2),
-         Table::cell(mean.compute_s * 1e3, 2),
-         Table::cell(mean.exposed_comm_s * 1e3, 2),
-         Table::cell(mean.hidden_comm_s * 1e3, 2),
-         Table::cell(mean.overlap_efficiency, 3)});
-    json.add("real/iteration_time", variant_index, mean.wall_s);
-    json.add("real/exposed_comm", variant_index, mean.exposed_comm_s);
-    json.add("real/overlap_efficiency", variant_index,
-             mean.overlap_efficiency, "ratio");
-    efficiencies.push_back(mean.overlap_efficiency);
-    ++variant_index;
+  // Each variant runs twice: monolithic ring schedules (segment_elems = 0)
+  // and the chunk-pipelined default. Pipelining splits every ring hop into
+  // segment-sized messages the progress stream can interleave with compute,
+  // so the overlapping variants should expose less communication.
+  struct RingConfig {
+    const char* label;
+    std::size_t segment_elems;
+  };
+  const RingConfig kRings[] = {
+      {"unsegmented", 0},
+      {"pipelined", comm::kDefaultRingSegmentElems},
+  };
+  std::vector<double> efficiencies;           // pipelined run, for the checks
+  std::vector<double> exposed[2];             // [ring config][variant]
+  for (std::size_t ring = 0; ring < 2; ++ring) {
+    std::cout << "-- rings: " << kRings[ring].label << " (segment "
+              << kRings[ring].segment_elems << " elems) --\n";
+    Table real_table({"Variant", "Iter (ms)", "Compute (ms)",
+                      "Exposed comm (ms)", "Hidden comm (ms)",
+                      "Overlap efficiency"});
+    int variant_index = 0;
+    for (const Variant& variant : kVariants) {
+      const obs::IterationReport mean =
+          measure_real_variant(variant.flags, 13, kRings[ring].segment_elems);
+      real_table.add_row(
+          {variant.label, Table::cell(mean.wall_s * 1e3, 2),
+           Table::cell(mean.compute_s * 1e3, 2),
+           Table::cell(mean.exposed_comm_s * 1e3, 2),
+           Table::cell(mean.hidden_comm_s * 1e3, 2),
+           Table::cell(mean.overlap_efficiency, 3)});
+      const std::string prefix = std::string("real/") + kRings[ring].label +
+                                 "/";
+      json.add(prefix + "iteration_time", variant_index, mean.wall_s);
+      json.add(prefix + "exposed_comm", variant_index, mean.exposed_comm_s);
+      json.add(prefix + "overlap_efficiency", variant_index,
+               mean.overlap_efficiency, "ratio");
+      exposed[ring].push_back(mean.exposed_comm_s);
+      if (ring == 1) efficiencies.push_back(mean.overlap_efficiency);
+      ++variant_index;
+    }
+    real_table.print(std::cout);
+    std::cout << '\n';
   }
-  real_table.print(std::cout);
+  double exposed_unseg = 0, exposed_piped = 0;
+  for (std::size_t i = 1; i < exposed[0].size(); ++i) {  // overlap variants
+    exposed_unseg += exposed[0][i];
+    exposed_piped += exposed[1][i];
+  }
+  const double reduction =
+      exposed_unseg > 0
+          ? 100.0 * (exposed_unseg - exposed_piped) / exposed_unseg
+          : 0.0;
+  json.add("real/pipelining_exposed_comm_reduction_pct", 0, reduction, "%");
+  std::cout << "Exposed comm across +OAR/+ORS/+OAG, unsegmented -> "
+               "pipelined: "
+            << Table::cell(exposed_unseg * 1e3, 2) << " ms -> "
+            << Table::cell(exposed_piped * 1e3, 2) << " ms ("
+            << Table::cell(reduction, 1) << "% reduction)\n"
+            << "Pipelined rings expose less communication: "
+            << (exposed_piped <= exposed_unseg ? "yes" : "NO (noise-limited "
+                                                         "on this host)")
+            << "\n";
   const bool baseline_zero = efficiencies.front() <= 1e-9;
   bool overlap_hides = true;
   bool monotonic = true;

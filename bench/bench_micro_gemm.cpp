@@ -1,50 +1,195 @@
-// Micro-benchmarks of the real GEMM kernels in the three transpose modes —
-// the mode-performance differences the kernel tuner exploits.
+// Micro-benchmarks of the real GEMM kernels over (backend x transpose mode)
+// — the search space the kernel tuner (§V-C) times on the first batch. The
+// tiled backend packs op(A)/op(B) into contiguous panels and runs a
+// register-blocked micro-kernel, so its advantage over the reference loops
+// grows with size; `gemm/tiled_packed/*` additionally reuses a prebuilt B
+// panel, the FC layer's weight-cache path. `--json <path>` writes every
+// series (seconds/iteration, x = square dimension) as BENCH_micro_gemm.json,
+// and the run ends with the acceptance check: tiled vs reference at
+// 512x512x512 fp32 NN.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
 #include "axonn/base/rng.hpp"
 #include "axonn/tensor/gemm.hpp"
+#include "axonn/tensor/gemm_tiled.hpp"
+#include "json_out.hpp"
 
 namespace {
 
 using namespace axonn;
 
-void BM_Gemm(benchmark::State& state, GemmMode mode) {
-  const auto d = static_cast<std::size_t>(state.range(0));
-  Rng rng(1);
-  const Matrix a = Matrix::randn(d, d, rng);
-  const Matrix b = Matrix::randn(d, d, rng);
-  Matrix c(d, d);
-  for (auto _ : state) {
-    gemm(mode, 1.0f, a, b, 0.0f, c);
-    benchmark::DoNotOptimize(c.data());
-  }
+// Operands shaped so op(A) and op(B) are both d x d under `mode`.
+Matrix square_operand(std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::randn(d, d, rng);
+}
+
+void report_gflops(benchmark::State& state, std::size_t d) {
   state.counters["GFLOP/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * 2.0 * d * d * d * 1e-9,
+      static_cast<double>(state.iterations()) * 2.0 * static_cast<double>(d) *
+          static_cast<double>(d) * static_cast<double>(d) * 1e-9,
       benchmark::Counter::kIsRate);
 }
 
-void BM_GemmNN(benchmark::State& state) { BM_Gemm(state, GemmMode::kNN); }
-void BM_GemmNT(benchmark::State& state) { BM_Gemm(state, GemmMode::kNT); }
-void BM_GemmTN(benchmark::State& state) { BM_Gemm(state, GemmMode::kTN); }
-
-BENCHMARK(BM_GemmNN)->Arg(64)->Arg(128)->Arg(256);
-BENCHMARK(BM_GemmNT)->Arg(64)->Arg(128)->Arg(256);
-BENCHMARK(BM_GemmTN)->Arg(64)->Arg(128)->Arg(256);
-
-void BM_GemmBf16(benchmark::State& state) {
+void BM_Gemm(benchmark::State& state, GemmBackend backend, GemmMode mode) {
   const auto d = static_cast<std::size_t>(state.range(0));
-  Rng rng(2);
-  const Matrix a = Matrix::randn(d, d, rng);
-  const Matrix b = Matrix::randn(d, d, rng);
+  const Matrix a = square_operand(d, 1);
+  const Matrix b = square_operand(d, 2);
   Matrix c(d, d);
   for (auto _ : state) {
-    gemm_bf16(GemmMode::kNN, 1.0f, a, b, 0.0f, c);
+    gemm(backend, mode, 1.0f, a, b, 0.0f, c);
     benchmark::DoNotOptimize(c.data());
   }
+  report_gflops(state, d);
 }
-BENCHMARK(BM_GemmBf16)->Arg(128);
+
+void BM_GemmBf16(benchmark::State& state, GemmBackend backend, GemmMode mode) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const Matrix a = square_operand(d, 3);
+  const Matrix b = square_operand(d, 4);
+  Matrix c(d, d);
+  for (auto _ : state) {
+    gemm_bf16(backend, mode, 1.0f, a, b, 0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  report_gflops(state, d);
+}
+
+// The FC hot path: B (the weight) is packed once and reused every batch.
+void BM_GemmTiledPacked(benchmark::State& state, GemmMode mode) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const Matrix a = square_operand(d, 5);
+  const Matrix b = square_operand(d, 6);
+  const PackedB pack = pack_b(b, gemm_transposes_b(mode), false);
+  Matrix c(d, d);
+  for (auto _ : state) {
+    gemm_tiled_packed(gemm_transposes_a(mode), 1.0f, a, pack, 0.0f, c, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  report_gflops(state, d);
+}
+
+// Pack cost itself — what the weight cache amortizes away.
+void BM_PackB(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const Matrix b = square_operand(d, 7);
+  for (auto _ : state) {
+    PackedB pack = pack_b(b, false, false);
+    benchmark::DoNotOptimize(&pack);
+  }
+}
+
+#define AXONN_GEMM_BENCH(backend, mode)                                     \
+  BENCHMARK_CAPTURE(BM_Gemm, backend##_##mode, GemmBackend::k##backend,     \
+                    GemmMode::k##mode)                                      \
+      ->Name("gemm/" #backend "/" #mode)                                    \
+      ->Arg(128)                                                            \
+      ->Arg(256)                                                            \
+      ->Arg(512)                                                            \
+      ->Unit(benchmark::kMillisecond)
+
+AXONN_GEMM_BENCH(Reference, NN);
+AXONN_GEMM_BENCH(Reference, NT);
+AXONN_GEMM_BENCH(Reference, TN);
+AXONN_GEMM_BENCH(Tiled, NN);
+AXONN_GEMM_BENCH(Tiled, NT);
+AXONN_GEMM_BENCH(Tiled, TN);
+
+#undef AXONN_GEMM_BENCH
+
+BENCHMARK_CAPTURE(BM_GemmBf16, Reference_NN, GemmBackend::kReference,
+                  GemmMode::kNN)
+    ->Name("gemm_bf16/Reference/NN")
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_GemmBf16, Tiled_NN, GemmBackend::kTiled, GemmMode::kNN)
+    ->Name("gemm_bf16/Tiled/NN")
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_CAPTURE(BM_GemmTiledPacked, NN, GemmMode::kNN)
+    ->Name("gemm/TiledPacked/NN")
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_GemmTiledPacked, NT, GemmMode::kNT)
+    ->Name("gemm/TiledPacked/NT")
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_PackB)->Name("pack_b")->Arg(512)->Unit(benchmark::kMillisecond);
+
+/// Console reporter that additionally captures every run into the JSON
+/// series writer. Run names are "series/name/<dim>": the trailing numeric
+/// component becomes the point's x, the rest the series name — so each
+/// series label carries backend + mode ("gemm/Tiled/NN").
+class SeriesReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit SeriesReporter(axonn::bench::JsonSeriesWriter& json)
+      : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      const std::string name = run.benchmark_name();
+      std::string series = name;
+      double x = static_cast<double>(index_);
+      const std::size_t slash = name.rfind('/');
+      if (slash != std::string::npos &&
+          name.find_first_not_of("0123456789", slash + 1) ==
+              std::string::npos) {
+        series = name.substr(0, slash);
+        x = std::stod(name.substr(slash + 1));
+      }
+      const double secs = run.real_accumulated_time /
+                          static_cast<double>(run.iterations);
+      json_.add(series, x, secs);
+      seconds_by_run_[name] = secs;
+      ++index_;
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  double seconds(const std::string& run_name) const {
+    auto it = seconds_by_run_.find(run_name);
+    return it == seconds_by_run_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  axonn::bench::JsonSeriesWriter& json_;
+  std::map<std::string, double> seconds_by_run_;
+  int index_ = 0;
+};
 
 }  // namespace
 
+int main(int argc, char** argv) {
+  const std::string json_path = axonn::bench::extract_json_path(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  axonn::bench::JsonSeriesWriter json("micro_gemm");
+  SeriesReporter reporter(json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  // Acceptance gate for the tiled backend: >= 4x over the reference kernel
+  // on the 512^3 fp32 NN product (the shape class the FC layers live in).
+  const double ref = reporter.seconds("gemm/Reference/NN/512");
+  const double tiled = reporter.seconds("gemm/Tiled/NN/512");
+  if (ref > 0 && tiled > 0) {
+    const double speedup = ref / tiled;
+    std::printf("\ntiled speedup at 512^3 fp32 NN: %.2fx (target >= 4x) %s\n",
+                speedup, speedup >= 4.0 ? "PASS" : "FAIL");
+  }
+  if (!json_path.empty()) json.write_file(json_path);
+  return 0;
+}

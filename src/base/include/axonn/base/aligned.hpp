@@ -1,0 +1,64 @@
+#pragma once
+
+// Cache-line-aligned allocation.
+//
+// The tiled GEMM backend packs operand panels into contiguous buffers and
+// reads them with vector loads; keeping every buffer on a 64-byte boundary
+// means those loads never straddle cache lines and the compiler is free to
+// emit aligned vector moves. Matrix storage uses the same allocator so
+// packed panels, activations and weights all share the guarantee.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace axonn {
+
+/// Alignment for all numeric buffers: one x86 cache line, which is also a
+/// whole AVX-512 vector.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T));
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// True when `p` sits on a kCacheLineBytes boundary (null counts as aligned).
+inline bool is_cache_aligned(const void* p) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (kCacheLineBytes - 1)) == 0;
+}
+
+}  // namespace axonn

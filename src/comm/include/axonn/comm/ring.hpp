@@ -18,6 +18,16 @@
 // send_to must be non-blocking (buffered) or at least not require the peer
 // to have posted a receive; recv_from blocks until the matching message
 // arrives. Messages between a fixed (src, dst) pair are delivered in order.
+//
+// Chunk pipelining: with segment_elems > 0 each per-rank chunk travels as
+// fixed-size segments that are forwarded (all-gather) or reduced-then-
+// forwarded (reduce-scatter) the moment they arrive, instead of waiting for
+// the whole chunk. A segment therefore propagates across multiple ring hops
+// while later segments of the same chunk are still in flight, which hides
+// per-hop latency behind the stream of segments. The wire traffic is
+// unchanged — the same elements cross the same edges, in more, smaller
+// messages — so Eqs. 1–5 still hold, and the reduction order is identical to
+// the unsegmented algorithm, so results are bitwise equal.
 
 #include <cstddef>
 #include <numeric>
@@ -57,16 +67,34 @@ inline std::vector<std::size_t> chunk_offsets(
   return offsets;
 }
 
+/// Segments a chunk of `elems` elements into pieces of `segment_elems`.
+/// A zero-element chunk has zero segments — consistently on the sending and
+/// receiving rank, so message matching is preserved.
+inline std::size_t segment_count(std::size_t elems,
+                                 std::size_t segment_elems) {
+  return (elems + segment_elems - 1) / segment_elems;
+}
+
+/// Invokes fn(offset, length) for each segment of [0, elems).
+template <typename Fn>
+void for_each_segment(std::size_t elems, std::size_t segment_elems, Fn&& fn) {
+  for (std::size_t off = 0; off < elems; off += segment_elems) {
+    fn(off, std::min(segment_elems, elems - off));
+  }
+}
+
 }  // namespace detail
 
 /// Ring all-gather with per-rank element counts. On entry rank r contributes
 /// `send` (send.size() == counts[r]); on exit `recv` holds every rank's
 /// contribution packed in rank order. p-1 steps; step s forwards the chunk
-/// received at step s-1.
+/// received at step s-1. With `segment_elems` > 0 each chunk is streamed as
+/// fixed-size segments forwarded the moment they arrive (chunk pipelining).
 template <typename Transport>
 void ring_all_gatherv(Transport& t, std::span<const float> send,
                       std::span<float> recv,
-                      std::span<const std::size_t> counts) {
+                      std::span<const std::size_t> counts,
+                      std::size_t segment_elems = 0) {
   const int p = t.size();
   const int r = t.rank();
   AXONN_CHECK(static_cast<int>(counts.size()) == p);
@@ -87,22 +115,52 @@ void ring_all_gatherv(Transport& t, std::span<const float> send,
 
   const int right = (r + 1) % p;
   const int left = (r - 1 + p) % p;
+
+  if (segment_elems == 0) {
+    for (int s = 0; s < p - 1; ++s) {
+      const int send_chunk = (r - s + p) % p;
+      const int recv_chunk = (r - s - 1 + p) % p;
+      t.send_to(right, chunk(send_chunk));
+      t.recv_from(left, chunk(recv_chunk));
+    }
+    return;
+  }
+
+  // Pipelined: inject the own chunk as a stream of segments, then at hop s
+  // receive the segments of chunk (r-s-1) from the left and forward each
+  // immediately — except at the last hop, where the chunk stops here. Every
+  // send precedes the blocking receive it enables on the right neighbour, so
+  // the schedule is deadlock-free, and per-edge in-order delivery makes the
+  // segment streams match up without tags.
+  detail::for_each_segment(
+      chunk(r).size(), segment_elems,
+      [&](std::size_t off, std::size_t len) {
+        t.send_to(right, chunk(r).subspan(off, len));
+      });
   for (int s = 0; s < p - 1; ++s) {
-    const int send_chunk = (r - s + p) % p;
-    const int recv_chunk = (r - s - 1 + p) % p;
-    t.send_to(right, chunk(send_chunk));
-    t.recv_from(left, chunk(recv_chunk));
+    const int c = (r - s - 1 + p) % p;
+    const bool forward = s != p - 2;
+    detail::for_each_segment(
+        chunk(c).size(), segment_elems, [&](std::size_t off, std::size_t len) {
+          auto seg = chunk(c).subspan(off, len);
+          t.recv_from(left, seg);
+          if (forward) t.send_to(right, seg);
+        });
   }
 }
 
 /// Ring reduce-scatter with per-chunk element counts. `send` holds the full
 /// vector (sum of counts); on exit rank r's `recv` holds the reduction of
 /// chunk r across all ranks. p-1 steps; partial sums travel around the ring
-/// so that chunk r completes exactly at rank r.
+/// so that chunk r completes exactly at rank r. With `segment_elems` > 0
+/// partial sums are reduced and forwarded segment-by-segment (chunk
+/// pipelining); the pairwise reduction order is unchanged, so the result is
+/// bitwise identical to the unsegmented algorithm.
 template <typename Transport>
 void ring_reduce_scatterv(Transport& t, std::span<const float> send,
                           std::span<float> recv,
-                          std::span<const std::size_t> counts, ReduceOp op) {
+                          std::span<const std::size_t> counts, ReduceOp op,
+                          std::size_t segment_elems = 0) {
   const int p = t.size();
   const int r = t.rank();
   AXONN_CHECK(static_cast<int>(counts.size()) == p);
@@ -127,22 +185,52 @@ void ring_reduce_scatterv(Transport& t, std::span<const float> send,
   const int right = (r + 1) % p;
   const int left = (r - 1 + p) % p;
   std::vector<float> incoming;
-  for (int s = 0; s < p - 1; ++s) {
-    const int send_chunk = (r - s - 1 + p) % p;
-    const int recv_chunk = (r - s - 2 + 2 * p) % p;
-    t.send_to(right, chunk(send_chunk));
-    incoming.resize(counts[static_cast<std::size_t>(recv_chunk)]);
-    t.recv_from(left, incoming);
-    detail::reduce_into(op, chunk(recv_chunk), incoming);
+
+  if (segment_elems == 0) {
+    for (int s = 0; s < p - 1; ++s) {
+      const int send_chunk = (r - s - 1 + p) % p;
+      const int recv_chunk = (r - s - 2 + 2 * p) % p;
+      t.send_to(right, chunk(send_chunk));
+      incoming.resize(counts[static_cast<std::size_t>(recv_chunk)]);
+      t.recv_from(left, incoming);
+      detail::reduce_into(op, chunk(recv_chunk), incoming);
+    }
+  } else {
+    // Pipelined: inject the raw chunk (r-1) as segments, then at hop s
+    // receive each partial-sum segment of chunk (r-s-2), reduce it into the
+    // working copy, and forward the reduced segment immediately — except at
+    // the last hop, where the fully reduced chunk r stays here. Same
+    // pairwise reductions in the same order as the unsegmented loop.
+    auto first = chunk((r - 1 + p) % p);
+    detail::for_each_segment(first.size(), segment_elems,
+                             [&](std::size_t off, std::size_t len) {
+                               t.send_to(right, first.subspan(off, len));
+                             });
+    incoming.resize(std::min<std::size_t>(segment_elems, send.size()));
+    for (int s = 0; s < p - 1; ++s) {
+      const int c = (r - s - 2 + 2 * p) % p;
+      const bool forward = s != p - 2;
+      detail::for_each_segment(
+          chunk(c).size(), segment_elems,
+          [&](std::size_t off, std::size_t len) {
+            auto seg = chunk(c).subspan(off, len);
+            auto in = std::span<float>(incoming).first(len);
+            t.recv_from(left, in);
+            detail::reduce_into(op, seg, in);
+            if (forward) t.send_to(right, seg);
+          });
+    }
   }
   auto mine = chunk(r);
   std::copy(mine.begin(), mine.end(), recv.begin());
 }
 
 /// Ring all-reduce: reduce-scatter followed by all-gather over the same
-/// nearly-equal chunking of the buffer (Rabenseifner's algorithm).
+/// nearly-equal chunking of the buffer (Rabenseifner's algorithm). The
+/// `segment_elems` pipelining knob is forwarded to both phases.
 template <typename Transport>
-void ring_all_reduce(Transport& t, std::span<float> buffer, ReduceOp op) {
+void ring_all_reduce(Transport& t, std::span<float> buffer, ReduceOp op,
+                     std::size_t segment_elems = 0) {
   const int p = t.size();
   if (p == 1) return;
   const auto n = buffer.size();
@@ -157,9 +245,10 @@ void ring_all_reduce(Transport& t, std::span<float> buffer, ReduceOp op) {
 
   std::vector<float> mine(counts[r]);
   ring_reduce_scatterv(t, std::span<const float>(buffer), std::span<float>(mine),
-                       counts, op);
+                       counts, op, segment_elems);
   std::copy(mine.begin(), mine.end(), buffer.begin() + offsets[r]);
-  ring_all_gatherv(t, std::span<const float>(mine), buffer, counts);
+  ring_all_gatherv(t, std::span<const float>(mine), buffer, counts,
+                   segment_elems);
 }
 
 /// Binomial-tree broadcast (log2(p) rounds). Broadcast is only used for

@@ -32,6 +32,12 @@ namespace axonn::comm {
 
 class ThreadComm;
 
+/// Default ring pipelining granularity: 2048 floats = 8 KiB per segment,
+/// small enough to put several segments in flight per chunk at the message
+/// sizes the training path produces, large enough that per-message overhead
+/// stays negligible.
+inline constexpr std::size_t kDefaultRingSegmentElems = 2048;
+
 /// Tunables for a ThreadWorld.
 struct WorldOptions {
   /// Per-receive watchdog budget. A blocked receive (including one running
@@ -39,6 +45,11 @@ struct WorldOptions {
   /// message throws CommTimeoutError naming the stuck communicator, sequence
   /// number and peer. Zero disables the watchdog (wait forever).
   std::chrono::milliseconds collective_timeout{0};
+  /// Chunk-pipelining segment size (elements) for the ring collectives; 0
+  /// runs the unsegmented algorithms (see ring.hpp). Results are bitwise
+  /// independent of this value. Overridable by the AXONN_RING_SEGMENT
+  /// environment variable (element count; takes precedence when set).
+  std::size_t ring_segment_elems = kDefaultRingSegmentElems;
 };
 
 /// Shared state for a group of thread ranks. Construct one, then either use
@@ -69,6 +80,18 @@ class ThreadWorld {
   /// Adjusts the receive watchdog budget (see WorldOptions). Thread-safe.
   void set_collective_timeout(std::chrono::milliseconds budget) {
     timeout_ms_.store(budget.count(), std::memory_order_relaxed);
+  }
+
+  /// The ring segment size in effect (see WorldOptions::ring_segment_elems).
+  std::size_t ring_segment_elems() const {
+    return ring_segment_elems_.load(std::memory_order_relaxed);
+  }
+  /// Adjusts the ring segment size. Thread-safe, but every member rank of a
+  /// communicator must observe the same value for any given collective —
+  /// change it only between collectives (e.g. from the driver thread while
+  /// ranks are synchronized).
+  void set_ring_segment_elems(std::size_t elems) {
+    ring_segment_elems_.store(elems, std::memory_order_relaxed);
   }
 
  private:
@@ -135,6 +158,7 @@ class ThreadWorld {
   std::atomic<bool> aborted_{false};
   std::string abort_reason_;
   std::atomic<long long> timeout_ms_{0};
+  std::atomic<std::size_t> ring_segment_elems_{kDefaultRingSegmentElems};
 };
 
 class ThreadComm final : public Communicator {
@@ -199,6 +223,7 @@ class ThreadComm final : public Communicator {
   };
 
   std::uint64_t next_seq();
+  std::size_t segment_elems() const { return world_->ring_segment_elems(); }
   void add_wire_bytes(std::uint64_t bytes);
   void bump(std::uint64_t CommStats::*counter);
 

@@ -1,6 +1,7 @@
 #include "axonn/comm/thread_comm.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
 #include <utility>
 
@@ -30,6 +31,15 @@ ThreadWorld::ThreadWorld(int size, WorldOptions options) : size_(size) {
   AXONN_CHECK_MSG(size >= 1, "ThreadWorld needs at least one rank");
   timeout_ms_.store(options.collective_timeout.count(),
                     std::memory_order_relaxed);
+  std::size_t segment = options.ring_segment_elems;
+  if (const char* env = std::getenv("AXONN_RING_SEGMENT")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') {
+      segment = static_cast<std::size_t>(parsed);
+    }
+  }
+  ring_segment_elems_.store(segment, std::memory_order_relaxed);
   mailboxes_.reserve(static_cast<std::size_t>(size));
   streams_.reserve(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r) {
@@ -279,7 +289,7 @@ void ThreadComm::all_reduce(std::span<float> buffer, ReduceOp op) {
   obs::SpanGuard span;
   open_comm_span(span, "all_reduce", name_);
   Transport t(this, next_seq());
-  ring_all_reduce(t, buffer, op);
+  ring_all_reduce(t, buffer, op, segment_elems());
   span.close();
   trace_wire_total();
 }
@@ -293,7 +303,7 @@ void ThreadComm::all_gather(std::span<const float> send,
   obs::SpanGuard span;
   open_comm_span(span, "all_gather", name_);
   Transport t(this, next_seq());
-  ring_all_gatherv(t, send, recv, counts);
+  ring_all_gatherv(t, send, recv, counts, segment_elems());
   span.close();
   trace_wire_total();
 }
@@ -304,7 +314,7 @@ void ThreadComm::all_gatherv(std::span<const float> send, std::span<float> recv,
   obs::SpanGuard span;
   open_comm_span(span, "all_gatherv", name_);
   Transport t(this, next_seq());
-  ring_all_gatherv(t, send, recv, recv_counts);
+  ring_all_gatherv(t, send, recv, recv_counts, segment_elems());
   span.close();
   trace_wire_total();
 }
@@ -318,7 +328,7 @@ void ThreadComm::reduce_scatter(std::span<const float> send,
   obs::SpanGuard span;
   open_comm_span(span, "reduce_scatter", name_);
   Transport t(this, next_seq());
-  ring_reduce_scatterv(t, send, recv, counts, op);
+  ring_reduce_scatterv(t, send, recv, counts, op, segment_elems());
   span.close();
   trace_wire_total();
 }
@@ -331,7 +341,7 @@ void ThreadComm::reduce_scatterv(std::span<const float> send,
   obs::SpanGuard span;
   open_comm_span(span, "reduce_scatterv", name_);
   Transport t(this, next_seq());
-  ring_reduce_scatterv(t, send, recv, counts, op);
+  ring_reduce_scatterv(t, send, recv, counts, op, segment_elems());
   span.close();
   trace_wire_total();
 }
@@ -357,9 +367,10 @@ void ThreadComm::barrier() {
 Request ThreadComm::iall_reduce(std::span<float> buffer, ReduceOp op) {
   bump(&CommStats::all_reduce_calls);
   const std::uint64_t seq = next_seq();
-  return post_async("iall_reduce", [this, buffer, op, seq] {
+  const std::size_t seg = segment_elems();
+  return post_async("iall_reduce", [this, buffer, op, seq, seg] {
     Transport t(this, seq);
-    ring_all_reduce(t, buffer, op);
+    ring_all_reduce(t, buffer, op, seg);
   });
 }
 
@@ -370,9 +381,10 @@ Request ThreadComm::iall_gather(std::span<const float> send,
   bump(&CommStats::all_gather_calls);
   const std::uint64_t seq = next_seq();
   auto counts = equal_counts(size(), send.size());
-  return post_async("iall_gather", [this, send, recv, counts = std::move(counts), seq] {
+  const std::size_t seg = segment_elems();
+  return post_async("iall_gather", [this, send, recv, counts = std::move(counts), seq, seg] {
     Transport t(this, seq);
-    ring_all_gatherv(t, send, recv, counts);
+    ring_all_gatherv(t, send, recv, counts, seg);
   });
 }
 
@@ -382,9 +394,10 @@ Request ThreadComm::iall_gatherv(std::span<const float> send,
   bump(&CommStats::all_gather_calls);
   const std::uint64_t seq = next_seq();
   std::vector<std::size_t> counts(recv_counts.begin(), recv_counts.end());
-  return post_async("iall_gatherv", [this, send, recv, counts = std::move(counts), seq] {
+  const std::size_t seg = segment_elems();
+  return post_async("iall_gatherv", [this, send, recv, counts = std::move(counts), seq, seg] {
     Transport t(this, seq);
-    ring_all_gatherv(t, send, recv, counts);
+    ring_all_gatherv(t, send, recv, counts, seg);
   });
 }
 
@@ -395,9 +408,10 @@ Request ThreadComm::ireduce_scatter(std::span<const float> send,
   bump(&CommStats::reduce_scatter_calls);
   const std::uint64_t seq = next_seq();
   auto counts = equal_counts(size(), recv.size());
-  return post_async("ireduce_scatter", [this, send, recv, counts = std::move(counts), op, seq] {
+  const std::size_t seg = segment_elems();
+  return post_async("ireduce_scatter", [this, send, recv, counts = std::move(counts), op, seq, seg] {
     Transport t(this, seq);
-    ring_reduce_scatterv(t, send, recv, counts, op);
+    ring_reduce_scatterv(t, send, recv, counts, op, seg);
   });
 }
 
@@ -408,9 +422,10 @@ Request ThreadComm::ireduce_scatterv(std::span<const float> send,
   bump(&CommStats::reduce_scatter_calls);
   const std::uint64_t seq = next_seq();
   std::vector<std::size_t> counts(counts_in.begin(), counts_in.end());
-  return post_async("ireduce_scatterv", [this, send, recv, counts = std::move(counts), op, seq] {
+  const std::size_t seg = segment_elems();
+  return post_async("ireduce_scatterv", [this, send, recv, counts = std::move(counts), op, seq, seg] {
     Transport t(this, seq);
-    ring_reduce_scatterv(t, send, recv, counts, op);
+    ring_reduce_scatterv(t, send, recv, counts, op, seg);
   });
 }
 

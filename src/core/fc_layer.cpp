@@ -59,12 +59,61 @@ Range TensorParallelFC::input_row_range(std::size_t total_rows) const {
                      static_cast<std::size_t>(grid_.z()));
 }
 
+const PackedB* TensorParallelFC::weight_pack_for(GemmMode mode) {
+  AXONN_CHECK_MSG(mode == GemmMode::kNN || mode == GemmMode::kNT,
+                  "only the forward (NN) and dI (NT) products consume W");
+  const bool transpose = mode == GemmMode::kNT;
+  PackedB& slot = transpose ? packed_weight_t_ : packed_weight_n_;
+  if (slot.empty()) {
+    obs::SpanGuard span(obs::kCatCompute, "pack_weight");
+    slot = pack_b(cached_weight_block_, transpose, options_.mixed_precision);
+  }
+  return &slot;
+}
+
 Matrix TensorParallelFC::multiply(GemmMode mode, const Matrix& a,
-                                  const Matrix& b) {
-  // §V-C: with kernel_tuning on, the tuner times every kernel variant for
-  // this (mode, shape) on the first batch and runs the winner thereafter —
-  // this is the layer's real hot path, not a side calibration.
-  if (tuner_) return tuner_->run(mode, a, b);
+                                  const Matrix& b, bool b_is_weight) {
+  // §V-C: with kernel_tuning on, the tuner times every (kernel mode x
+  // backend) variant for this (mode, shape) on the first batch and runs the
+  // winner thereafter — this is the layer's real hot path, not a side
+  // calibration.
+  const GemmShape shape = gemm_shape(mode, a, b);
+  const PackedB* pack = nullptr;
+  if (b_is_weight) {
+    // Pack ahead of tuning so the tiled variant is timed through the
+    // pack-once path it would actually run; drop the pack if it loses.
+    bool want_pack;
+    if (tuner_) {
+      const KernelTuner::Choice* decision =
+          tuner_->find_decision(mode, shape.m, shape.n, shape.k);
+      want_pack = decision == nullptr ||
+                  decision->backend == GemmBackend::kTiled;
+    } else {
+      want_pack = options_.gemm_backend == GemmBackend::kTiled;
+    }
+    if (want_pack) pack = weight_pack_for(mode);
+  }
+  if (tuner_) {
+    Matrix out = tuner_->run(mode, a, b, pack);
+    if (pack != nullptr) {
+      const KernelTuner::Choice* decision =
+          tuner_->find_decision(mode, shape.m, shape.n, shape.k);
+      if (decision != nullptr && decision->backend != GemmBackend::kTiled) {
+        (mode == GemmMode::kNT ? packed_weight_t_ : packed_weight_n_).clear();
+      }
+    }
+    return out;
+  }
+  if (options_.gemm_backend == GemmBackend::kTiled) {
+    Matrix c(shape.m, shape.n);
+    if (pack != nullptr) {
+      gemm_tiled_packed(gemm_transposes_a(mode), 1.0f, a, *pack, 0.0f, c,
+                        options_.mixed_precision);
+    } else {
+      gemm_tiled(mode, 1.0f, a, b, 0.0f, c, options_.mixed_precision);
+    }
+    return c;
+  }
   return options_.mixed_precision ? gemm_bf16(mode, a, b) : gemm(mode, a, b);
 }
 
@@ -78,6 +127,9 @@ void TensorParallelFC::begin_weight_gather() {
 
 void TensorParallelFC::gather_weights_into_cache() {
   if (weight_cache_valid_) return;
+  // Fresh gather: any packed panels derived from the old block are stale.
+  packed_weight_n_.clear();
+  packed_weight_t_.clear();
   if (pending_weight_gather_) {
     // OAG window closes: time the compute thread spends here is the exposed
     // remainder of the prefetched all-gather.
@@ -100,7 +152,8 @@ Matrix TensorParallelFC::forward(const Matrix& input_local) {
   Matrix output;
   {
     obs::SpanGuard span(obs::kCatCompute, "fwd_gemm");
-    output = multiply(GemmMode::kNN, input_local, cached_weight_block_);
+    output = multiply(GemmMode::kNN, input_local, cached_weight_block_,
+                      /*b_is_weight=*/true);
   }
   row_comm().all_reduce(std::span<float>(output.storage()),
                         comm::ReduceOp::kSum);
@@ -121,7 +174,8 @@ Matrix TensorParallelFC::backward(const Matrix& grad_output_local) {
   Matrix grad_input;
   {
     obs::SpanGuard span(obs::kCatCompute, "bwd_dI_gemm");
-    grad_input = multiply(GemmMode::kNT, grad_output_local, cached_weight_block_);
+    grad_input = multiply(GemmMode::kNT, grad_output_local,
+                          cached_weight_block_, /*b_is_weight=*/true);
   }
 
   std::optional<comm::Request> dI_request;
@@ -174,7 +228,7 @@ void TensorParallelFC::finish_gradients() {
 }
 
 Matrix& TensorParallelFC::mutable_weight_shard() {
-  weight_cache_valid_ = false;  // any edit invalidates the gathered cache
+  invalidate_weight_cache();  // any edit invalidates the gathered cache
   return weight_shard_;
 }
 
@@ -198,7 +252,7 @@ void TensorParallelFC::zero_grad() {
 void TensorParallelFC::apply_sgd(float lr) {
   finish_gradients();
   weight_shard_.axpy_inplace(-lr, weight_grad_shard_);
-  weight_cache_valid_ = false;
+  invalidate_weight_cache();
 }
 
 Matrix TensorParallelFC::gather_weight_block() {

@@ -31,6 +31,7 @@
 #include "axonn/core/grid4d.hpp"
 #include "axonn/core/kernel_tuner.hpp"
 #include "axonn/tensor/gemm.hpp"
+#include "axonn/tensor/gemm_tiled.hpp"
 #include "axonn/tensor/matrix.hpp"
 
 namespace axonn::core {
@@ -45,12 +46,19 @@ struct FCOptions {
   /// finish_gradients().
   bool overlap_weight_grad_reduce_scatter = false;
   /// §V-C kernel tuning: route the layer's three GEMMs (NN forward, NT dI,
-  /// TN dW) through a per-layer KernelTuner that times all kernel variants
-  /// on the first batch and locks in the fastest. Respects mixed_precision;
-  /// numerically a no-op (the variants are bit-identical, see KernelTuner).
+  /// TN dW) through a per-layer KernelTuner that times all (kernel mode x
+  /// backend) variants on the first batch and locks in the fastest.
+  /// Respects mixed_precision. Reference-backend variants are bit-identical
+  /// to the untuned kernel; a tiled-backend winner matches within
+  /// accumulation-order tolerance (see KernelTuner).
   bool kernel_tuning = false;
   /// Timing repeats per variant when tuning (first batch only).
   int kernel_tuner_repeats = 3;
+  /// GEMM backend when kernel_tuning is off: kReference runs the seed's
+  /// scalar kernel unchanged (bit-identical results); kTiled runs the
+  /// packed-panel backend, reusing the layer's pack-once weight panel cache
+  /// for the forward (NN) and dI (NT) products.
+  GemmBackend gemm_backend = GemmBackend::kReference;
   /// Weight init: N(0, init_std^2), identical on every rank by seed.
   float init_std = 0.02f;
 };
@@ -112,10 +120,15 @@ class TensorParallelFC {
   const Matrix& weight_shard() const { return weight_shard_; }
   Matrix& mutable_weight_shard();
 
-  /// Marks the gathered-weight cache stale. Must be called after mutating
-  /// the shard through a retained pointer (e.g. an optimizer step);
+  /// Marks the gathered-weight cache stale — and with it the packed weight
+  /// panels, which are derived from the gathered block. Must be called after
+  /// mutating the shard through a retained pointer (e.g. an optimizer step);
   /// mutable_weight_shard() does this automatically for direct access.
-  void invalidate_weight_cache() { weight_cache_valid_ = false; }
+  void invalidate_weight_cache() {
+    weight_cache_valid_ = false;
+    packed_weight_n_.clear();
+    packed_weight_t_.clear();
+  }
   const Matrix& weight_grad_shard() const;
   /// Mutable gradient access for optimizers / the data-parallel all-reduce.
   /// Requires no reduce-scatter in flight.
@@ -155,7 +168,14 @@ class TensorParallelFC {
     return options_.transposed ? grid_.shape().gy : grid_.shape().gx;
   }
 
-  Matrix multiply(GemmMode mode, const Matrix& a, const Matrix& b);
+  /// Runs one of the layer's GEMMs. `b_is_weight` marks products whose
+  /// op(B) is the gathered weight block (forward NN, backward-dI NT): those
+  /// reuse the pack-once weight panel cache when the tiled backend runs.
+  Matrix multiply(GemmMode mode, const Matrix& a, const Matrix& b,
+                  bool b_is_weight = false);
+  /// The packed-panel slot for `mode` (kNN packs W, kNT packs W^T), packing
+  /// the gathered weight block lazily on first use.
+  const PackedB* weight_pack_for(GemmMode mode);
   void gather_weights_into_cache();
 
   Grid4D& grid_;
@@ -176,6 +196,11 @@ class TensorParallelFC {
   Matrix cached_weight_block_;  ///< gathered (in_local x out_local)
   bool weight_cache_valid_ = false;
   Matrix cached_input_;
+  // Pack-once weight panel cache for the tiled backend: op(B) = W for the
+  // forward NN product and op(B) = W^T for the backward-dI NT product.
+  // Packed lazily per gathered weight, invalidated with the gathered cache.
+  PackedB packed_weight_n_;
+  PackedB packed_weight_t_;
 
   // In-flight collectives.
   std::optional<comm::Request> pending_weight_gather_;

@@ -1,6 +1,6 @@
 #pragma once
 
-// Automated BLAS kernel tuning (§V-C).
+// Automated BLAS kernel tuning (§V-C), over kernel modes AND backends.
 //
 // Every product C = op_A(A) x op_B(B) can be computed by any of the three
 // kernel modes by materializing operand transposes: e.g. an NN product can
@@ -8,8 +8,11 @@
 // optimize the modes unevenly — the paper found a rocBLAS TN kernel at 6%
 // of peak — so AxoNN times all three variants during the first batch and
 // locks in the fastest for the rest of training. This tuner does the same
-// with the real CPU kernels: it measures each variant (including the
-// transpose-copy cost it incurs) and executes the winner thereafter.
+// with the real CPU kernels, and additionally times each registered GEMM
+// backend (see GemmBackend): the reference scalar kernel in its three
+// transpose-copy variants, plus the tiled packed-panel backend, which
+// resolves transposition at pack time and therefore needs no copies. The
+// winner — a (kernel mode, backend) pair — runs thereafter.
 
 #include <cstdint>
 #include <map>
@@ -17,6 +20,7 @@
 #include <vector>
 
 #include "axonn/tensor/gemm.hpp"
+#include "axonn/tensor/gemm_tiled.hpp"
 #include "axonn/tensor/matrix.hpp"
 
 namespace axonn::core {
@@ -31,6 +35,7 @@ class KernelTuner {
 
   struct Choice {
     GemmMode kernel_mode = GemmMode::kNN;  ///< the kernel actually run
+    GemmBackend backend = GemmBackend::kReference;  ///< the backend run
     double measured_seconds = 0;           ///< winner's time
     double default_seconds = 0;            ///< semantic (untuned) mode's time
     double speedup() const {
@@ -38,36 +43,57 @@ class KernelTuner {
     }
   };
 
-  /// `mixed_precision` selects the bf16 kernels (gemm_bf16). The tuned
-  /// kernel choice never changes results in either precision: the kernels
-  /// share one i-l-j loop nest whose summation order over the contraction
-  /// dimension is layout-independent, so every variant is bit-identical.
+  /// `mixed_precision` selects the bf16 kernels. Numerical contract: all
+  /// reference-backend variants share one i-l-j loop nest whose summation
+  /// order over the contraction dimension is layout-independent, so they are
+  /// bit-identical to the untuned kernel; the tiled backend accumulates each
+  /// k-slab in registers before adding it to C, so a tiled winner matches
+  /// within accumulation-order tolerance instead. With tuning disabled the
+  /// layer runs the reference kernel unchanged (bit-identical to the seed).
   explicit KernelTuner(int timing_repeats = 3, bool mixed_precision = false)
       : timing_repeats_(timing_repeats), mixed_precision_(mixed_precision) {}
 
   /// Computes op(A) x op(B) under `semantic_mode`. The first call for a
-  /// given (mode, shape) times all three kernel variants and records the
-  /// winner; later calls run the winner directly.
-  Matrix run(GemmMode semantic_mode, const Matrix& a, const Matrix& b);
+  /// given (mode, shape) times every variant and records the winner; later
+  /// calls run the winner directly. `packed_b` optionally supplies a
+  /// pre-packed op(B) (a layer's pack-once weight panel cache): the tiled
+  /// variant is then timed and executed through the prepacked path, so the
+  /// pack cost — amortized across batches in the hot path — is not charged
+  /// per call.
+  Matrix run(GemmMode semantic_mode, const Matrix& a, const Matrix& b,
+             const PackedB* packed_b = nullptr);
 
-  /// Times the three variants for this product without caching.
-  Choice tune(GemmMode semantic_mode, const Matrix& a, const Matrix& b) const;
+  /// Times all variants for this product without caching.
+  Choice tune(GemmMode semantic_mode, const Matrix& a, const Matrix& b,
+              const PackedB* packed_b = nullptr) const;
 
   /// The decision table built so far (key -> winning kernel).
   const std::map<Key, Choice>& decisions() const { return decisions_; }
+
+  /// The cached decision for (mode, m, n, k), or nullptr before the first
+  /// batch tunes it. Lets callers prepare backend-specific resources (e.g.
+  /// pack weight panels) only when the tiled backend won or might win.
+  const Choice* find_decision(GemmMode semantic_mode, std::size_t m,
+                              std::size_t n, std::size_t k) const;
 
   /// One-line summary per decision, in the spirit of the paper's §V-C
   /// anecdote ("TN -> NN, 8x faster").
   std::vector<std::string> report() const;
 
  private:
-  /// Executes the product with a specific kernel mode, materializing
-  /// transposed copies as needed so the math is unchanged.
+  /// Executes the product with a specific (kernel mode, backend) variant,
+  /// materializing transposed copies as needed so the math is unchanged.
   Matrix run_with_kernel(GemmMode semantic_mode, GemmMode kernel_mode,
-                         const Matrix& a, const Matrix& b) const;
+                         GemmBackend backend, const Matrix& a, const Matrix& b,
+                         const PackedB* packed_b) const;
 
   double time_variant(GemmMode semantic_mode, GemmMode kernel_mode,
-                      const Matrix& a, const Matrix& b) const;
+                      GemmBackend backend, const Matrix& a, const Matrix& b,
+                      const PackedB* packed_b) const;
+
+  /// True when `packed_b` is usable for this product (matching op(B) shape
+  /// and precision).
+  bool pack_usable(const PackedB* packed_b, const GemmShape& shape) const;
 
   int timing_repeats_;
   bool mixed_precision_ = false;

@@ -27,6 +27,8 @@ struct MLPOptions {
   bool overlap_weight_all_gather = false;       ///< OAG
   /// §V-C kernel tuning in every layer's GEMMs (see FCOptions).
   bool kernel_tuning = false;
+  /// GEMM backend when kernel_tuning is off (see FCOptions::gemm_backend).
+  GemmBackend gemm_backend = GemmBackend::kReference;
   bool gelu_between_layers = true;
   float init_std = 0.02f;
   /// First layer 'transposed' flag; subsequent layers alternate.

@@ -9,20 +9,33 @@
 
 namespace axonn::core {
 
-namespace {
-
-bool transposes_a(GemmMode mode) {
-  return mode == GemmMode::kTN || mode == GemmMode::kTT;
+bool KernelTuner::pack_usable(const PackedB* packed_b,
+                              const GemmShape& shape) const {
+  // The caller promises the pack holds op(B) for *this* product; the shape
+  // and precision checks are a safety net against stale or mismatched packs.
+  return packed_b != nullptr && !packed_b->empty() &&
+         packed_b->k() == shape.k && packed_b->n() == shape.n &&
+         packed_b->rounded_bf16() == mixed_precision_;
 }
-bool transposes_b(GemmMode mode) {
-  return mode == GemmMode::kNT || mode == GemmMode::kTT;
-}
-
-}  // namespace
 
 Matrix KernelTuner::run_with_kernel(GemmMode semantic_mode,
-                                    GemmMode kernel_mode, const Matrix& a,
-                                    const Matrix& b) const {
+                                    GemmMode kernel_mode, GemmBackend backend,
+                                    const Matrix& a, const Matrix& b,
+                                    const PackedB* packed_b) const {
+  if (backend == GemmBackend::kTiled) {
+    // The tiled backend resolves transposition at pack time, so it has no
+    // transpose-copy variants: its single variant runs at the semantic mode,
+    // through the caller's pack-once weight panel cache when one is usable.
+    const GemmShape shape = gemm_shape(semantic_mode, a, b);
+    Matrix c(shape.m, shape.n);
+    if (pack_usable(packed_b, shape)) {
+      gemm_tiled_packed(gemm_transposes_a(semantic_mode), 1.0f, a, *packed_b,
+                        0.0f, c, mixed_precision_);
+    } else {
+      gemm_tiled(semantic_mode, 1.0f, a, b, 0.0f, c, mixed_precision_);
+    }
+    return c;
+  }
   const auto multiply = [this](GemmMode mode, const Matrix& x,
                                const Matrix& y) {
     return mixed_precision_ ? gemm_bf16(mode, x, y) : gemm(mode, x, y);
@@ -33,20 +46,25 @@ Matrix KernelTuner::run_with_kernel(GemmMode semantic_mode,
   // Pass operands so that op_kernel(passed) == op_semantic(original): when
   // the transpose flags differ, materialize a transposed copy — the layout
   // change a real framework performs to reach a different BLAS kernel.
-  const bool copy_a = transposes_a(kernel_mode) != transposes_a(semantic_mode);
-  const bool copy_b = transposes_b(kernel_mode) != transposes_b(semantic_mode);
+  const bool copy_a =
+      gemm_transposes_a(kernel_mode) != gemm_transposes_a(semantic_mode);
+  const bool copy_b =
+      gemm_transposes_b(kernel_mode) != gemm_transposes_b(semantic_mode);
   const Matrix& a_eff = copy_a ? a.transposed() : a;
   const Matrix& b_eff = copy_b ? b.transposed() : b;
   return multiply(kernel_mode, a_eff, b_eff);
 }
 
 double KernelTuner::time_variant(GemmMode semantic_mode, GemmMode kernel_mode,
-                                 const Matrix& a, const Matrix& b) const {
+                                 GemmBackend backend, const Matrix& a,
+                                 const Matrix& b,
+                                 const PackedB* packed_b) const {
   using Clock = std::chrono::steady_clock;
   double best = std::numeric_limits<double>::infinity();
   for (int rep = 0; rep < timing_repeats_; ++rep) {
     const auto start = Clock::now();
-    const Matrix c = run_with_kernel(semantic_mode, kernel_mode, a, b);
+    const Matrix c =
+        run_with_kernel(semantic_mode, kernel_mode, backend, a, b, packed_b);
     const auto stop = Clock::now();
     // Touch the result so the compiler cannot elide the work.
     volatile float sink = c(0, 0);
@@ -58,51 +76,80 @@ double KernelTuner::time_variant(GemmMode semantic_mode, GemmMode kernel_mode,
 }
 
 KernelTuner::Choice KernelTuner::tune(GemmMode semantic_mode, const Matrix& a,
-                                      const Matrix& b) const {
+                                      const Matrix& b,
+                                      const PackedB* packed_b) const {
   AXONN_CHECK_MSG(semantic_mode != GemmMode::kTT,
                   "transformers use NN/NT/TN products only");
   Choice choice;
-  choice.default_seconds = time_variant(semantic_mode, semantic_mode, a, b);
+  choice.default_seconds = time_variant(semantic_mode, semantic_mode,
+                                        GemmBackend::kReference, a, b, nullptr);
   choice.measured_seconds = choice.default_seconds;
   choice.kernel_mode = semantic_mode;
+  choice.backend = GemmBackend::kReference;
   for (GemmMode km : {GemmMode::kNN, GemmMode::kNT, GemmMode::kTN}) {
     if (km == semantic_mode) continue;
-    const double t = time_variant(semantic_mode, km, a, b);
+    const double t =
+        time_variant(semantic_mode, km, GemmBackend::kReference, a, b, nullptr);
     if (t < choice.measured_seconds) {
       choice.measured_seconds = t;
       choice.kernel_mode = km;
     }
   }
+  // The tiled backend has exactly one variant (transposition is resolved in
+  // the pack). Timed through the prepacked path when the caller supplies a
+  // reusable weight pack — the cost the hot path will actually pay.
+  const double tiled = time_variant(semantic_mode, semantic_mode,
+                                    GemmBackend::kTiled, a, b, packed_b);
+  if (tiled < choice.measured_seconds) {
+    choice.measured_seconds = tiled;
+    choice.kernel_mode = semantic_mode;
+    choice.backend = GemmBackend::kTiled;
+  }
   return choice;
 }
 
 Matrix KernelTuner::run(GemmMode semantic_mode, const Matrix& a,
-                        const Matrix& b) {
+                        const Matrix& b, const PackedB* packed_b) {
   const GemmShape shape = gemm_shape(semantic_mode, a, b);
   const Key key{semantic_mode, shape.m, shape.n, shape.k};
   auto it = decisions_.find(key);
   if (it == decisions_.end()) {
     // First batch: measure, then remember (§V-C).
-    it = decisions_.emplace(key, tune(semantic_mode, a, b)).first;
+    it = decisions_.emplace(key, tune(semantic_mode, a, b, packed_b)).first;
     if (obs::enabled()) {
       const Choice& choice = it->second;
       // Counter per kernel mode: how many products tuned to it so far.
       int same_kernel = 0;
+      int same_backend = 0;
       for (const auto& [k, c] : decisions_) {
         if (c.kernel_mode == choice.kernel_mode) ++same_kernel;
+        if (c.backend == choice.backend) ++same_backend;
       }
       obs::counter(obs::kCatTuner,
                    std::string("tuner_choice_") + to_string(choice.kernel_mode),
                    same_kernel);
+      obs::counter(obs::kCatTuner,
+                   std::string("tuner_backend_") + to_string(choice.backend),
+                   same_backend);
       char line[160];
       std::snprintf(line, sizeof(line),
-                    "tune %s (m=%zu n=%zu k=%zu) -> %s kernel (%.2fx)",
+                    "tune %s (m=%zu n=%zu k=%zu) -> %s/%s kernel (%.2fx)",
                     to_string(semantic_mode), key.m, key.n, key.k,
-                    to_string(choice.kernel_mode), choice.speedup());
+                    to_string(choice.backend), to_string(choice.kernel_mode),
+                    choice.speedup());
       obs::instant(obs::kCatTuner, line);
     }
   }
-  return run_with_kernel(semantic_mode, it->second.kernel_mode, a, b);
+  return run_with_kernel(semantic_mode, it->second.kernel_mode,
+                         it->second.backend, a, b, packed_b);
+}
+
+const KernelTuner::Choice* KernelTuner::find_decision(GemmMode semantic_mode,
+                                                      std::size_t m,
+                                                      std::size_t n,
+                                                      std::size_t k) const {
+  const auto it = decisions_.find(Key{semantic_mode, m, n, k});
+  return it == decisions_.end() ? nullptr : &it->second;
 }
 
 std::vector<std::string> KernelTuner::report() const {
@@ -110,9 +157,10 @@ std::vector<std::string> KernelTuner::report() const {
   for (const auto& [key, choice] : decisions_) {
     char buffer[160];
     std::snprintf(buffer, sizeof(buffer),
-                  "%s (m=%zu n=%zu k=%zu): kernel %s, %.2fx vs default",
+                  "%s (m=%zu n=%zu k=%zu): %s kernel %s, %.2fx vs default",
                   to_string(key.semantic_mode), key.m, key.n, key.k,
-                  to_string(choice.kernel_mode), choice.speedup());
+                  to_string(choice.backend), to_string(choice.kernel_mode),
+                  choice.speedup());
     lines.emplace_back(buffer);
   }
   return lines;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "axonn/tensor/bf16.hpp"
+#include "axonn/tensor/gemm_tiled.hpp"
 
 namespace axonn {
 
@@ -12,6 +13,14 @@ const char* to_string(GemmMode mode) {
     case GemmMode::kNT: return "NT";
     case GemmMode::kTN: return "TN";
     case GemmMode::kTT: return "TT";
+  }
+  return "??";
+}
+
+const char* to_string(GemmBackend backend) {
+  switch (backend) {
+    case GemmBackend::kReference: return "reference";
+    case GemmBackend::kTiled: return "tiled";
   }
   return "??";
 }
@@ -44,11 +53,15 @@ void gemm_kernel(const GemmShape& s, float alpha, LoadA load_a, LoadB load_b,
   } else if (beta != 1.0f) {
     c.scale_inplace(beta);
   }
+  // BLAS semantics: alpha == 0 means C = beta * C without reading A or B.
+  // There is deliberately NO per-element zero skip below: 0 * NaN and
+  // 0 * inf must produce NaN in C, or a poisoned activation silently
+  // vanishes instead of propagating to the loss where it can be detected.
+  if (alpha == 0.0f) return;
   for (std::size_t i = 0; i < s.m; ++i) {
     float* crow = c.row(i);
     for (std::size_t l = 0; l < s.k; ++l) {
       const float aval = alpha * load_a(i, l);
-      if (aval == 0.0f) continue;
       for (std::size_t j = 0; j < s.n; ++j) {
         crow[j] += aval * load_b(l, j);
       }
@@ -105,6 +118,52 @@ Matrix gemm_bf16(GemmMode mode, const Matrix& a, const Matrix& b) {
   Matrix c(s.m, s.n);
   gemm_bf16(mode, 1.0f, a, b, 0.0f, c);
   return c;
+}
+
+namespace {
+
+void run_reference_fp32(GemmMode mode, float alpha, const Matrix& a,
+                        const Matrix& b, float beta, Matrix& c) {
+  gemm(mode, alpha, a, b, beta, c);
+}
+void run_reference_bf16(GemmMode mode, float alpha, const Matrix& a,
+                        const Matrix& b, float beta, Matrix& c) {
+  gemm_bf16(mode, alpha, a, b, beta, c);
+}
+void run_tiled_fp32(GemmMode mode, float alpha, const Matrix& a,
+                    const Matrix& b, float beta, Matrix& c) {
+  gemm_tiled(mode, alpha, a, b, beta, c, /*round_bf16=*/false);
+}
+void run_tiled_bf16(GemmMode mode, float alpha, const Matrix& a,
+                    const Matrix& b, float beta, Matrix& c) {
+  gemm_tiled(mode, alpha, a, b, beta, c, /*round_bf16=*/true);
+}
+
+constexpr GemmBackendInfo kBackends[] = {
+    {GemmBackend::kReference, "reference", &run_reference_fp32,
+     &run_reference_bf16},
+    {GemmBackend::kTiled, "tiled", &run_tiled_fp32, &run_tiled_bf16},
+};
+
+}  // namespace
+
+std::span<const GemmBackendInfo> gemm_backends() { return kBackends; }
+
+const GemmBackendInfo& gemm_backend_info(GemmBackend backend) {
+  for (const GemmBackendInfo& info : kBackends) {
+    if (info.id == backend) return info;
+  }
+  throw Error("unknown GEMM backend");
+}
+
+void gemm(GemmBackend backend, GemmMode mode, float alpha, const Matrix& a,
+          const Matrix& b, float beta, Matrix& c) {
+  gemm_backend_info(backend).run_fp32(mode, alpha, a, b, beta, c);
+}
+
+void gemm_bf16(GemmBackend backend, GemmMode mode, float alpha,
+               const Matrix& a, const Matrix& b, float beta, Matrix& c) {
+  gemm_backend_info(backend).run_bf16(mode, alpha, a, b, beta, c);
 }
 
 }  // namespace axonn

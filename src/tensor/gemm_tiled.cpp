@@ -1,0 +1,194 @@
+#include "axonn/tensor/gemm_tiled.hpp"
+
+#include <algorithm>
+
+#include "axonn/base/error.hpp"
+#include "axonn/tensor/bf16.hpp"
+
+namespace axonn {
+
+namespace {
+
+inline std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+// Packs op(A)[i0..i0+mc) x [l0..l0+kc) into row panels of kTileMR, each
+// stored l-major (panel[l * kTileMR + i]) and zero-padded past mc so the
+// micro-kernel runs full tiles unconditionally.
+template <bool kRound>
+void pack_a_block(const Matrix& a, bool trans_a, std::size_t i0,
+                  std::size_t mc, std::size_t l0, std::size_t kc, float* buf) {
+  const auto maybe_round = [](float v) {
+    if constexpr (kRound) {
+      return bf16_round(v);
+    } else {
+      return v;
+    }
+  };
+  const std::size_t m_tiles = ceil_div(mc, kTileMR);
+  for (std::size_t it = 0; it < m_tiles; ++it) {
+    const std::size_t i_base = i0 + it * kTileMR;
+    const std::size_t mr = std::min(kTileMR, i0 + mc - i_base);
+    float* panel = buf + it * (kc * kTileMR);
+    for (std::size_t l = 0; l < kc; ++l) {
+      float* out = panel + l * kTileMR;
+      if (!trans_a) {
+        for (std::size_t ii = 0; ii < kTileMR; ++ii) {
+          out[ii] = ii < mr ? maybe_round(a(i_base + ii, l0 + l)) : 0.0f;
+        }
+      } else {
+        const float* src = a.row(l0 + l) + i_base;  // op(A)(i, l) = A(l, i)
+        for (std::size_t ii = 0; ii < kTileMR; ++ii) {
+          out[ii] = ii < mr ? maybe_round(src[ii]) : 0.0f;
+        }
+      }
+    }
+  }
+}
+
+// One kTileMR x kTileNR tile of C over a k-slab: acc holds the tile in fp32.
+// Fixed trip counts on i/j let the compiler unroll fully and keep acc in
+// vector registers; the j loop over the contiguous packed-B row becomes
+// broadcast-FMA vector code.
+inline void micro_kernel(std::size_t kc, const float* __restrict a_panel,
+                         const float* __restrict b_panel,
+                         float (&acc)[kTileMR * kTileNR]) {
+  for (std::size_t l = 0; l < kc; ++l) {
+    const float* a = a_panel + l * kTileMR;
+    const float* b = b_panel + l * kTileNR;
+    for (std::size_t i = 0; i < kTileMR; ++i) {
+      const float av = a[i];
+      for (std::size_t j = 0; j < kTileNR; ++j) {
+        acc[i * kTileNR + j] += av * b[j];
+      }
+    }
+  }
+}
+
+template <bool kRound>
+void pack_b_impl(const Matrix& b, bool transpose, std::size_t k, std::size_t n,
+                 std::size_t padded_n, float* dst) {
+  const auto maybe_round = [](float v) {
+    if constexpr (kRound) {
+      return bf16_round(v);
+    } else {
+      return v;
+    }
+  };
+  for (std::size_t l0 = 0; l0 < k; l0 += kBlockK) {
+    const std::size_t kc = std::min(kBlockK, k - l0);
+    for (std::size_t j0 = 0; j0 < padded_n; j0 += kTileNR) {
+      const std::size_t jn = j0 < n ? std::min(kTileNR, n - j0) : 0;
+      for (std::size_t l = 0; l < kc; ++l) {
+        if (!transpose) {
+          const float* src = b.row(l0 + l) + j0;
+          for (std::size_t j = 0; j < jn; ++j) dst[j] = maybe_round(src[j]);
+        } else {
+          for (std::size_t j = 0; j < jn; ++j) {
+            dst[j] = maybe_round(b(j0 + j, l0 + l));  // op(B)(l, j) = B(j, l)
+          }
+        }
+        for (std::size_t j = jn; j < kTileNR; ++j) dst[j] = 0.0f;
+        dst += kTileNR;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t PackedB::k_blocks() const { return ceil_div(k_, kBlockK); }
+
+std::size_t PackedB::n_tiles() const { return padded_n_ / kTileNR; }
+
+std::size_t PackedB::k_block_rows(std::size_t kb) const {
+  return std::min(kBlockK, k_ - kb * kBlockK);
+}
+
+const float* PackedB::panel(std::size_t kb, std::size_t jt) const {
+  // Every slab before kb is full, so its rows contribute kBlockK * padded_n_.
+  return data_.data() + kb * kBlockK * padded_n_ +
+         jt * (k_block_rows(kb) * kTileNR);
+}
+
+PackedB pack_b(const Matrix& b, bool transpose, bool round_bf16) {
+  PackedB out;
+  out.k_ = transpose ? b.cols() : b.rows();
+  out.n_ = transpose ? b.rows() : b.cols();
+  out.padded_n_ = ceil_div(out.n_, kTileNR) * kTileNR;
+  out.rounded_bf16_ = round_bf16;
+  out.data_.assign(out.k_ * out.padded_n_, 0.0f);
+  if (out.data_.empty()) return out;
+  if (round_bf16) {
+    pack_b_impl<true>(b, transpose, out.k_, out.n_, out.padded_n_,
+                      out.data_.data());
+  } else {
+    pack_b_impl<false>(b, transpose, out.k_, out.n_, out.padded_n_,
+                       out.data_.data());
+  }
+  return out;
+}
+
+void gemm_tiled_packed(bool trans_a, float alpha, const Matrix& a,
+                       const PackedB& packed_b, float beta, Matrix& c,
+                       bool round_bf16) {
+  const std::size_t m = trans_a ? a.cols() : a.rows();
+  const std::size_t ka = trans_a ? a.rows() : a.cols();
+  AXONN_CHECK_MSG(ka == packed_b.k(),
+                  "tiled GEMM inner dimension does not match packed op(B)");
+  AXONN_CHECK_MSG(c.rows() == m && c.cols() == packed_b.n(),
+                  "GEMM output shape does not match operands");
+  if (beta == 0.0f) {
+    c.set_zero();
+  } else if (beta != 1.0f) {
+    c.scale_inplace(beta);
+  }
+  // BLAS semantics: alpha == 0 means C = beta * C without touching A or B.
+  if (alpha == 0.0f || m == 0 || packed_b.n() == 0 || packed_b.k() == 0) {
+    return;
+  }
+
+  AlignedVector<float> a_pack(ceil_div(kBlockM, kTileMR) * kTileMR * kBlockK);
+  const std::size_t n_tiles = packed_b.n_tiles();
+  for (std::size_t kb = 0; kb < packed_b.k_blocks(); ++kb) {
+    const std::size_t l0 = kb * kBlockK;
+    const std::size_t kc = packed_b.k_block_rows(kb);
+    for (std::size_t i0 = 0; i0 < m; i0 += kBlockM) {
+      const std::size_t mc = std::min(kBlockM, m - i0);
+      if (round_bf16) {
+        pack_a_block<true>(a, trans_a, i0, mc, l0, kc, a_pack.data());
+      } else {
+        pack_a_block<false>(a, trans_a, i0, mc, l0, kc, a_pack.data());
+      }
+      const std::size_t m_tiles = ceil_div(mc, kTileMR);
+      for (std::size_t jt = 0; jt < n_tiles; ++jt) {
+        const float* b_panel = packed_b.panel(kb, jt);
+        const std::size_t j0 = jt * kTileNR;
+        const std::size_t jn = std::min(kTileNR, packed_b.n() - j0);
+        for (std::size_t it = 0; it < m_tiles; ++it) {
+          float acc[kTileMR * kTileNR] = {};
+          micro_kernel(kc, a_pack.data() + it * (kc * kTileMR), b_panel, acc);
+          const std::size_t i_base = i0 + it * kTileMR;
+          const std::size_t mr = std::min(kTileMR, i0 + mc - i_base);
+          for (std::size_t ii = 0; ii < mr; ++ii) {
+            float* crow = c.row(i_base + ii) + j0;
+            for (std::size_t j = 0; j < jn; ++j) {
+              crow[j] += alpha * acc[ii * kTileNR + j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_tiled(GemmMode mode, float alpha, const Matrix& a, const Matrix& b,
+                float beta, Matrix& c, bool round_bf16) {
+  (void)gemm_shape(mode, a, b);  // validates operand shapes under the mode
+  const PackedB packed = pack_b(b, gemm_transposes_b(mode), round_bf16);
+  gemm_tiled_packed(gemm_transposes_a(mode), alpha, a, packed, beta, c,
+                    round_bf16);
+}
+
+}  // namespace axonn

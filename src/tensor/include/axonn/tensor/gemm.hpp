@@ -10,6 +10,7 @@
 // tuner has something real to measure.
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "axonn/tensor/matrix.hpp"
@@ -25,6 +26,52 @@ enum class GemmMode {
 };
 
 const char* to_string(GemmMode mode);
+
+/// True when op(A) (resp. op(B)) is the transpose of the stored operand.
+inline bool gemm_transposes_a(GemmMode mode) {
+  return mode == GemmMode::kTN || mode == GemmMode::kTT;
+}
+inline bool gemm_transposes_b(GemmMode mode) {
+  return mode == GemmMode::kNT || mode == GemmMode::kTT;
+}
+
+/// Which kernel implementation computes the product. `kReference` is the
+/// original scalar i-l-j loop (kept as the numerical baseline: plain gemm()
+/// always routes here, bit-identical to the seed). `kTiled` packs op(A) and
+/// op(B) into cache-blocked panels and runs a register-blocked micro-kernel
+/// (see gemm_tiled.hpp) — same math, different accumulation grouping, so
+/// results agree within accumulation-order tolerance only.
+enum class GemmBackend {
+  kReference,
+  kTiled,
+};
+
+const char* to_string(GemmBackend backend);
+
+/// The backend registry: every entry computes C = alpha * op(A) x op(B) +
+/// beta * C in fp32 (`run_fp32`) or with operands rounded through bf16 as
+/// consumed (`run_bf16`). The KernelTuner and the benches iterate this table
+/// so a new backend only needs one registration.
+struct GemmBackendInfo {
+  GemmBackend id;
+  const char* name;
+  void (*run_fp32)(GemmMode, float, const Matrix&, const Matrix&, float,
+                   Matrix&);
+  void (*run_bf16)(GemmMode, float, const Matrix&, const Matrix&, float,
+                   Matrix&);
+};
+
+/// All registered backends, reference first.
+std::span<const GemmBackendInfo> gemm_backends();
+
+/// Registry lookup by id (throws on unknown backend).
+const GemmBackendInfo& gemm_backend_info(GemmBackend backend);
+
+/// Explicit-backend entry points.
+void gemm(GemmBackend backend, GemmMode mode, float alpha, const Matrix& a,
+          const Matrix& b, float beta, Matrix& c);
+void gemm_bf16(GemmBackend backend, GemmMode mode, float alpha,
+               const Matrix& a, const Matrix& b, float beta, Matrix& c);
 
 /// C = alpha * op(A) x op(B) + beta * C. Shapes are validated against the
 /// mode. Accumulation is fp32 regardless of input rounding.

@@ -8,9 +8,11 @@
 // decompositions that map sub-blocks of I and W onto planes of the 3D GPU
 // grid (Fig. 1 of the paper).
 
+#include <cassert>
 #include <cstddef>
 #include <vector>
 
+#include "axonn/base/aligned.hpp"
 #include "axonn/base/error.hpp"
 #include "axonn/base/partition.hpp"
 #include "axonn/base/rng.hpp"
@@ -19,11 +21,19 @@ namespace axonn {
 
 class Matrix {
  public:
+  /// Storage is cache-line aligned (see base/aligned.hpp) so GEMM panel
+  /// packing and vector loads start on 64-byte boundaries.
+  using Storage = AlignedVector<float>;
+
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {
+    assert(is_cache_aligned(data_.data()));
+  }
   Matrix(std::size_t rows, std::size_t cols, float fill)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    assert(is_cache_aligned(data_.data()));
+  }
 
   static Matrix zeros(std::size_t rows, std::size_t cols) {
     return Matrix(rows, cols);
@@ -81,8 +91,8 @@ class Matrix {
   float* row(std::size_t r) { return data_.data() + r * cols_; }
   const float* row(std::size_t r) const { return data_.data() + r * cols_; }
 
-  std::vector<float>& storage() { return data_; }
-  const std::vector<float>& storage() const { return data_; }
+  Storage& storage() { return data_; }
+  const Storage& storage() const { return data_; }
 
   /// Extracts the sub-matrix covering `rows x cols` index ranges.
   Matrix block(Range row_range, Range col_range) const;
@@ -127,7 +137,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<float> data_;
+  Storage data_;
 };
 
 }  // namespace axonn

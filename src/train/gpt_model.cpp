@@ -12,7 +12,8 @@ namespace axonn::train {
 namespace {
 
 std::vector<float> row_vector(const Matrix& row_matrix) {
-  return row_matrix.storage();
+  const auto& s = row_matrix.storage();
+  return std::vector<float>(s.begin(), s.end());
 }
 
 void accumulate_row(Matrix& row_matrix, const std::vector<float>& values) {

@@ -1,0 +1,288 @@
+// Chunk-pipelined ring collectives (segment_elems > 0) against the golden
+// unsegmented algorithms. The segmented schedules must be bitwise identical
+// — same pairwise reduction order — and put exactly the same bytes on the
+// wire, at chunk sizes that straddle the segment boundary (partial trailing
+// segments, single-segment chunks, empty chunks).
+
+#include "axonn/comm/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "axonn/comm/thread_comm.hpp"
+
+namespace axonn::comm {
+namespace {
+
+struct FakeNetwork {
+  std::map<std::pair<int, int>, std::deque<std::vector<float>>> edges;
+  std::uint64_t total_wire_bytes = 0;
+  std::uint64_t total_messages = 0;
+};
+
+// Thread-per-rank transport over per-edge FIFO queues (same harness as
+// test_ring_algorithms.cpp): send_to never blocks, recv_from waits on the
+// edge's queue, per-edge order is FIFO — the Transport contract.
+struct LockedTransport {
+  FakeNetwork* net;
+  std::mutex* mutex;
+  std::condition_variable* cv;
+  int rank_, size_;
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+  void send_to(int dest, std::span<const float> data) {
+    {
+      std::lock_guard<std::mutex> lock(*mutex);
+      net->edges[{rank_, dest}].emplace_back(data.begin(), data.end());
+      net->total_wire_bytes += data.size() * sizeof(float);
+      ++net->total_messages;
+    }
+    cv->notify_all();
+  }
+  void recv_from(int src, std::span<float> out) {
+    std::unique_lock<std::mutex> lock(*mutex);
+    auto key = std::make_pair(src, rank_);
+    cv->wait(lock, [&] {
+      auto it = net->edges.find(key);
+      return it != net->edges.end() && !it->second.empty();
+    });
+    auto& queue = net->edges[key];
+    AXONN_CHECK(queue.front().size() == out.size());
+    std::copy(queue.front().begin(), queue.front().end(), out.begin());
+    queue.pop_front();
+  }
+};
+
+template <typename Body>
+void run_lockstep(int p, FakeNetwork& net, Body&& body) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::thread> threads;
+  for (int r = 0; r < p; ++r) {
+    threads.emplace_back([&, r] {
+      LockedTransport t{&net, &mutex, &cv, r, p};
+      body(t, r);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+// Per-rank contribution values chosen so any reordering of the reduction
+// would change low-order bits: irrational-ish magnitudes, sign flips.
+std::vector<float> contribution(int r, std::size_t n) {
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = (r % 2 == 0 ? 1.0f : -1.0f) *
+           (0.3f + 0.7071f * static_cast<float>(r + 1) +
+            0.333f * static_cast<float>(i));
+  }
+  return v;
+}
+
+struct PipelineCase {
+  int p;
+  std::vector<std::size_t> counts;
+  std::size_t segment_elems;
+};
+
+// Chunk sizes straddle the segment boundary: exact multiples, one-over, one-
+// under, sub-segment chunks and empty chunks.
+std::vector<PipelineCase> pipeline_cases() {
+  return {
+      {2, {5, 3}, 4},         // partial trailing segments
+      {3, {8, 8, 8}, 4},      // exact multiples
+      {3, {9, 7, 8}, 4},      // one over / one under the boundary
+      {4, {7, 8, 0, 3}, 4},   // empty chunk: zero segments on both sides
+      {4, {1, 1, 1, 1}, 4},   // chunks smaller than a segment
+      {5, {13, 0, 5, 27, 2}, 8},
+      {2, {6, 6}, 1},         // degenerate: every element its own segment
+      {3, {4, 4, 4}, 1024},   // segment larger than any chunk: 1 segment
+  };
+}
+
+TEST(RingPipelineTest, AllGatherMatchesGoldenBitwise) {
+  for (const auto& c : pipeline_cases()) {
+    const auto offsets = detail::chunk_offsets(c.counts);
+    const std::size_t total = offsets.back();
+    std::vector<std::vector<float>> golden(static_cast<std::size_t>(c.p),
+                                           std::vector<float>(total));
+    std::vector<std::vector<float>> piped = golden;
+    std::uint64_t golden_bytes = 0, piped_bytes = 0;
+    {
+      FakeNetwork net;
+      run_lockstep(c.p, net, [&](auto& t, int r) {
+        const auto mine = contribution(r, c.counts[static_cast<std::size_t>(r)]);
+        ring_all_gatherv(t, mine, golden[static_cast<std::size_t>(r)], c.counts);
+      });
+      golden_bytes = net.total_wire_bytes;
+    }
+    {
+      FakeNetwork net;
+      run_lockstep(c.p, net, [&](auto& t, int r) {
+        const auto mine = contribution(r, c.counts[static_cast<std::size_t>(r)]);
+        ring_all_gatherv(t, mine, piped[static_cast<std::size_t>(r)], c.counts,
+                         c.segment_elems);
+      });
+      piped_bytes = net.total_wire_bytes;
+    }
+    EXPECT_EQ(golden_bytes, piped_bytes) << "p=" << c.p;  // Eq. 1 unchanged
+    for (int r = 0; r < c.p; ++r) {
+      EXPECT_EQ(golden[static_cast<std::size_t>(r)],
+                piped[static_cast<std::size_t>(r)])
+          << "p=" << c.p << " seg=" << c.segment_elems << " rank=" << r;
+    }
+  }
+}
+
+TEST(RingPipelineTest, ReduceScatterMatchesGoldenBitwise) {
+  for (const auto& c : pipeline_cases()) {
+    const auto offsets = detail::chunk_offsets(c.counts);
+    const std::size_t total = offsets.back();
+    std::vector<std::vector<float>> golden(static_cast<std::size_t>(c.p));
+    std::vector<std::vector<float>> piped(static_cast<std::size_t>(c.p));
+    for (int r = 0; r < c.p; ++r) {
+      golden[static_cast<std::size_t>(r)].resize(
+          c.counts[static_cast<std::size_t>(r)]);
+      piped[static_cast<std::size_t>(r)].resize(
+          c.counts[static_cast<std::size_t>(r)]);
+    }
+    std::uint64_t golden_bytes = 0, piped_bytes = 0;
+    {
+      FakeNetwork net;
+      run_lockstep(c.p, net, [&](auto& t, int r) {
+        const auto send = contribution(r, total);
+        ring_reduce_scatterv(t, send, golden[static_cast<std::size_t>(r)],
+                             c.counts, ReduceOp::kSum);
+      });
+      golden_bytes = net.total_wire_bytes;
+    }
+    {
+      FakeNetwork net;
+      run_lockstep(c.p, net, [&](auto& t, int r) {
+        const auto send = contribution(r, total);
+        ring_reduce_scatterv(t, send, piped[static_cast<std::size_t>(r)],
+                             c.counts, ReduceOp::kSum, c.segment_elems);
+      });
+      piped_bytes = net.total_wire_bytes;
+    }
+    EXPECT_EQ(golden_bytes, piped_bytes) << "p=" << c.p;  // Eq. 2 unchanged
+    for (int r = 0; r < c.p; ++r) {
+      EXPECT_EQ(golden[static_cast<std::size_t>(r)],
+                piped[static_cast<std::size_t>(r)])
+          << "p=" << c.p << " seg=" << c.segment_elems << " rank=" << r;
+    }
+  }
+}
+
+TEST(RingPipelineTest, AllReduceMatchesGoldenBitwiseAcrossOps) {
+  for (int p : {2, 3, 5}) {
+    for (std::size_t n : {7u, 16u, 65u}) {  // straddles seg=8 chunk splits
+      for (ReduceOp op : {ReduceOp::kSum, ReduceOp::kMax, ReduceOp::kMin}) {
+        std::vector<std::vector<float>> golden(static_cast<std::size_t>(p));
+        std::vector<std::vector<float>> piped(static_cast<std::size_t>(p));
+        {
+          FakeNetwork net;
+          run_lockstep(p, net, [&](auto& t, int r) {
+            golden[static_cast<std::size_t>(r)] = contribution(r, n);
+            ring_all_reduce(
+                t, std::span<float>(golden[static_cast<std::size_t>(r)]), op);
+          });
+        }
+        {
+          FakeNetwork net;
+          run_lockstep(p, net, [&](auto& t, int r) {
+            piped[static_cast<std::size_t>(r)] = contribution(r, n);
+            ring_all_reduce(
+                t, std::span<float>(piped[static_cast<std::size_t>(r)]), op,
+                /*segment_elems=*/8);
+          });
+        }
+        for (int r = 0; r < p; ++r) {
+          EXPECT_EQ(golden[static_cast<std::size_t>(r)],
+                    piped[static_cast<std::size_t>(r)])
+              << "p=" << p << " n=" << n << " rank=" << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(RingPipelineTest, SegmentationSplitsMessagesWithoutExtraBytes) {
+  // seg=4 over chunks of 10: each chunk crosses an edge in 3 messages
+  // (4+4+2) instead of 1, with byte totals untouched.
+  const int p = 3;
+  const std::vector<std::size_t> counts{10, 10, 10};
+  auto run = [&](std::size_t seg) {
+    FakeNetwork net;
+    std::vector<std::vector<float>> out(p, std::vector<float>(30));
+    run_lockstep(p, net, [&](auto& t, int r) {
+      const auto mine = contribution(r, 10);
+      ring_all_gatherv(t, mine, out[static_cast<std::size_t>(r)], counts, seg);
+    });
+    return std::make_pair(net.total_wire_bytes, net.total_messages);
+  };
+  const auto [bytes_unseg, msgs_unseg] = run(0);
+  const auto [bytes_seg, msgs_seg] = run(4);
+  EXPECT_EQ(bytes_seg, bytes_unseg);
+  EXPECT_EQ(msgs_seg, msgs_unseg * 3);
+}
+
+TEST(RingPipelineTest, ThreadCommRunsSegmentedRingsEndToEnd) {
+  // The in-process runtime with pipelining on (the default) must produce
+  // bitwise the same collectives as a world with segmentation disabled —
+  // including through the nonblocking progress-stream path.
+  const int p = 4;
+  const std::size_t n = 4099;  // prime-ish: uneven chunks + partial segments
+  auto run_world = [&](std::size_t seg) {
+    WorldOptions options;
+    options.ring_segment_elems = seg;
+    std::vector<std::vector<float>> ar(static_cast<std::size_t>(p));
+    std::vector<std::vector<float>> ag(static_cast<std::size_t>(p),
+                                       std::vector<float>(n * p));
+    std::vector<std::vector<float>> rs(static_cast<std::size_t>(p),
+                                       std::vector<float>(n));
+    run_ranks(
+        p,
+        [&](Communicator& world) {
+          const int r = world.rank();
+          ar[static_cast<std::size_t>(r)] = contribution(r, n);
+          world.all_reduce(
+              std::span<float>(ar[static_cast<std::size_t>(r)]),
+              ReduceOp::kSum);
+          const auto mine = contribution(r, n);
+          Request req = world.iall_gather(
+              mine, std::span<float>(ag[static_cast<std::size_t>(r)]));
+          req.wait();
+          const auto send = contribution(r, n * static_cast<std::size_t>(p));
+          world.reduce_scatter(
+              send, std::span<float>(rs[static_cast<std::size_t>(r)]),
+              ReduceOp::kSum);
+        },
+        options);
+    return std::make_tuple(ar, ag, rs);
+  };
+  const auto [ar0, ag0, rs0] = run_world(0);
+  const auto [ar1, ag1, rs1] = run_world(512);
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(ar0[static_cast<std::size_t>(r)], ar1[static_cast<std::size_t>(r)]);
+    EXPECT_EQ(ag0[static_cast<std::size_t>(r)], ag1[static_cast<std::size_t>(r)]);
+    EXPECT_EQ(rs0[static_cast<std::size_t>(r)], rs1[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST(RingPipelineTest, WorldOptionsAndSetterControlSegmentSize) {
+  ThreadWorld world(1, WorldOptions{.collective_timeout = {},
+                                    .ring_segment_elems = 77});
+  EXPECT_EQ(world.ring_segment_elems(), 77u);
+  world.set_ring_segment_elems(0);
+  EXPECT_EQ(world.ring_segment_elems(), 0u);
+}
+
+}  // namespace
+}  // namespace axonn::comm

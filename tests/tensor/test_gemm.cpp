@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "axonn/base/rng.hpp"
 #include "axonn/tensor/bf16.hpp"
@@ -155,6 +156,36 @@ TEST(GemmTest, BetaZeroOverwritesStaleValues) {
   gemm(GemmMode::kNN, 1.0f, a, a, 0.0f, c);
   EXPECT_EQ(c(0, 0), 1.0f);
   EXPECT_EQ(c(0, 1), 0.0f);
+}
+
+TEST(GemmTest, ZeroTimesNonFinitePropagatesNaN) {
+  // Regression: the kernel used to skip rows where the A element was exactly
+  // zero as a throughput shortcut — but IEEE 754 says 0 * NaN and 0 * inf
+  // are NaN. A poisoned activation multiplied by a zero weight must surface
+  // as NaN in the loss, not silently vanish.
+  Matrix a(1, 2);
+  a(0, 0) = 0.0f;
+  a(0, 1) = 1.0f;
+  Matrix b(2, 1);
+  b(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  b(1, 0) = 2.0f;
+  for (GemmBackend backend : {GemmBackend::kReference, GemmBackend::kTiled}) {
+    Matrix c(1, 1);
+    gemm(backend, GemmMode::kNN, 1.0f, a, b, 0.0f, c);
+    EXPECT_TRUE(std::isnan(c(0, 0))) << to_string(backend);
+  }
+
+  b(0, 0) = std::numeric_limits<float>::infinity();  // 0 * inf is also NaN
+  for (GemmBackend backend : {GemmBackend::kReference, GemmBackend::kTiled}) {
+    Matrix c(1, 1);
+    gemm(backend, GemmMode::kNN, 1.0f, a, b, 0.0f, c);
+    EXPECT_TRUE(std::isnan(c(0, 0))) << to_string(backend);
+  }
+
+  // alpha == 0 remains the BLAS fast path: C = beta*C, operands unread.
+  Matrix c = Matrix::full(1, 1, 5.0f);
+  gemm(GemmMode::kNN, 0.0f, a, b, 1.0f, c);
+  EXPECT_EQ(c(0, 0), 5.0f);
 }
 
 }  // namespace

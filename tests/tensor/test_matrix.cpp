@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
+
 #include "axonn/base/error.hpp"
 #include "axonn/base/rng.hpp"
 
@@ -123,6 +126,29 @@ TEST(MatrixTest, RoundToBf16LosesAtMostRelative2e8) {
     const float o = orig.data()[i];
     EXPECT_LE(std::abs(m.data()[i] - o), std::abs(o) * 0.00391f);
   }
+}
+
+TEST(MatrixTest, StorageIsCacheLineAligned) {
+  // Matrix storage is 64-byte aligned so the tiled GEMM's vector loads hit
+  // full cache lines; rows themselves stay unaligned for cols % 16 != 0
+  // (row-major, no padding), which only the base pointer guarantee covers.
+  for (auto [rows, cols] : {std::pair<std::size_t, std::size_t>{1, 1},
+                            {3, 5},
+                            {64, 64},
+                            {7, 129}}) {
+    Matrix m(rows, cols);
+    EXPECT_TRUE(is_cache_aligned(m.data()))
+        << rows << "x" << cols << " at " << static_cast<const void*>(m.data());
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.storage().data()) %
+                  kCacheLineBytes,
+              0u);
+  }
+  // Copies and moves re-allocate through the aligned allocator too.
+  Matrix src = iota(9, 17);
+  Matrix copy = src;
+  EXPECT_TRUE(is_cache_aligned(copy.data()));
+  Matrix moved = std::move(src);
+  EXPECT_TRUE(is_cache_aligned(moved.data()));
 }
 
 }  // namespace
