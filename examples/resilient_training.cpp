@@ -1,4 +1,5 @@
-// Resilient training: survive an injected rank crash via checkpoint/restart.
+// Resilient training: survive an injected rank crash via checkpoint/restart,
+// then survive *silent* data corruption via the integrity layer.
 //
 // Four thread ranks train a tiny GPT on a Z x data grid while ChaosComm is
 // armed to crash rank 2 mid-run. The supervisor catches the failure,
@@ -6,17 +7,27 @@
 // run finishes with a loss bit-identical to a fault-free run — printed side
 // by side at the end.
 //
+// A third run arms the silent faults instead (DESIGN.md §9): per-segment
+// wire bit flips plus a one-shot post-collective memory corruption. With
+// the full defense on — ABFT GEMM checksums, CRC-framed self-healing rings,
+// and the training sentinel's journal/replay — the run heals *in-run*: zero
+// supervisor restarts, and still the bit-identical final loss. The
+// integrity counters (detections, recoveries, retransmits, step replays)
+// are printed as the audit trail.
+//
 //   $ ./resilient_training [checkpoint_dir]
 //
-// Set AXONN_TRACE=out.json to record both runs with the flight recorder —
-// the Chrome trace shows training iterations, the injected crash, and the
-// collectives of the restarted world.
+// Set AXONN_TRACE=out.json to record the runs with the flight recorder —
+// the Chrome trace shows training iterations, the injected crash, the
+// collectives of the restarted world, and abft/retransmit/replay spans.
+// AXONN_INTEGRITY=off|detect|heal overrides every integrity knob at once.
 
 #include <cstdio>
 #include <exception>
 #include <filesystem>
 
 #include "axonn/base/trace.hpp"
+#include "axonn/integrity/integrity.hpp"
 #include "axonn/train/resilient.hpp"
 
 int main(int argc, char** argv) try {
@@ -61,7 +72,43 @@ int main(int argc, char** argv) try {
 
   const bool identical = reference.final_loss == recovered.final_loss;
   std::printf("bit-identical  : %s\n", identical ? "yes" : "NO");
-  return identical ? 0 : 1;
+
+  // Silent-corruption run: wire bit flips + a one-shot post-delivery memory
+  // corruption, healed in-run by the integrity layer (no restart).
+  config.checkpoint_dir = base + "/sdc";
+  fs::remove_all(config.checkpoint_dir);
+  config.chaos = comm::ChaosConfig{};
+  config.chaos.seed = 29;
+  config.chaos.wire.corrupt_probability = 0.002;
+  config.chaos.corrupt_once_rank = 0;
+  config.chaos.corrupt_once_collective = 40;
+  config.model.abft.mode = integrity::IntegrityMode::kHeal;
+  config.ring_crc = integrity::IntegrityMode::kHeal;
+  config.sentinel.mode = integrity::IntegrityMode::kHeal;
+
+  const auto counters_before = integrity::counters().snapshot();
+  const auto healed = train::run_resilient_training(config);
+  const auto c = integrity::counters().snapshot();
+  std::printf("healed run     : final loss %.9g (%d restarts, %llu step "
+              "replays)\n",
+              static_cast<double>(healed.final_loss), healed.restarts,
+              static_cast<unsigned long long>(healed.step_replays));
+  std::printf("integrity      : %llu detected / %llu recovered (%llu wire "
+              "faults, %llu ring retransmits, %llu abft recomputes)\n",
+              static_cast<unsigned long long>(c.sdc_detected -
+                                              counters_before.sdc_detected),
+              static_cast<unsigned long long>(c.sdc_recovered -
+                                              counters_before.sdc_recovered),
+              static_cast<unsigned long long>(
+                  c.wire_faults_injected - counters_before.wire_faults_injected),
+              static_cast<unsigned long long>(c.ring_retransmits -
+                                              counters_before.ring_retransmits),
+              static_cast<unsigned long long>(c.abft_recomputes -
+                                              counters_before.abft_recomputes));
+  const bool healed_identical =
+      reference.final_loss == healed.final_loss && healed.restarts == 0;
+  std::printf("healed in-run  : %s\n", healed_identical ? "yes" : "NO");
+  return identical && healed_identical ? 0 : 1;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "resilient_training: %s\n", e.what());
   return 2;

@@ -1,5 +1,6 @@
 #include "axonn/comm/chaos_comm.hpp"
 
+#include <cstdint>
 #include <thread>
 #include <utility>
 
@@ -7,6 +8,8 @@
 #include "axonn/base/error.hpp"
 #include "axonn/base/log.hpp"
 #include "axonn/base/rng.hpp"
+#include "axonn/comm/thread_comm.hpp"
+#include "axonn/integrity/integrity.hpp"
 
 namespace axonn::comm {
 
@@ -28,12 +31,86 @@ std::size_t schedule_bit(std::uint64_t seed, int rank, std::uint64_t op,
   return static_cast<std::size_t>(h % (n * 32));
 }
 
+void flip_payload_bit(std::span<float> payload, std::size_t bit) {
+  auto* words = reinterpret_cast<std::uint32_t*>(payload.data());
+  words[bit / 32] ^= (1u << (bit % 32));
+}
+
+/// Hash of one wire message's full identity. The attempt is folded in so a
+/// retransmission of the same message redraws its probabilistic faults.
+std::uint64_t wire_hash(std::uint64_t seed,
+                        const ThreadWorld::WireContext& ctx) {
+  std::uint64_t h = hash_combine(seed, ctx.comm_id);
+  h = hash_combine(h, ctx.seq);
+  h = hash_combine(h, (static_cast<std::uint64_t>(
+                           static_cast<std::uint32_t>(ctx.src_world_rank))
+                       << 32) |
+                          static_cast<std::uint32_t>(ctx.dest_world_rank));
+  h = hash_combine(h, ctx.msg_index);
+  return hash_combine(h, static_cast<std::uint64_t>(ctx.attempt));
+}
+
+double wire_draw(std::uint64_t h, std::uint64_t salt) {
+  return static_cast<double>(mix64(hash_combine(h, salt)) >> 11) * 0x1.0p-53;
+}
+
+/// The wire-fault schedule: a pure function of (config, message identity),
+/// safe to call concurrently from rank/progress threads and identical no
+/// matter which rank installed it.
+void apply_wire_chaos(const ChaosConfig& cfg,
+                      const ThreadWorld::WireContext& ctx,
+                      std::span<float> payload) {
+  const WireChaosConfig& w = cfg.wire;
+  if (payload.empty()) return;
+  const std::uint64_t h = wire_hash(cfg.seed, ctx);
+  if (w.delay_probability > 0.0 && w.delay.count() > 0 &&
+      wire_draw(h, 0xDE1Aull) < w.delay_probability) {
+    std::this_thread::sleep_for(w.delay);
+  }
+  if (w.corrupt_probability > 0.0 &&
+      wire_draw(h, 0xC0FFull) < w.corrupt_probability) {
+    flip_payload_bit(payload,
+                     static_cast<std::size_t>(mix64(hash_combine(h, 0xF11Bull))
+                                              % (payload.size() * 32)));
+    integrity::counters().wire_faults_injected.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  if (w.target_seq >= 0 && ctx.attempt == 0 &&
+      ctx.seq == static_cast<std::uint64_t>(w.target_seq) &&
+      ctx.comm_id == w.target_comm_id && ctx.msg_index == w.target_msg_index &&
+      (w.target_src_world_rank < 0 ||
+       ctx.src_world_rank == w.target_src_world_rank)) {
+    flip_payload_bit(payload, static_cast<std::size_t>(w.target_bit & 31));
+    integrity::counters().wire_faults_injected.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+}
+
 }  // namespace
 
 ChaosComm::ChaosComm(Communicator& inner, const ChaosConfig& config)
     : inner_(&inner), state_(std::make_shared<State>()) {
   state_->config = config;
   state_->world_rank = inner.rank();
+  maybe_install_wire_chaos();
+}
+
+void ChaosComm::maybe_install_wire_chaos() {
+  if (!state_->config.wire.active()) return;
+  auto* thread_comm = dynamic_cast<ThreadComm*>(inner_);
+  if (thread_comm == nullptr) {
+    AXONN_LOG_WARN << "ChaosComm: wire-level chaos configured but the inner "
+                      "communicator is not a ThreadComm; per-segment faults "
+                      "disabled";
+    return;
+  }
+  // The hook is world-global and the schedule is a pure function of the
+  // config, so every rank installing its own (identical) copy is idempotent.
+  const ChaosConfig cfg = state_->config;
+  thread_comm->thread_world()->set_wire_fault_hook(
+      [cfg](const ThreadWorld::WireContext& ctx, std::span<float> payload) {
+        apply_wire_chaos(cfg, ctx, payload);
+      });
 }
 
 ChaosComm::ChaosComm(std::unique_ptr<Communicator> owned,
@@ -71,6 +148,20 @@ std::uint64_t ChaosComm::begin_collective() {
 
 void ChaosComm::maybe_corrupt(std::uint64_t op, std::span<float> result) {
   State& s = *state_;
+  if (!result.empty() && !s.corrupt_once_fired &&
+      s.config.corrupt_once_rank == s.world_rank &&
+      op >= s.config.corrupt_once_collective) {
+    // ">=": fires at the first *eligible* collective (blocking, non-empty
+    // result) at or after the configured index, so the target doesn't have
+    // to dodge barriers and nonblocking issues.
+    s.corrupt_once_fired = true;
+    flip_payload_bit(result.subspan(0, 1),
+                     static_cast<std::size_t>(s.config.corrupt_once_bit & 31));
+    s.log.push_back({FaultEvent::Kind::kCorruption, op,
+                     "one-shot flipped bit " +
+                         std::to_string(s.config.corrupt_once_bit & 31) +
+                         " of element 0 on \"" + inner_->name() + "\""});
+  }
   if (s.config.corrupt_probability <= 0.0 || result.empty()) return;
   if (schedule_draw(s.config.seed, s.world_rank, op) >=
       s.config.corrupt_probability) {

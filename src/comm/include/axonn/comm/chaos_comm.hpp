@@ -33,6 +33,43 @@
 
 namespace axonn::comm {
 
+/// Transport-level (per-segment) chaos. The PR 3 pipelined rings move each
+/// collective as many small hop messages; faults that only strike finished
+/// result buffers (corrupt_probability below) cannot exercise the segment
+/// CRC/retransmit protection, so these are applied *inside* the transport,
+/// per wire message, via ThreadWorld::set_wire_fault_hook. Only effective
+/// when the wrapped communicator is a ThreadComm (logged otherwise). All
+/// draws are pure functions of (seed, message coordinates, attempt): the
+/// same seed gives the same fault sequence, and a retransmission of the same
+/// message redraws independently (so a healing ring escapes a probabilistic
+/// fault), while the deterministic targeted flip fires on attempt 0 only.
+struct WireChaosConfig {
+  /// Per-message probability of flipping one schedule-chosen payload bit.
+  double corrupt_probability = 0.0;
+
+  /// Per-message probability of sleeping `delay` before delivery (per-hop
+  /// straggler emulation, below the collective API).
+  double delay_probability = 0.0;
+  std::chrono::microseconds delay{0};
+
+  /// Deterministic single-bit flip targeting exactly one message: collective
+  /// sequence number `target_seq` on communicator id `target_comm_id` (0 =
+  /// the world communicator), the `target_msg_index`-th message on the edge
+  /// from `target_src_world_rank` (-1 = every matching sender edge). Flips
+  /// `target_bit` of payload element 0 on the first transmission only.
+  /// -1 disables.
+  long long target_seq = -1;
+  std::uint64_t target_comm_id = 0;
+  std::uint64_t target_msg_index = 0;
+  int target_src_world_rank = -1;
+  int target_bit = 30;
+
+  bool active() const {
+    return corrupt_probability > 0.0 || delay_probability > 0.0 ||
+           target_seq >= 0;
+  }
+};
+
 struct ChaosConfig {
   /// Seed for the deterministic fault schedule (corruption draws).
   std::uint64_t seed = 0;
@@ -50,6 +87,21 @@ struct ChaosConfig {
   /// Per-collective probability (decided by hash(seed, rank, op)) of
   /// flipping one deterministic bit in the collective's result buffer.
   double corrupt_probability = 0.0;
+
+  /// One-shot targeted *memory* corruption: at this rank's first eligible
+  /// collective (blocking, non-empty result) at or after collective
+  /// #corrupt_once_collective, flip `corrupt_once_bit` of element 0 of the
+  /// result buffer. Post-collective, so it models corruption after delivery
+  /// (bad HBM, ALU writeback) that no transport CRC can see — the fault class
+  /// the training sentinel exists for. Bit 30 turns an ordinary value into
+  /// an astronomically wrong one, which makes detection deterministic for
+  /// threshold-based checks. -1 disables.
+  int corrupt_once_rank = -1;
+  std::uint64_t corrupt_once_collective = 0;
+  int corrupt_once_bit = 30;
+
+  /// Transport-level per-segment faults (see WireChaosConfig).
+  WireChaosConfig wire;
 
   /// Cross-check a CRC32 of result buffers that should be identical on all
   /// ranks (all_reduce / broadcast / all_gather) over the inner
@@ -119,6 +171,7 @@ class ChaosComm final : public Communicator {
     ChaosConfig config;
     int world_rank;
     std::uint64_t next_collective = 0;
+    bool corrupt_once_fired = false;
     std::vector<FaultEvent> log;
   };
 
@@ -128,6 +181,9 @@ class ChaosComm final : public Communicator {
   std::uint64_t begin_collective();
   void maybe_corrupt(std::uint64_t op, std::span<float> result);
   void verify_replicated(std::uint64_t op, std::span<const float> result);
+  /// Installs the WireChaosConfig schedule on the inner ThreadComm's world
+  /// (idempotent — every rank installs the same deterministic function).
+  void maybe_install_wire_chaos();
 
   Communicator* inner_;
   std::unique_ptr<Communicator> owned_;  // set for split() children

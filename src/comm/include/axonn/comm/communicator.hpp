@@ -36,6 +36,11 @@ struct CommStats {
   std::uint64_t reduce_scatter_calls = 0;
   std::uint64_t broadcast_calls = 0;
   std::uint64_t point_to_point_calls = 0;
+  // Ring-CRC integrity accounting, kept out of wire_bytes_sent so the Eq. 1–5
+  // CommModelChecker still sees exactly the payload bytes the model predicts.
+  std::uint64_t crc_bytes_sent = 0;   ///< CRC stamps + retransmitted frames
+  std::uint64_t crc_checks = 0;       ///< messages CRC-verified on receive
+  std::uint64_t crc_retransmits = 0;  ///< NACK-triggered resends (this rank)
 
   CommStats& operator+=(const CommStats& other) {
     wire_bytes_sent += other.wire_bytes_sent;
@@ -44,6 +49,9 @@ struct CommStats {
     reduce_scatter_calls += other.reduce_scatter_calls;
     broadcast_calls += other.broadcast_calls;
     point_to_point_calls += other.point_to_point_calls;
+    crc_bytes_sent += other.crc_bytes_sent;
+    crc_checks += other.crc_checks;
+    crc_retransmits += other.crc_retransmits;
     return *this;
   }
 };

@@ -68,9 +68,14 @@ class CommTimeoutError : public Error {
 class DataCorruptionError : public Error {
  public:
   DataCorruptionError(std::string communicator, std::uint64_t collective_index)
+      : DataCorruptionError(std::move(communicator), collective_index,
+                            "result checksums differ across ranks") {}
+
+  DataCorruptionError(std::string communicator, std::uint64_t collective_index,
+                      const std::string& detail)
       : Error("data corruption detected on communicator \"" + communicator +
-              "\" at collective #" + std::to_string(collective_index) +
-              ": result checksums differ across ranks"),
+              "\" at collective #" + std::to_string(collective_index) + ": " +
+              detail),
         communicator_(std::move(communicator)),
         collective_index_(collective_index) {}
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "axonn/comm/communicator.hpp"
+#include "axonn/integrity/integrity.hpp"
 
 namespace axonn::comm {
 
@@ -50,6 +51,16 @@ struct WorldOptions {
   /// independent of this value. Overridable by the AXONN_RING_SEGMENT
   /// environment variable (element count; takes precedence when set).
   std::size_t ring_segment_elems = kDefaultRingSegmentElems;
+  /// Self-healing ring transport (see DESIGN.md §9). kDetect stamps every
+  /// ring message (segment) with a crc32 word; a receiver-side mismatch
+  /// throws DataCorruptionError. kHeal additionally NACKs: the sender keeps
+  /// a clean retained copy of each in-flight message and retransmits it on
+  /// demand (up to crc_max_retries times) before the receiver escalates —
+  /// results are bitwise identical to a fault-free run. Resolved against the
+  /// AXONN_INTEGRITY environment override at world construction.
+  integrity::IntegrityMode ring_crc = integrity::IntegrityMode::kOff;
+  /// kHeal retry budget per message before DataCorruptionError.
+  int crc_max_retries = 3;
 };
 
 /// Shared state for a group of thread ranks. Construct one, then either use
@@ -86,6 +97,40 @@ class ThreadWorld {
   std::size_t ring_segment_elems() const {
     return ring_segment_elems_.load(std::memory_order_relaxed);
   }
+
+  /// The CRC protection level in effect (WorldOptions::ring_crc after the
+  /// AXONN_INTEGRITY override). Fixed for the world's lifetime: every rank
+  /// must frame messages identically.
+  integrity::IntegrityMode ring_crc_mode() const { return ring_crc_mode_; }
+
+  /// Identifies one wire transmission for the fault hook: which message (the
+  /// msg_index-th from src to dest within collective `seq` on `comm_id`) and
+  /// which attempt (0 = original send, n = n-th retransmit).
+  struct WireContext {
+    std::uint64_t comm_id = 0;
+    std::uint64_t seq = 0;
+    int src_world_rank = -1;
+    int dest_world_rank = -1;
+    std::uint64_t msg_index = 0;
+    int attempt = 0;
+  };
+
+  /// Transit-fault injection seam: called (when installed) on every wire
+  /// message — each pipelined ring segment is its own message — with a
+  /// mutable view of the payload, *after* CRC stamping, so mutations model
+  /// corruption on the wire that the receiver's CRC check can see. Runs on
+  /// the sending thread (retransmits: on the receiving thread); must be
+  /// thread-safe. ChaosComm installs its wire schedule here.
+  using WireFaultHook = std::function<void(const WireContext&,
+                                           std::span<float>)>;
+
+  /// Installs (or, with nullptr, clears) the hook. Thread-safe; installing
+  /// the same deterministic schedule from every rank is idempotent.
+  void set_wire_fault_hook(WireFaultHook hook);
+
+  /// Messages currently retained for possible retransmission (tests assert
+  /// this drains back to zero once receives verify).
+  std::size_t retained_messages() const;
   /// Adjusts the ring segment size. Thread-safe, but every member rank of a
   /// communicator must observe the same value for any given collective —
   /// change it only between collectives (e.g. from the driver thread while
@@ -132,6 +177,30 @@ class ThreadWorld {
   std::vector<float> collect(int my_world_rank, const MessageKey& key,
                              const RecvContext& context);
 
+  /// One in-flight CRC-framed message, addressable for NACK/retransmit.
+  struct RetainedKey {
+    int dest_world_rank;
+    MessageKey key;
+    std::uint64_t msg_index;
+    friend auto operator<=>(const RetainedKey&, const RetainedKey&) = default;
+  };
+
+  /// Stores the clean framed copy the sender keeps while kHeal is active.
+  void retain(const RetainedKey& rkey, std::vector<float> frame);
+  /// Drops the retained copy — the receiver's CRC verified, i.e. the ACK.
+  void release_retained(const RetainedKey& rkey);
+  /// Synchronous NACK: returns a fresh copy of the retained frame with the
+  /// wire-fault hook re-applied under `context` (attempt >= 1, so one-shot
+  /// deterministic faults do not re-fire). Called from the *receiving*
+  /// thread — the in-process analogue of a NACK packet plus the sender's
+  /// retransmission, delivered directly so later segments queued in the
+  /// mailbox keep their order.
+  std::vector<float> retransmit(const RetainedKey& rkey,
+                                const WireContext& context);
+
+  /// Applies the installed wire-fault hook (if any) to `payload`.
+  void apply_wire_hook(const WireContext& context, std::span<float> payload);
+
   [[noreturn]] void throw_aborted();
   void throw_if_aborted() {
     if (aborted()) throw_aborted();
@@ -159,6 +228,18 @@ class ThreadWorld {
   std::string abort_reason_;
   std::atomic<long long> timeout_ms_{0};
   std::atomic<std::size_t> ring_segment_elems_{kDefaultRingSegmentElems};
+
+  integrity::IntegrityMode ring_crc_mode_ = integrity::IntegrityMode::kOff;
+  int crc_max_retries_ = 3;
+
+  // has_wire_hook_ keeps the no-chaos hot path lock-free: the mutex is only
+  // taken when a hook is (being) installed.
+  std::atomic<bool> has_wire_hook_{false};
+  mutable std::mutex wire_mutex_;
+  std::shared_ptr<const WireFaultHook> wire_hook_;
+
+  mutable std::mutex retained_mutex_;
+  std::map<RetainedKey, std::vector<float>> retained_;
 };
 
 class ThreadComm final : public Communicator {
@@ -201,6 +282,11 @@ class ThreadComm final : public Communicator {
   /// World rank of communicator-rank r (diagnostics / tests).
   int world_rank_of(int r) const { return members_[static_cast<std::size_t>(r)]; }
 
+  /// The owning world — the seam ChaosComm uses to install its wire-level
+  /// fault schedule (per-segment corruption happens below the collective
+  /// API, in the transport).
+  ThreadWorld* thread_world() const { return world_; }
+
  private:
   friend class ThreadWorld;
 
@@ -208,10 +294,14 @@ class ThreadComm final : public Communicator {
              int rank, std::string name);
 
   // Transport bound to one collective invocation (a fixed sequence number),
-  // passed to the ring algorithm templates.
+  // passed to the ring algorithm templates. The per-peer message counters
+  // index each wire message within the collective (per-edge delivery is
+  // FIFO, so sender and receiver counts agree) — the coordinate the CRC
+  // retransmit protocol and the wire-fault hook address messages by. A new
+  // Transport per invocation means the counters reset with the collective.
   class Transport {
    public:
-    Transport(ThreadComm* comm, std::uint64_t seq) : comm_(comm), seq_(seq) {}
+    Transport(ThreadComm* comm, std::uint64_t seq);
     int rank() const { return comm_->rank_; }
     int size() const { return comm_->size(); }
     void send_to(int dest, std::span<const float> data);
@@ -220,11 +310,14 @@ class ThreadComm final : public Communicator {
    private:
     ThreadComm* comm_;
     std::uint64_t seq_;
+    bool crc_;       ///< world ring_crc_mode() != kOff: frame with a CRC word
+    std::vector<std::uint64_t> sent_;  ///< messages sent, per dest comm-rank
+    std::vector<std::uint64_t> rcvd_;  ///< messages received, per src comm-rank
   };
 
   std::uint64_t next_seq();
   std::size_t segment_elems() const { return world_->ring_segment_elems(); }
-  void add_wire_bytes(std::uint64_t bytes);
+  void add_wire_bytes(std::uint64_t bytes, std::uint64_t crc_bytes = 0);
   void bump(std::uint64_t CommStats::*counter);
 
   /// Emits the communicator's cumulative wire_bytes_sent as a trace counter

@@ -1,10 +1,12 @@
 #include "axonn/comm/thread_comm.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
 #include <exception>
 #include <utility>
 
+#include "axonn/base/crc32.hpp"
 #include "axonn/base/error.hpp"
 #include "axonn/base/log.hpp"
 #include "axonn/base/trace.hpp"
@@ -20,6 +22,20 @@ void open_comm_span(obs::SpanGuard& span, const char* op,
                     const std::string& comm_name) {
   if (!obs::enabled()) return;
   span.open(obs::kCatComm, std::string(op) + "(" + comm_name + ")");
+}
+
+// CRC framing: a stamped message is payload || one float whose bit pattern
+// is crc32 over the payload bytes. The word is never used arithmetically —
+// bit_cast in, bit_cast out — so NaN-pattern CRCs round-trip bitwise.
+float crc_stamp(std::span<const float> payload) {
+  return std::bit_cast<float>(
+      crc32(payload.data(), payload.size() * sizeof(float)));
+}
+
+bool crc_frame_ok(const std::vector<float>& frame) {
+  const std::span<const float> payload(frame.data(), frame.size() - 1);
+  return std::bit_cast<std::uint32_t>(frame.back()) ==
+         crc32(payload.data(), payload.size() * sizeof(float));
 }
 }  // namespace
 
@@ -40,6 +56,8 @@ ThreadWorld::ThreadWorld(int size, WorldOptions options) : size_(size) {
     }
   }
   ring_segment_elems_.store(segment, std::memory_order_relaxed);
+  ring_crc_mode_ = integrity::effective_mode(options.ring_crc);
+  crc_max_retries_ = options.crc_max_retries;
   mailboxes_.reserve(static_cast<std::size_t>(size));
   streams_.reserve(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r) {
@@ -146,6 +164,60 @@ std::vector<float> ThreadWorld::collect(int my_world_rank,
   return payload;
 }
 
+void ThreadWorld::set_wire_fault_hook(WireFaultHook hook) {
+  std::lock_guard<std::mutex> lock(wire_mutex_);
+  if (hook) {
+    wire_hook_ = std::make_shared<const WireFaultHook>(std::move(hook));
+    has_wire_hook_.store(true, std::memory_order_release);
+  } else {
+    has_wire_hook_.store(false, std::memory_order_release);
+    wire_hook_.reset();
+  }
+}
+
+void ThreadWorld::apply_wire_hook(const WireContext& context,
+                                  std::span<float> payload) {
+  if (!has_wire_hook_.load(std::memory_order_acquire)) return;
+  std::shared_ptr<const WireFaultHook> hook;
+  {
+    std::lock_guard<std::mutex> lock(wire_mutex_);
+    hook = wire_hook_;
+  }
+  if (hook) (*hook)(context, payload);
+}
+
+std::size_t ThreadWorld::retained_messages() const {
+  std::lock_guard<std::mutex> lock(retained_mutex_);
+  return retained_.size();
+}
+
+void ThreadWorld::retain(const RetainedKey& rkey, std::vector<float> frame) {
+  std::lock_guard<std::mutex> lock(retained_mutex_);
+  retained_[rkey] = std::move(frame);
+}
+
+void ThreadWorld::release_retained(const RetainedKey& rkey) {
+  std::lock_guard<std::mutex> lock(retained_mutex_);
+  retained_.erase(rkey);
+}
+
+std::vector<float> ThreadWorld::retransmit(const RetainedKey& rkey,
+                                           const WireContext& context) {
+  std::vector<float> frame;
+  {
+    std::lock_guard<std::mutex> lock(retained_mutex_);
+    const auto it = retained_.find(rkey);
+    AXONN_CHECK_MSG(it != retained_.end(),
+                    "ring CRC retransmit: no retained copy for NACKed message");
+    frame = it->second;  // copy: the retained original must stay clean
+  }
+  // The retransmission crosses the same faulty wire (the hook runs again,
+  // with attempt >= 1 so one-shot deterministic faults stay one-shot).
+  apply_wire_hook(context,
+                  std::span<float>(frame.data(), frame.size() - 1));
+  return frame;
+}
+
 std::uint64_t ThreadWorld::subcomm_id(std::uint64_t parent_id,
                                       std::uint64_t generation, int color) {
   std::lock_guard<std::mutex> lock(registry_mutex_);
@@ -197,12 +269,40 @@ ThreadComm::ThreadComm(ThreadWorld* world, std::uint64_t comm_id,
   AXONN_CHECK(rank_ >= 0 && rank_ < static_cast<int>(members_.size()));
 }
 
+ThreadComm::Transport::Transport(ThreadComm* comm, std::uint64_t seq)
+    : comm_(comm),
+      seq_(seq),
+      crc_(comm->world_->ring_crc_mode() != integrity::IntegrityMode::kOff),
+      sent_(static_cast<std::size_t>(comm->size()), 0),
+      rcvd_(static_cast<std::size_t>(comm->size()), 0) {}
+
 void ThreadComm::Transport::send_to(int dest, std::span<const float> data) {
   ThreadWorld::MessageKey key{comm_->comm_id_, comm_->rank_, seq_};
   comm_->bump(&CommStats::point_to_point_calls);
-  comm_->world_->deliver(comm_->members_[static_cast<std::size_t>(dest)], key,
-                         std::vector<float>(data.begin(), data.end()));
-  comm_->add_wire_bytes(data.size() * sizeof(float));
+  ThreadWorld* world = comm_->world_;
+  const int src_world =
+      comm_->members_[static_cast<std::size_t>(comm_->rank_)];
+  const int dest_world = comm_->members_[static_cast<std::size_t>(dest)];
+  const std::uint64_t msg_index = sent_[static_cast<std::size_t>(dest)]++;
+
+  std::vector<float> frame(data.begin(), data.end());
+  std::uint64_t crc_bytes = 0;
+  if (crc_) {
+    frame.push_back(crc_stamp(data));
+    crc_bytes = sizeof(float);
+    if (world->ring_crc_mode() == integrity::IntegrityMode::kHeal) {
+      // The clean stamped copy survives until the receiver's CRC verifies —
+      // the retransmission source if the wire corrupts this transmission.
+      world->retain({dest_world, key, msg_index}, frame);
+    }
+  }
+  // Transit faults strike after stamping/retention: the hook mutates only
+  // what travels, never the retained copy, exactly like a wire would.
+  const ThreadWorld::WireContext ctx{comm_->comm_id_, seq_,       src_world,
+                                     dest_world,     msg_index, /*attempt=*/0};
+  world->apply_wire_hook(ctx, std::span<float>(frame.data(), data.size()));
+  world->deliver(dest_world, key, std::move(frame));
+  comm_->add_wire_bytes(data.size() * sizeof(float), crc_bytes);
 }
 
 void ThreadComm::Transport::recv_from(int src, std::span<float> out) {
@@ -214,13 +314,80 @@ void ThreadComm::Transport::recv_from(int src, std::span<float> out) {
   if (obs::enabled()) {
     span.open(obs::kCatComm, "recv(src=" + std::to_string(src) + ")");
   }
-  const ThreadWorld::RecvContext context{
-      &comm_->name_, seq_, comm_->members_[static_cast<std::size_t>(src)]};
-  const std::vector<float> payload = comm_->world_->collect(
-      comm_->members_[static_cast<std::size_t>(comm_->rank_)], key, context);
-  AXONN_CHECK_MSG(payload.size() == out.size(),
+  const int src_world = comm_->members_[static_cast<std::size_t>(src)];
+  const int my_world =
+      comm_->members_[static_cast<std::size_t>(comm_->rank_)];
+  const ThreadWorld::RecvContext context{&comm_->name_, seq_, src_world};
+  const std::uint64_t msg_index = rcvd_[static_cast<std::size_t>(src)]++;
+  std::vector<float> frame =
+      comm_->world_->collect(my_world, key, context);
+  if (!crc_) {
+    AXONN_CHECK_MSG(frame.size() == out.size(),
+                    "ring message size mismatch — mismatched collective call?");
+    std::copy(frame.begin(), frame.end(), out.begin());
+    return;
+  }
+
+  AXONN_CHECK_MSG(frame.size() == out.size() + 1,
                   "ring message size mismatch — mismatched collective call?");
-  std::copy(payload.begin(), payload.end(), out.begin());
+  ThreadWorld* world = comm_->world_;
+  const bool heal =
+      world->ring_crc_mode() == integrity::IntegrityMode::kHeal;
+  const ThreadWorld::RetainedKey rkey{my_world, key, msg_index};
+  integrity::Counters& ctr = integrity::counters();
+
+  ctr.ring_crc_checks.fetch_add(1, std::memory_order_relaxed);
+  comm_->bump(&CommStats::crc_checks);
+  if (crc_frame_ok(frame)) {
+    if (heal) world->release_retained(rkey);
+    std::copy(frame.begin(), frame.end() - 1, out.begin());
+    return;
+  }
+
+  // Corruption confirmed. One detection per corrupted message (retransmit
+  // re-checks below do not re-count), so a fully healed run satisfies
+  // sdc_recovered == sdc_detected.
+  integrity::note_sdc_detected("ring_crc");
+  if (obs::enabled()) {
+    obs::instant(obs::kCatIntegrity,
+                 "ring_crc_mismatch(" + comm_->name_ + " seq " +
+                     std::to_string(seq_) + " src " +
+                     std::to_string(src_world) + ")");
+  }
+  if (!heal) {
+    throw DataCorruptionError(
+        comm_->name_, seq_,
+        "ring segment CRC mismatch (message " + std::to_string(msg_index) +
+            " from world rank " + std::to_string(src_world) + ")");
+  }
+
+  // NACK loop: pull fresh copies of the retained frame across the (still
+  // faulty) wire until one verifies or the retry budget is spent.
+  for (int attempt = 1; attempt <= world->crc_max_retries_; ++attempt) {
+    ctr.ring_retransmits.fetch_add(1, std::memory_order_relaxed);
+    comm_->bump(&CommStats::crc_retransmits);
+    const ThreadWorld::WireContext ctx{comm_->comm_id_, seq_,      src_world,
+                                       my_world,        msg_index, attempt};
+    frame = world->retransmit(rkey, ctx);
+    // Retransmitted bytes are integrity overhead, not modelled payload
+    // traffic — they land in crc_bytes_sent (receiver-side attribution;
+    // the "sender" executes synchronously on this thread).
+    comm_->add_wire_bytes(0, frame.size() * sizeof(float));
+    ctr.ring_crc_checks.fetch_add(1, std::memory_order_relaxed);
+    comm_->bump(&CommStats::crc_checks);
+    if (crc_frame_ok(frame)) {
+      integrity::note_sdc_recovered("ring_crc");
+      world->release_retained(rkey);
+      std::copy(frame.begin(), frame.end() - 1, out.begin());
+      return;
+    }
+  }
+  throw DataCorruptionError(
+      comm_->name_, seq_,
+      "ring segment CRC mismatch persisted after " +
+          std::to_string(world->crc_max_retries_) +
+          " retransmits (message " + std::to_string(msg_index) +
+          " from world rank " + std::to_string(src_world) + ")");
 }
 
 std::uint64_t ThreadComm::next_seq() {
@@ -231,9 +398,10 @@ std::uint64_t ThreadComm::next_seq() {
   return seq_++;
 }
 
-void ThreadComm::add_wire_bytes(std::uint64_t bytes) {
+void ThreadComm::add_wire_bytes(std::uint64_t bytes, std::uint64_t crc_bytes) {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   stats_.wire_bytes_sent += bytes;
+  stats_.crc_bytes_sent += crc_bytes;
 }
 
 void ThreadComm::bump(std::uint64_t CommStats::*counter) {

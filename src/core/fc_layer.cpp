@@ -1,6 +1,7 @@
 #include "axonn/core/fc_layer.hpp"
 
 #include <span>
+#include <string>
 
 #include "axonn/base/error.hpp"
 #include "axonn/base/trace.hpp"
@@ -93,28 +94,53 @@ Matrix TensorParallelFC::multiply(GemmMode mode, const Matrix& a,
     }
     if (want_pack) pack = weight_pack_for(mode);
   }
+  // ABFT (integrity/abft.hpp) wraps whichever kernel runs below: checksums
+  // are predicted from (a, b) before the kernel and verified against c after,
+  // so every path — tuner-selected, tiled prepacked, tiled, reference, bf16 —
+  // is covered by the same identity. With abft.mode off (the default) the
+  // wrapper invokes the kernel once and returns, bit-identical to the
+  // unwrapped dispatch.
+  GemmBackend report_backend = options_.gemm_backend;
   if (tuner_) {
-    Matrix out = tuner_->run(mode, a, b, pack);
-    if (pack != nullptr) {
-      const KernelTuner::Choice* decision =
-          tuner_->find_decision(mode, shape.m, shape.n, shape.k);
-      if (decision != nullptr && decision->backend != GemmBackend::kTiled) {
-        (mode == GemmMode::kNT ? packed_weight_t_ : packed_weight_n_).clear();
+    const KernelTuner::Choice* decision =
+        tuner_->find_decision(mode, shape.m, shape.n, shape.k);
+    report_backend =
+        decision != nullptr ? decision->backend : GemmBackend::kTiled;
+  }
+  Matrix c(shape.m, shape.n);
+  const auto compute = [&](Matrix& out) {
+    if (tuner_) {
+      out = tuner_->run(mode, a, b, pack);
+      if (pack != nullptr) {
+        const KernelTuner::Choice* decision =
+            tuner_->find_decision(mode, shape.m, shape.n, shape.k);
+        if (decision != nullptr && decision->backend != GemmBackend::kTiled) {
+          (mode == GemmMode::kNT ? packed_weight_t_ : packed_weight_n_)
+              .clear();
+        }
       }
+      return;
     }
-    return out;
-  }
-  if (options_.gemm_backend == GemmBackend::kTiled) {
-    Matrix c(shape.m, shape.n);
-    if (pack != nullptr) {
-      gemm_tiled_packed(gemm_transposes_a(mode), 1.0f, a, *pack, 0.0f, c,
-                        options_.mixed_precision);
+    if (options_.gemm_backend == GemmBackend::kTiled) {
+      if (pack != nullptr) {
+        gemm_tiled_packed(gemm_transposes_a(mode), 1.0f, a, *pack, 0.0f, out,
+                          options_.mixed_precision);
+      } else {
+        gemm_tiled(mode, 1.0f, a, b, 0.0f, out, options_.mixed_precision);
+      }
+      return;
+    }
+    if (options_.mixed_precision) {
+      gemm_bf16(mode, 1.0f, a, b, 0.0f, out);
     } else {
-      gemm_tiled(mode, 1.0f, a, b, 0.0f, c, options_.mixed_precision);
+      gemm(mode, 1.0f, a, b, 0.0f, out);
     }
-    return c;
-  }
-  return options_.mixed_precision ? gemm_bf16(mode, a, b) : gemm(mode, a, b);
+  };
+  const std::string op = std::string("fc:") + to_string(mode);
+  integrity::abft_checked_gemm(options_.abft, op.c_str(), report_backend, mode,
+                               1.0f, a, b, 0.0f, c, options_.mixed_precision,
+                               compute);
+  return c;
 }
 
 void TensorParallelFC::begin_weight_gather() {

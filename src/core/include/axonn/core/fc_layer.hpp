@@ -30,6 +30,7 @@
 #include "axonn/base/rng.hpp"
 #include "axonn/core/grid4d.hpp"
 #include "axonn/core/kernel_tuner.hpp"
+#include "axonn/integrity/abft.hpp"
 #include "axonn/tensor/gemm.hpp"
 #include "axonn/tensor/gemm_tiled.hpp"
 #include "axonn/tensor/matrix.hpp"
@@ -61,6 +62,13 @@ struct FCOptions {
   GemmBackend gemm_backend = GemmBackend::kReference;
   /// Weight init: N(0, init_std^2), identical on every rank by seed.
   float init_std = 0.02f;
+  /// ABFT (Huang–Abraham checksum) verification around the layer's three
+  /// GEMMs — forward NN, backward-dI NT, backward-dW TN — covering every
+  /// execution path (reference, tiled, prepacked panels, tuner-selected,
+  /// bf16). abft.mode is resolved against the AXONN_INTEGRITY override per
+  /// call; kHeal recomputes a mismatching GEMM in place of failing. See
+  /// integrity/abft.hpp and DESIGN.md §9.
+  integrity::AbftOptions abft;
 };
 
 class TensorParallelFC {

@@ -1,0 +1,272 @@
+#include "axonn/integrity/abft.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "axonn/base/trace.hpp"
+#include "axonn/tensor/bf16.hpp"
+
+namespace axonn::integrity {
+
+namespace {
+
+std::string sdc_message(const std::string& op, GemmMode mode,
+                        GemmBackend backend, std::size_t bad_row,
+                        std::size_t bad_col, double worst_rel) {
+  return "SDC detected in GEMM '" + op + "' (mode " + to_string(mode) +
+         ", backend " + to_string(backend) + "): checksum mismatch " +
+         std::to_string(worst_rel) + "x tolerance at element (" +
+         std::to_string(bad_row) + ", " + std::to_string(bad_col) + ")";
+}
+
+}  // namespace
+
+SdcError::SdcError(std::string op, GemmMode mode, GemmBackend backend,
+                   std::size_t bad_row, std::size_t bad_col, double worst_rel)
+    : Error(sdc_message(op, mode, backend, bad_row, bad_col, worst_rel)),
+      op_(std::move(op)),
+      mode_(mode),
+      backend_(backend),
+      bad_row_(bad_row),
+      bad_col_(bad_col) {}
+
+namespace {
+
+thread_local std::optional<AbftFaultPlan> t_fault;
+
+// Everything needed to verify one GEMM, computed from the operands *before*
+// the kernel runs (beta * C0 terms read C before it is overwritten).
+// Accumulation is double so checksum-side rounding is negligible next to the
+// kernel's fp32 accumulation — the tolerance only has to budget for the
+// kernel.
+struct Predicted {
+  std::vector<double> col, abs_col;  // length n: predicted colsum(C), scale
+  std::vector<double> row, abs_row;  // length m: predicted rowsum(C), scale
+};
+
+Predicted predict_checksums(GemmMode mode, float alpha, const Matrix& a,
+                            const Matrix& b, float beta, const Matrix& c0,
+                            bool bf16, const GemmShape& s) {
+  const bool ta = gemm_transposes_a(mode);
+  const bool tb = gemm_transposes_b(mode);
+  auto load = [bf16](const Matrix& m, std::size_t r, std::size_t col) {
+    const float v = m(r, col);
+    return bf16 ? bf16_round(v) : v;
+  };
+  auto load_a = [&](std::size_t i, std::size_t l) {
+    return ta ? load(a, l, i) : load(a, i, l);
+  };
+  auto load_b = [&](std::size_t l, std::size_t j) {
+    return tb ? load(b, j, l) : load(b, l, j);
+  };
+
+  // Pass over op(B): sb[l] = sum_j op(B)(l, j) (for row checksums).
+  std::vector<double> sb(s.k, 0.0), sb_abs(s.k, 0.0);
+  for (std::size_t l = 0; l < s.k; ++l) {
+    double acc = 0.0, acc_abs = 0.0;
+    for (std::size_t j = 0; j < s.n; ++j) {
+      const double v = load_b(l, j);
+      acc += v;
+      acc_abs += std::abs(v);
+    }
+    sb[l] = acc;
+    sb_abs[l] = acc_abs;
+  }
+
+  Predicted p;
+  p.row.assign(s.m, 0.0);
+  p.abs_row.assign(s.m, 0.0);
+  // Single pass over op(A) yields both sa[l] = sum_i op(A)(i, l) (for column
+  // checksums) and the row predictions op(A)(i, :) . sb.
+  std::vector<double> sa(s.k, 0.0), sa_abs(s.k, 0.0);
+  const double da = alpha, da_abs = std::abs(static_cast<double>(alpha));
+  for (std::size_t i = 0; i < s.m; ++i) {
+    double acc = 0.0, acc_abs = 0.0;
+    for (std::size_t l = 0; l < s.k; ++l) {
+      const double v = load_a(i, l);
+      sa[l] += v;
+      sa_abs[l] += std::abs(v);
+      acc += v * sb[l];
+      acc_abs += std::abs(v) * sb_abs[l];
+    }
+    p.row[i] = da * acc;
+    p.abs_row[i] = da_abs * acc_abs;
+  }
+
+  p.col.assign(s.n, 0.0);
+  p.abs_col.assign(s.n, 0.0);
+  for (std::size_t l = 0; l < s.k; ++l) {
+    const double w = da * sa[l], w_abs = da_abs * sa_abs[l];
+    for (std::size_t j = 0; j < s.n; ++j) {
+      const double v = load_b(l, j);
+      p.col[j] += w * v;
+      p.abs_col[j] += w_abs * std::abs(v);
+    }
+  }
+
+  if (beta != 0.0f) {
+    const double db = beta, db_abs = std::abs(static_cast<double>(beta));
+    for (std::size_t i = 0; i < s.m; ++i) {
+      const float* row = c0.row(i);
+      double acc = 0.0, acc_abs = 0.0;
+      for (std::size_t j = 0; j < s.n; ++j) {
+        const double v = row[j];
+        acc += v;
+        acc_abs += std::abs(v);
+        p.col[j] += db * v;
+        p.abs_col[j] += db_abs * std::abs(v);
+      }
+      p.row[i] += db * acc;
+      p.abs_row[i] += db_abs * acc_abs;
+    }
+  }
+  return p;
+}
+
+struct Violation {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double worst_rel = 0;  ///< worst observed |diff| / tolerance (> 1)
+};
+
+// Compares observed row/column sums of C against the predictions. Returns the
+// localized worst violation, or nullopt when every checksum is inside
+// tolerance.
+std::optional<Violation> verify_checksums(const Predicted& p, const Matrix& c,
+                                          double rel_tol) {
+  // Floor keeps all-zero (or denormal-scale) problems from dividing by zero;
+  // any fault that matters at such scales flips the result far above it.
+  constexpr double kTiny = 1e-30;
+  // A fault that lands a NaN in C makes the observed sum NaN, and NaN
+  // compares false against every threshold — coerce non-finite discrepancies
+  // to an infinite violation so they cannot slip through the comparison.
+  auto rel_error = [](double observed, double predicted, double tol) {
+    const double rel = std::abs(observed - predicted) / tol;
+    return std::isfinite(rel) ? rel : std::numeric_limits<double>::infinity();
+  };
+  const std::size_t m = c.rows(), n = c.cols();
+  std::vector<double> col_sum(n, 0.0);
+  double worst_row_rel = 0.0, worst_col_rel = 0.0;
+  std::size_t worst_row = 0, worst_col = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* row = c.row(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      acc += row[j];
+      col_sum[j] += row[j];
+    }
+    const double tol = rel_tol * p.abs_row[i] + kTiny;
+    const double rel = rel_error(acc, p.row[i], tol);
+    if (rel > worst_row_rel) {
+      worst_row_rel = rel;
+      worst_row = i;
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    const double tol = rel_tol * p.abs_col[j] + kTiny;
+    const double rel = rel_error(col_sum[j], p.col[j], tol);
+    if (rel > worst_col_rel) {
+      worst_col_rel = rel;
+      worst_col = j;
+    }
+  }
+  if (worst_row_rel <= 1.0 && worst_col_rel <= 1.0) return std::nullopt;
+  // A single corrupted element breaks its row AND its column checksum, so
+  // the pair of worst offenders localizes it.
+  return Violation{worst_row, worst_col,
+                   std::max(worst_row_rel, worst_col_rel)};
+}
+
+// Fires (and disarms) a pending simulated ALU fault against C.
+void maybe_inject_fault(Matrix& c) {
+  if (!t_fault) return;
+  if (t_fault->after_checks > 0) {
+    --t_fault->after_checks;
+    return;
+  }
+  const AbftFaultPlan plan = *t_fault;
+  t_fault.reset();
+  if (c.rows() == 0 || c.cols() == 0) return;
+  const std::size_t r = std::min(plan.row, c.rows() - 1);
+  const std::size_t col = std::min(plan.col, c.cols() - 1);
+  float v = c(r, col);
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  bits ^= (1u << (plan.bit & 31));
+  std::memcpy(&v, &bits, sizeof(bits));
+  c(r, col) = v;
+}
+
+}  // namespace
+
+void arm_abft_fault(const AbftFaultPlan& plan) { t_fault = plan; }
+
+bool disarm_abft_fault() {
+  const bool was_armed = t_fault.has_value();
+  t_fault.reset();
+  return was_armed;
+}
+
+void abft_checked_gemm(const AbftOptions& opts, const char* op,
+                       GemmBackend backend, GemmMode mode, float alpha,
+                       const Matrix& a, const Matrix& b, float beta, Matrix& c,
+                       bool bf16,
+                       const std::function<void(Matrix&)>& compute) {
+  const IntegrityMode mode_eff = effective_mode(opts.mode);
+  if (mode_eff == IntegrityMode::kOff) {
+    compute(c);
+    return;
+  }
+
+  obs::SpanGuard span;
+  if (obs::enabled()) {
+    span.open(obs::kCatIntegrity, std::string("abft(") + op + ")");
+  }
+
+  const GemmShape s = gemm_shape(mode, a, b);
+  const Predicted pred =
+      predict_checksums(mode, alpha, a, b, beta, c, bf16, s);
+  // Heal mode re-runs the kernel from the original accumulator when
+  // beta != 0, so C0 must outlive the first (possibly corrupt) attempt.
+  Matrix c0_copy;
+  const bool need_c0 = mode_eff == IntegrityMode::kHeal && beta != 0.0f;
+  if (need_c0) c0_copy = c;
+
+  Counters& ctr = counters();
+  compute(c);
+  maybe_inject_fault(c);
+  ctr.abft_checks.fetch_add(1, std::memory_order_relaxed);
+  std::optional<Violation> bad =
+      verify_checksums(pred, c, opts.rel_tolerance);
+  if (!bad) return;
+
+  ctr.abft_mismatches.fetch_add(1, std::memory_order_relaxed);
+  note_sdc_detected(op);
+  if (obs::enabled()) {
+    obs::instant(obs::kCatIntegrity, std::string("abft_mismatch(") + op + ")");
+  }
+
+  if (mode_eff == IntegrityMode::kHeal) {
+    for (int attempt = 0; attempt < opts.max_recomputes; ++attempt) {
+      if (need_c0) {
+        c = c0_copy;
+      }
+      ctr.abft_recomputes.fetch_add(1, std::memory_order_relaxed);
+      compute(c);
+      ctr.abft_checks.fetch_add(1, std::memory_order_relaxed);
+      bad = verify_checksums(pred, c, opts.rel_tolerance);
+      if (!bad) {
+        note_sdc_recovered(op);
+        return;
+      }
+      ctr.abft_mismatches.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  throw SdcError(op, mode, backend, bad->row, bad->col, bad->worst_rel);
+}
+
+}  // namespace axonn::integrity

@@ -1,0 +1,111 @@
+#pragma once
+
+// Algorithm-based fault tolerance (ABFT) for GEMM — Huang & Abraham (1984).
+//
+// For C = alpha * op(A) x op(B) + beta * C0 the column checksum identity
+//
+//   colsum(C)[j] = alpha * sum_l colsum(op(A))[l] * op(B)(l, j)
+//                + beta * colsum(C0)[j]
+//
+// (and the symmetric row identity via rowsum(op(B))) holds in exact
+// arithmetic for *any* correct kernel, regardless of how it blocks or orders
+// the accumulation. A single corrupted output element breaks exactly one row
+// checksum and one column checksum, so verification both detects the fault
+// and localizes it to a (row, col) tile. The checksums cost O(mk + kn + mn)
+// next to the kernel's O(mnk) — a few percent at transformer shapes.
+//
+// Floating point makes the identity approximate: the predicted and observed
+// checksums accumulate in different orders. Checksum accumulation here is
+// double precision, so the budget is dominated by the kernel's fp32
+// accumulation error, which is why tolerances scale with the *absolute-value*
+// checksums (computed in the same passes): tol_j = rel_tolerance *
+// abs_colsum[j] + tiny. That stays false-positive-free across the reference
+// and tiled backends (different accumulation grouping) while still catching
+// exponent-scale bit flips — the SDC class that actually poisons training.
+//
+// abft_checked_gemm() wraps any backend via a compute callback: kDetect
+// verifies and throws SdcError on mismatch; kHeal re-runs the callback from
+// the preserved inputs (bounded retries) before giving up, on the theory that
+// an SDC-class fault is transient. arm_abft_fault() plants a one-shot
+// post-kernel corruption on the calling thread so tests and demos can
+// exercise the detect/heal paths deterministically.
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+
+#include "axonn/base/error.hpp"
+#include "axonn/integrity/integrity.hpp"
+#include "axonn/tensor/gemm.hpp"
+#include "axonn/tensor/matrix.hpp"
+
+namespace axonn::integrity {
+
+/// A verified silent-data-corruption event: checksum mismatch that detect
+/// mode surfaces (or heal mode failed to repair within its retry budget).
+class SdcError : public Error {
+ public:
+  SdcError(std::string op, GemmMode mode, GemmBackend backend,
+           std::size_t bad_row, std::size_t bad_col, double worst_rel);
+
+  const std::string& op() const { return op_; }
+  GemmMode mode() const { return mode_; }
+  GemmBackend backend() const { return backend_; }
+  /// Row/column of the worst checksum violation — the corrupted tile.
+  std::size_t bad_row() const { return bad_row_; }
+  std::size_t bad_col() const { return bad_col_; }
+
+ private:
+  std::string op_;
+  GemmMode mode_;
+  GemmBackend backend_;
+  std::size_t bad_row_ = 0;
+  std::size_t bad_col_ = 0;
+};
+
+struct AbftOptions {
+  IntegrityMode mode = IntegrityMode::kOff;
+  /// Mismatch threshold relative to the absolute-value checksum magnitude.
+  /// 1e-3 clears fp32 accumulation noise (~k * 2^-24 of the abs scale) with
+  /// two orders of margin at transformer k, yet catches exponent-scale
+  /// faults, which sit orders of magnitude above it.
+  double rel_tolerance = 1e-3;
+  /// kHeal: how many times to re-run the kernel before declaring the fault
+  /// persistent and throwing SdcError anyway.
+  int max_recomputes = 2;
+};
+
+/// Runs `compute(c)` — which must write C = alpha*op(A)xop(B) + beta*C (using
+/// exactly the operands given here, rounded through bf16 when `bf16`) — under
+/// Huang–Abraham verification per `opts.mode` (already env-resolved by the
+/// caller or not; this applies effective_mode() itself). On kOff, calls
+/// compute once with zero overhead. Throws SdcError as described above.
+/// `op` names the call site for errors/traces (e.g. "fc:forward").
+void abft_checked_gemm(const AbftOptions& opts, const char* op,
+                       GemmBackend backend, GemmMode mode, float alpha,
+                       const Matrix& a, const Matrix& b, float beta, Matrix& c,
+                       bool bf16, const std::function<void(Matrix&)>& compute);
+
+/// One-shot simulated ALU fault, armed per thread (rank identity is
+/// per-thread under ThreadComm's run_ranks).
+struct AbftFaultPlan {
+  /// Fires on the N-th subsequent *checked* GEMM on this thread (0 = next).
+  int after_checks = 0;
+  /// Output element to corrupt (clamped into the output shape).
+  std::size_t row = 0;
+  std::size_t col = 0;
+  /// Which bit of the float to flip. Bit 30 (top exponent bit) turns an
+  /// ordinary activation into an astronomically wrong one — the loud end of
+  /// the SDC spectrum, guaranteed detectable at any sane tolerance.
+  int bit = 30;
+};
+
+/// Arms `plan` on the calling thread (replacing any armed plan). The fault is
+/// applied to C after the kernel runs, then disarms — so a heal-mode
+/// recompute observes the clean kernel and recovers bitwise-identically.
+void arm_abft_fault(const AbftFaultPlan& plan);
+
+/// Disarms without firing; returns true if a plan was pending.
+bool disarm_abft_fault();
+
+}  // namespace axonn::integrity

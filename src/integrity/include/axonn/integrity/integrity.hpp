@@ -1,0 +1,100 @@
+#pragma once
+
+// axonn::integrity — silent-data-corruption (SDC) defense.
+//
+// PR 1's fault model stops at fail-stop faults: crashes, hangs and corrupt
+// checkpoints are detected because something *visibly* breaks. At the scale
+// of the paper's headline runs (32,768 GCDs on Frontier) the nastier failure
+// mode is silent: a bad ALU result inside a GEMM or a flipped bit in a ring
+// segment corrupts the loss without tripping any existing check. This module
+// holds what the three integrity defenses share:
+//
+//   * IntegrityMode — off / detect / heal, resolved against the
+//     AXONN_INTEGRITY environment override so a run can be hardened (or a
+//     hardened binary disarmed) without recompiling.
+//   * Process-global counters (sdc_detected, sdc_recovered, ...) that tests,
+//     benches and the resilient supervisor can assert on even when the
+//     flight recorder is disabled. When tracing *is* enabled the same events
+//     are mirrored into axonn::obs so the trace shows what was healed.
+//
+// The defenses themselves live with the code they protect: ABFT checksums in
+// integrity/abft.{hpp,cpp} (wrapped around tensor/ GEMM backends), CRC-stamped
+// self-healing rings in comm/thread_comm.cpp, and the training sentinel in
+// train/sentinel.{hpp,cpp}. See DESIGN.md §9.
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace axonn::integrity {
+
+/// How aggressively an integrity defense acts.
+///  kOff:    no checksums computed; bit-identical to the pre-integrity code.
+///  kDetect: checksums verified; a mismatch raises a structured error.
+///  kHeal:   mismatch triggers in-run recovery (recompute / retransmit /
+///           replay) before escalating to the detect-style error.
+enum class IntegrityMode : std::uint8_t { kOff = 0, kDetect = 1, kHeal = 2 };
+
+const char* to_string(IntegrityMode mode);
+
+/// Parses "off" / "detect" / "heal" (throws axonn::Error on anything else).
+IntegrityMode parse_mode(std::string_view text);
+
+/// The AXONN_INTEGRITY environment override, parsed once per process.
+/// Unset or empty -> nullopt (configured values stand).
+std::optional<IntegrityMode> env_mode_override();
+
+/// The mode a defense should actually run at: the AXONN_INTEGRITY override
+/// when present, else the configured value.
+IntegrityMode effective_mode(IntegrityMode configured);
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// Plain-value copy of the counters (safe to compare/print).
+struct CountersSnapshot {
+  std::uint64_t sdc_detected = 0;    ///< any defense saw corruption
+  std::uint64_t sdc_recovered = 0;   ///< ...and healed it in-run
+  std::uint64_t abft_checks = 0;     ///< checksummed GEMMs verified
+  std::uint64_t abft_mismatches = 0; ///< GEMM checksum disagreements
+  std::uint64_t abft_recomputes = 0; ///< heal-mode GEMM re-executions
+  std::uint64_t ring_crc_checks = 0; ///< CRC-verified ring messages
+  std::uint64_t ring_retransmits = 0;///< NACKed segments re-sent
+  std::uint64_t wire_faults_injected = 0;  ///< ChaosComm wire-level flips
+  std::uint64_t sentinel_checks = 0; ///< per-step health evaluations
+  std::uint64_t sentinel_unhealthy = 0;  ///< consensus-unhealthy steps
+  std::uint64_t step_replays = 0;    ///< journal rollback + replay events
+};
+
+/// Process-global atomic counters. Unlike obs counters these work with
+/// tracing disabled, which is what lets the acceptance criterion
+/// `sdc_recovered == sdc_detected` be asserted in ordinary test binaries.
+struct Counters {
+  std::atomic<std::uint64_t> sdc_detected{0};
+  std::atomic<std::uint64_t> sdc_recovered{0};
+  std::atomic<std::uint64_t> abft_checks{0};
+  std::atomic<std::uint64_t> abft_mismatches{0};
+  std::atomic<std::uint64_t> abft_recomputes{0};
+  std::atomic<std::uint64_t> ring_crc_checks{0};
+  std::atomic<std::uint64_t> ring_retransmits{0};
+  std::atomic<std::uint64_t> wire_faults_injected{0};
+  std::atomic<std::uint64_t> sentinel_checks{0};
+  std::atomic<std::uint64_t> sentinel_unhealthy{0};
+  std::atomic<std::uint64_t> step_replays{0};
+
+  CountersSnapshot snapshot() const;
+  void reset();
+};
+
+Counters& counters();
+
+/// Bumps sdc_detected (and, with tracing on, mirrors the running total into
+/// an obs counter plus an instant naming the detector site).
+void note_sdc_detected(const char* what);
+
+/// Bumps sdc_recovered, mirrored into obs like note_sdc_detected().
+void note_sdc_recovered(const char* what);
+
+}  // namespace axonn::integrity

@@ -1,0 +1,102 @@
+#include "axonn/integrity/integrity.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "axonn/base/error.hpp"
+#include "axonn/base/trace.hpp"
+
+namespace axonn::integrity {
+
+const char* to_string(IntegrityMode mode) {
+  switch (mode) {
+    case IntegrityMode::kOff: return "off";
+    case IntegrityMode::kDetect: return "detect";
+    case IntegrityMode::kHeal: return "heal";
+  }
+  return "??";
+}
+
+IntegrityMode parse_mode(std::string_view text) {
+  if (text == "off") return IntegrityMode::kOff;
+  if (text == "detect") return IntegrityMode::kDetect;
+  if (text == "heal") return IntegrityMode::kHeal;
+  throw Error("AXONN_INTEGRITY: unknown mode '" + std::string(text) +
+              "' (expected off|detect|heal)");
+}
+
+std::optional<IntegrityMode> env_mode_override() {
+  // Parsed once: the override is a process-lifetime decision, and reading it
+  // on every GEMM would put getenv (not thread-safe against setenv) on the
+  // hot path.
+  static const std::optional<IntegrityMode> cached = [] {
+    const char* env = std::getenv("AXONN_INTEGRITY");
+    if (env == nullptr || *env == '\0') return std::optional<IntegrityMode>{};
+    return std::optional<IntegrityMode>{parse_mode(env)};
+  }();
+  return cached;
+}
+
+IntegrityMode effective_mode(IntegrityMode configured) {
+  if (const auto forced = env_mode_override()) return *forced;
+  return configured;
+}
+
+CountersSnapshot Counters::snapshot() const {
+  CountersSnapshot s;
+  s.sdc_detected = sdc_detected.load(std::memory_order_relaxed);
+  s.sdc_recovered = sdc_recovered.load(std::memory_order_relaxed);
+  s.abft_checks = abft_checks.load(std::memory_order_relaxed);
+  s.abft_mismatches = abft_mismatches.load(std::memory_order_relaxed);
+  s.abft_recomputes = abft_recomputes.load(std::memory_order_relaxed);
+  s.ring_crc_checks = ring_crc_checks.load(std::memory_order_relaxed);
+  s.ring_retransmits = ring_retransmits.load(std::memory_order_relaxed);
+  s.wire_faults_injected = wire_faults_injected.load(std::memory_order_relaxed);
+  s.sentinel_checks = sentinel_checks.load(std::memory_order_relaxed);
+  s.sentinel_unhealthy = sentinel_unhealthy.load(std::memory_order_relaxed);
+  s.step_replays = step_replays.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Counters::reset() {
+  sdc_detected.store(0, std::memory_order_relaxed);
+  sdc_recovered.store(0, std::memory_order_relaxed);
+  abft_checks.store(0, std::memory_order_relaxed);
+  abft_mismatches.store(0, std::memory_order_relaxed);
+  abft_recomputes.store(0, std::memory_order_relaxed);
+  ring_crc_checks.store(0, std::memory_order_relaxed);
+  ring_retransmits.store(0, std::memory_order_relaxed);
+  wire_faults_injected.store(0, std::memory_order_relaxed);
+  sentinel_checks.store(0, std::memory_order_relaxed);
+  sentinel_unhealthy.store(0, std::memory_order_relaxed);
+  step_replays.store(0, std::memory_order_relaxed);
+}
+
+Counters& counters() {
+  static Counters instance;
+  return instance;
+}
+
+void note_sdc_detected(const char* what) {
+  const std::uint64_t total =
+      counters().sdc_detected.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (obs::enabled()) {
+    obs::counter(obs::kCatIntegrity, "sdc_detected",
+                 static_cast<double>(total));
+    obs::instant(obs::kCatIntegrity, std::string("sdc_detected(") + what + ")");
+  }
+}
+
+void note_sdc_recovered(const char* what) {
+  const std::uint64_t total =
+      counters().sdc_recovered.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (obs::enabled()) {
+    obs::counter(obs::kCatIntegrity, "sdc_recovered",
+                 static_cast<double>(total));
+    obs::instant(obs::kCatIntegrity,
+                 std::string("sdc_recovered(") + what + ")");
+  }
+}
+
+}  // namespace axonn::integrity

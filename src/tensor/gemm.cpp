@@ -94,10 +94,49 @@ void gemm_impl(GemmMode mode, float alpha, const Matrix& a, const Matrix& b,
   gemm_kernel(s, alpha, load_a, load_b, beta, c);
 }
 
+// Per-thread dispatch statistics (see gemm.hpp). `depth` implements the
+// outermost-frame-only rule: the registry thunks and gemm_tiled delegate to
+// other public entry points, which must not double-count.
+struct DispatchState {
+  GemmStats last;
+  std::uint64_t count = 0;
+  std::uint64_t flops = 0;
+  int depth = 0;
+};
+
+thread_local DispatchState t_dispatch;
+
 }  // namespace
+
+const GemmStats& last_gemm_stats() { return t_dispatch.last; }
+std::uint64_t gemm_dispatch_count() { return t_dispatch.count; }
+std::uint64_t gemm_dispatch_flops() { return t_dispatch.flops; }
+void reset_gemm_dispatch_stats() {
+  const int depth = t_dispatch.depth;
+  t_dispatch = DispatchState{};
+  t_dispatch.depth = depth;
+}
+
+namespace detail {
+
+GemmDispatchScope::GemmDispatchScope(GemmBackend backend, GemmMode mode,
+                                     const GemmShape& shape, bool bf16) {
+  DispatchState& st = t_dispatch;
+  if (st.depth++ == 0) {
+    st.last = GemmStats{backend, mode, shape, gemm_flops(shape), bf16};
+    st.count += 1;
+    st.flops += st.last.flops;
+  }
+}
+
+GemmDispatchScope::~GemmDispatchScope() { --t_dispatch.depth; }
+
+}  // namespace detail
 
 void gemm(GemmMode mode, float alpha, const Matrix& a, const Matrix& b,
           float beta, Matrix& c) {
+  detail::GemmDispatchScope stats(GemmBackend::kReference, mode,
+                                  gemm_shape(mode, a, b), /*bf16=*/false);
   gemm_impl<false>(mode, alpha, a, b, beta, c);
 }
 
@@ -110,6 +149,8 @@ Matrix gemm(GemmMode mode, const Matrix& a, const Matrix& b) {
 
 void gemm_bf16(GemmMode mode, float alpha, const Matrix& a, const Matrix& b,
                float beta, Matrix& c) {
+  detail::GemmDispatchScope stats(GemmBackend::kReference, mode,
+                                  gemm_shape(mode, a, b), /*bf16=*/true);
   gemm_impl<true>(mode, alpha, a, b, beta, c);
 }
 
@@ -158,11 +199,15 @@ const GemmBackendInfo& gemm_backend_info(GemmBackend backend) {
 
 void gemm(GemmBackend backend, GemmMode mode, float alpha, const Matrix& a,
           const Matrix& b, float beta, Matrix& c) {
+  detail::GemmDispatchScope stats(backend, mode, gemm_shape(mode, a, b),
+                                  /*bf16=*/false);
   gemm_backend_info(backend).run_fp32(mode, alpha, a, b, beta, c);
 }
 
 void gemm_bf16(GemmBackend backend, GemmMode mode, float alpha,
                const Matrix& a, const Matrix& b, float beta, Matrix& c) {
+  detail::GemmDispatchScope stats(backend, mode, gemm_shape(mode, a, b),
+                                  /*bf16=*/true);
   gemm_backend_info(backend).run_bf16(mode, alpha, a, b, beta, c);
 }
 

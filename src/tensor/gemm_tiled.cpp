@@ -139,6 +139,11 @@ void gemm_tiled_packed(bool trans_a, float alpha, const Matrix& a,
                   "tiled GEMM inner dimension does not match packed op(B)");
   AXONN_CHECK_MSG(c.rows() == m && c.cols() == packed_b.n(),
                   "GEMM output shape does not match operands");
+  // op(B)'s transposition was resolved at pack time, so the recorded mode
+  // can only reflect op(A); prepacked calls report kNN/kTN.
+  detail::GemmDispatchScope stats(
+      GemmBackend::kTiled, trans_a ? GemmMode::kTN : GemmMode::kNN,
+      GemmShape{m, packed_b.n(), packed_b.k()}, round_bf16);
   if (beta == 0.0f) {
     c.set_zero();
   } else if (beta != 1.0f) {
@@ -185,7 +190,8 @@ void gemm_tiled_packed(bool trans_a, float alpha, const Matrix& a,
 
 void gemm_tiled(GemmMode mode, float alpha, const Matrix& a, const Matrix& b,
                 float beta, Matrix& c, bool round_bf16) {
-  (void)gemm_shape(mode, a, b);  // validates operand shapes under the mode
+  detail::GemmDispatchScope stats(GemmBackend::kTiled, mode,
+                                  gemm_shape(mode, a, b), round_bf16);
   const PackedB packed = pack_b(b, gemm_transposes_b(mode), round_bf16);
   gemm_tiled_packed(gemm_transposes_a(mode), alpha, a, packed, beta, c,
                     round_bf16);

@@ -105,4 +105,51 @@ inline std::uint64_t gemm_flops(const GemmShape& s) {
   return 2ull * s.m * s.n * s.k;
 }
 
+// ---------------------------------------------------------------------------
+// Per-call dispatch statistics
+// ---------------------------------------------------------------------------
+
+/// What one GEMM dispatch actually ran. Before this existed only the
+/// KernelTuner recorded backend choices, so a trace could not attribute
+/// checksum (ABFT) overhead to the kernel it guarded; now every entry point —
+/// plain, explicit-backend, tiled and prepacked — records one of these per
+/// call on the calling thread.
+struct GemmStats {
+  GemmBackend backend = GemmBackend::kReference;
+  GemmMode mode = GemmMode::kNN;
+  GemmShape shape;
+  std::uint64_t flops = 0;  ///< gemm_flops(shape)
+  bool bf16 = false;        ///< operands rounded through bf16
+};
+
+/// Stats of the most recent GEMM dispatched on the calling thread.
+/// Meaningless until gemm_dispatch_count() > 0.
+const GemmStats& last_gemm_stats();
+
+/// GEMMs dispatched on the calling thread since start/reset. A nested
+/// dispatch (gemm_tiled calling gemm_tiled_packed, registry thunks calling
+/// the plain entry points) counts once, at the outermost public entry.
+std::uint64_t gemm_dispatch_count();
+
+/// Cumulative gemm_flops over those dispatches.
+std::uint64_t gemm_dispatch_flops();
+
+/// Zeroes the calling thread's dispatch statistics.
+void reset_gemm_dispatch_stats();
+
+namespace detail {
+
+/// RAII reentrancy guard behind the per-call stats: records at construction
+/// when (and only when) it is the outermost dispatch frame on this thread.
+class GemmDispatchScope {
+ public:
+  GemmDispatchScope(GemmBackend backend, GemmMode mode, const GemmShape& shape,
+                    bool bf16);
+  ~GemmDispatchScope();
+  GemmDispatchScope(const GemmDispatchScope&) = delete;
+  GemmDispatchScope& operator=(const GemmDispatchScope&) = delete;
+};
+
+}  // namespace detail
+
 }  // namespace axonn

@@ -51,6 +51,7 @@ GPTModel::GPTModel(core::Grid4D& grid, const TinyGPTConfig& config)
   fc.overlap_weight_grad_reduce_scatter = config.overlap_collectives;
   fc.kernel_tuning = config.kernel_tuning;
   fc.init_std = config.init_std;
+  fc.abft = config.abft;
 
   blocks_.resize(static_cast<std::size_t>(config.layers));
   for (int l = 0; l < config.layers; ++l) {
@@ -129,6 +130,25 @@ void GPTModel::for_each_parameter(const std::function<void(Matrix&)>& fn) {
   fn(final_gamma_);
   fn(final_beta_);
   fn(lm_head_);
+}
+
+void GPTModel::for_each_gradient(const std::function<void(Matrix&)>& fn) {
+  // Mirrors for_each_parameter(): same tensors, gradient side.
+  fn(tok_emb_grad_);
+  fn(pos_emb_grad_);
+  for (Block& block : blocks_) {
+    fn(block.ln1_gamma_grad);
+    fn(block.ln1_beta_grad);
+    fn(block.ln2_gamma_grad);
+    fn(block.ln2_beta_grad);
+    for (auto* fc : {block.qkv.get(), block.attn_out.get(), block.mlp_up.get(),
+                     block.mlp_down.get()}) {
+      fn(fc->mutable_weight_grad_shard());
+    }
+  }
+  fn(final_gamma_grad_);
+  fn(final_beta_grad_);
+  fn(lm_head_grad_);
 }
 
 Matrix GPTModel::embed(const std::vector<TokenSeq>& sequences,

@@ -43,6 +43,9 @@ struct TinyGPTConfig {
   bool overlap_collectives = true;
   /// §V-C kernel tuning on the FC sublayers' GEMMs (see FCOptions).
   bool kernel_tuning = false;
+  /// ABFT checksum verification on every FC GEMM (see FCOptions::abft and
+  /// DESIGN.md §9). Off by default; AXONN_INTEGRITY overrides per process.
+  integrity::AbftOptions abft;
 };
 
 class GPTModel {
@@ -64,6 +67,11 @@ class GPTModel {
   /// Note: with gz > 1 the FC tensors are this rank's Z-shards, so
   /// checkpoints are per-rank.
   void for_each_parameter(const std::function<void(Matrix&)>& fn);
+
+  /// Visits every gradient tensor in register_params() order. Requires no
+  /// reduce-scatter in flight on the FC sublayers (call after
+  /// sync_gradients()). Used by the training sentinel's health checks.
+  void for_each_gradient(const std::function<void(Matrix&)>& fn);
 
   /// Forward + backward + gradient sync over this rank's batch of
   /// equal-length sequences. Returns the mean next-token cross-entropy over

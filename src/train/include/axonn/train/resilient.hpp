@@ -19,10 +19,12 @@
 #include <string>
 
 #include "axonn/comm/chaos_comm.hpp"
+#include "axonn/integrity/integrity.hpp"
 #include "axonn/sim/grid_shape.hpp"
 #include "axonn/train/adam.hpp"
 #include "axonn/train/corpus.hpp"
 #include "axonn/train/gpt_model.hpp"
+#include "axonn/train/sentinel.hpp"
 
 namespace axonn::train {
 
@@ -50,6 +52,17 @@ struct ResilientTrainConfig {
   /// Collective watchdog budget for the spawned worlds (0 = off).
   std::chrono::milliseconds collective_timeout{0};
 
+  /// Self-healing ring transport for the spawned worlds: CRC-stamped ring
+  /// segments with NACK/retransmit under kHeal (see WorldOptions::ring_crc,
+  /// DESIGN.md §9). AXONN_INTEGRITY overrides at world construction.
+  integrity::IntegrityMode ring_crc = integrity::IntegrityMode::kOff;
+  int crc_max_retries = 3;
+
+  /// Step-level health sentinel + in-memory replay (see sentinel.hpp). An
+  /// escalation (SdcEscalationError) is handled like a rank failure: the
+  /// supervisor restarts from the latest on-disk checkpoint.
+  SentinelConfig sentinel;
+
   /// Seed for the data-order RNG (part of the checkpointed cursor).
   std::uint64_t data_seed = 0xDA7A0DD5ULL;
 };
@@ -59,6 +72,7 @@ struct ResilientTrainResult {
   int restarts = 0;
   std::uint64_t checkpoints_written = 0;  ///< files written across all ranks
   std::uint64_t steps_executed = 0;  ///< rank-0 steps incl. replays
+  std::uint64_t step_replays = 0;  ///< rank-0 sentinel rollback+replays
 };
 
 /// Runs the supervisor loop to completion (or rethrows after the restart

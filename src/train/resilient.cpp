@@ -12,6 +12,14 @@ namespace axonn::train {
 
 namespace {
 
+comm::WorldOptions world_options(const ResilientTrainConfig& config) {
+  comm::WorldOptions options;
+  options.collective_timeout = config.collective_timeout;
+  options.ring_crc = config.ring_crc;
+  options.crc_max_retries = config.crc_max_retries;
+  return options;
+}
+
 /// One attempt: spawn the world, restore the newest fully-valid checkpoint,
 /// train to total_steps, evaluate. Throws whatever a rank threw (RankFailure
 /// under chaos, CommTimeoutError from the watchdog, ...).
@@ -59,9 +67,15 @@ void run_attempt(const ResilientTrainConfig& config,
           }
         }
 
+        TrainingSentinel sentinel(config.sentinel, *comm, model, adam);
+
         const auto batch = static_cast<std::uint64_t>(config.batch_per_rank);
-        for (std::uint64_t step = cursor.step;
-             step < static_cast<std::uint64_t>(config.total_steps); ++step) {
+        while (cursor.step < static_cast<std::uint64_t>(config.total_steps)) {
+          // Journal the pre-step state (weights, moments, cursor — including
+          // the data RNG *before* the jitter draw) so an unhealthy step can
+          // be rolled back and replayed on identical data.
+          sentinel.journal(cursor);
+
           // One shared RNG draw per step jitters the document window; every
           // rank draws identically (same cursor state), then takes its own
           // slice — the data-parallel sharding.
@@ -76,9 +90,19 @@ void run_attempt(const ResilientTrainConfig& config,
 
           model.zero_grad();
           const float loss = model.train_step(sequences);
+          // Health consensus before the optimizer applies the gradients. On
+          // an unhealthy verdict (kHeal) the sentinel restored the journal
+          // snapshot — including `cursor` — so the loop replays this step.
+          if (!sentinel.check_step(loss, cursor)) {
+            if (rank == 0) {
+              std::lock_guard<std::mutex> lock(result_mutex);
+              ++result.step_replays;
+            }
+            continue;
+          }
           adam.step();
 
-          cursor.step = step + 1;
+          cursor.step += 1;
           cursor.next_doc += static_cast<std::uint64_t>(world_size) * batch;
           if (rank == 0) {
             std::lock_guard<std::mutex> lock(result_mutex);
@@ -114,7 +138,7 @@ void run_attempt(const ResilientTrainConfig& config,
           result.final_loss = eval_loss;
         }
       },
-      comm::WorldOptions{config.collective_timeout});
+      world_options(config));
 }
 
 }  // namespace
@@ -134,9 +158,11 @@ ResilientTrainResult run_resilient_training(
     comm::ChaosConfig chaos = config.chaos;
     if (attempt > 0) {
       // The restarted world models the failed node having been replaced:
-      // the crash fault does not re-fire, but latency/corruption chaos (and
-      // the watchdog) stay armed.
+      // the crash fault and the one-shot memory corruption (both transient,
+      // tied to the failed hardware) do not re-fire, but latency/corruption
+      // chaos (and the watchdog) stay armed.
       chaos.crash_rank = -1;
+      chaos.corrupt_once_rank = -1;
     }
     try {
       run_attempt(config, chaos, result, result_mutex);
