@@ -11,7 +11,10 @@
 //      efficiency from IterationReport (Fig. 5's methodology on real spans).
 //
 // Flags: --json <path> writes BENCH_fig5_overlap.json series;
-//        --trace <path> exports the +OAG simulated timeline as Chrome JSON.
+//        --trace <path> exports the +OAG simulated timeline as Chrome JSON;
+//        --smoke shrinks the run for the bench-smoke ctest gate (one
+//        simulated model, fewer real iterations) — same series names, so
+//        tools/bench_compare.py can diff smoke runs across commits.
 
 #include <iostream>
 #include <string>
@@ -109,9 +112,13 @@ int main(int argc, char** argv) {
   using namespace axonn::bench;
   std::string json_path = extract_json_path(argc, argv);
   std::string trace_path;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--trace") trace_path = argv[i + 1];
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--trace" && i + 1 < argc)
+      trace_path = argv[i + 1];
+    if (std::string(argv[i]) == "--smoke") smoke = true;
   }
+  const int real_iters = smoke ? 7 : 13;
   JsonSeriesWriter json("fig5_overlap");
 
   const auto machine = sim::frontier();
@@ -120,7 +127,10 @@ int main(int argc, char** argv) {
   std::cout << "== Figure 5: batch time breakdown on 8,192 GCDs of Frontier "
                "==\n\n";
 
-  for (const char* model_name : {"GPT-20B", "GPT-40B", "GPT-80B"}) {
+  const std::vector<const char*> models =
+      smoke ? std::vector<const char*>{"GPT-20B"}
+            : std::vector<const char*>{"GPT-20B", "GPT-40B", "GPT-80B"};
+  for (const char* model_name : models) {
     const auto job = paper_job(model_name);
     // The paper's methodology: simulate the perf model's top-10 and keep the
     // fastest (here judged without overlap, the baseline being varied).
@@ -191,8 +201,8 @@ int main(int argc, char** argv) {
                       "Overlap efficiency"});
     int variant_index = 0;
     for (const Variant& variant : kVariants) {
-      const obs::IterationReport mean =
-          measure_real_variant(variant.flags, 13, kRings[ring].segment_elems);
+      const obs::IterationReport mean = measure_real_variant(
+          variant.flags, real_iters, kRings[ring].segment_elems);
       real_table.add_row(
           {variant.label, Table::cell(mean.wall_s * 1e3, 2),
            Table::cell(mean.compute_s * 1e3, 2),

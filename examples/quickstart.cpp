@@ -17,10 +17,14 @@
 // the GEMM spans, and a Fig. 5-style per-iteration breakdown is printed.
 // Set AXONN_VALIDATE_COMM=1 to cross-check the wire bytes every iteration
 // against Eqs. 1-5 of the paper's performance model.
+// Set AXONN_METRICS=out.jsonl to enable the live metrics registry
+// (DESIGN.md §10): blocking-collective stall time, wire/CRC byte counters
+// and payload histograms are written to out.jsonl.prom on exit.
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "axonn/base/step_telemetry.hpp"
 #include "axonn/base/trace.hpp"
 #include "axonn/comm/thread_comm.hpp"
 #include "axonn/core/mlp.hpp"
@@ -29,7 +33,8 @@
 int main() {
   using namespace axonn;
 
-  obs::TraceSession trace;  // honours AXONN_TRACE
+  obs::TraceSession trace;      // honours AXONN_TRACE
+  obs::MetricsSession metrics;  // honours AXONN_METRICS (DESIGN.md §10)
   const bool validate_comm = std::getenv("AXONN_VALIDATE_COMM") != nullptr;
 
   // A toy regression task shared by every rank.

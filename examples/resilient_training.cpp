@@ -20,12 +20,17 @@
 // Set AXONN_TRACE=out.json to record the runs with the flight recorder —
 // the Chrome trace shows training iterations, the injected crash, the
 // collectives of the restarted world, and abft/retransmit/replay spans.
+// Set AXONN_METRICS=steps.jsonl for live telemetry (DESIGN.md §10): one
+// JSONL object per training step with per-rank wall/self times and
+// min/mean/max/argmax per field, a StragglerMonitor watching for slow
+// ranks, and a final Prometheus exposition in steps.jsonl.prom.
 // AXONN_INTEGRITY=off|detect|heal overrides every integrity knob at once.
 
 #include <cstdio>
 #include <exception>
 #include <filesystem>
 
+#include "axonn/base/step_telemetry.hpp"
 #include "axonn/base/trace.hpp"
 #include "axonn/integrity/integrity.hpp"
 #include "axonn/train/resilient.hpp"
@@ -34,7 +39,8 @@ int main(int argc, char** argv) try {
   using namespace axonn;
   namespace fs = std::filesystem;
 
-  obs::TraceSession trace;  // honours AXONN_TRACE
+  obs::TraceSession trace;      // honours AXONN_TRACE
+  obs::MetricsSession metrics;  // honours AXONN_METRICS (DESIGN.md §10)
 
   const std::string base =
       argc > 1 ? argv[1] : (fs::temp_directory_path() / "axonn-resilient").string();

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# One-command verification gate (ISSUE 5 satellite):
+#   1. tier-1: plain tree, full ctest (ROADMAP.md's recipe)
+#   2. ASan tree, `ctest -L integrity` (the SDC-defense suites)
+#   3. TSan tree, `ctest -L tsan` (comm, fault-tolerance, and the obs/metrics
+#      suites — the registry's sharded snapshot path races for real there)
+#   4. bench-smoke (`ctest -L bench`) + tools/bench_compare.py against the
+#      checked-in BENCH_*.json baselines
+#
+# Usage: scripts/verify.sh [--skip-sanitizers] [--skip-bench]
+# Runs from anywhere; builds into build/, build-asan/, build-tsan/ under the
+# repo root. Exits non-zero on the first failing stage.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+skip_sanitizers=0
+skip_bench=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitizers) skip_sanitizers=1 ;;
+    --skip-bench) skip_bench=1 ;;
+    *) echo "usage: scripts/verify.sh [--skip-sanitizers] [--skip-bench]" >&2
+       exit 2 ;;
+  esac
+done
+
+stage() { printf '\n==== %s ====\n' "$*"; }
+
+stage "tier-1: plain tree, full suite"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "$skip_sanitizers" == 0 ]]; then
+  stage "ASan tree: ctest -L integrity"
+  cmake -B build-asan -S . -DAXONN_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$jobs"
+  ctest --test-dir build-asan -L integrity --output-on-failure -j "$jobs"
+
+  stage "TSan tree: ctest -L tsan"
+  cmake -B build-tsan -S . -DAXONN_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$jobs"
+  ctest --test-dir build-tsan -L tsan --output-on-failure -j "$jobs"
+fi
+
+if [[ "$skip_bench" == 0 ]]; then
+  stage "bench-smoke + bench_compare gate"
+  # The smoke runs overwrite the repo-root BENCH_*.json trajectory files, so
+  # snapshot the checked-in baselines first and diff fresh-vs-baseline.
+  baseline_dir="$(mktemp -d)"
+  trap 'rm -rf "$baseline_dir"' EXIT
+  for f in BENCH_micro_gemm.json BENCH_micro_comm.json BENCH_fig5_overlap.json; do
+    [[ -f "$f" ]] && cp "$f" "$baseline_dir/"
+  done
+  ctest --test-dir build -L bench --output-on-failure
+  for f in BENCH_micro_gemm.json BENCH_micro_comm.json BENCH_fig5_overlap.json; do
+    if [[ -f "$baseline_dir/$f" ]]; then
+      # fig5's derived ratio series (overlap efficiency, pipelining reduction
+      # pct) divide tiny timed quantities and swing wildly in a 7-iteration
+      # smoke run; gate only the deterministic sim series and the stable
+      # absolute iteration times. The ratios stay in the JSON for trajectory
+      # inspection. The micro benches time sub-millisecond kernels and
+      # thread-rank collectives whose points are bimodal on shared hosts, so
+      # they get a cliff-only threshold: a real cliff (tiled GEMM silently
+      # falling back to reference, a dead overlap path) is 2-10x, well past
+      # 120%; scheduling jitter is not.
+      gate_args=()
+      case "$f" in
+        BENCH_fig5_overlap.json)
+          gate_args=(--series '^(sim/|real/(unsegmented|pipelined)/iteration_time)') ;;
+        BENCH_micro_gemm.json|BENCH_micro_comm.json)
+          gate_args=(--threshold 120) ;;
+      esac
+      python3 tools/bench_compare.py "${gate_args[@]+"${gate_args[@]}"}" \
+        "$baseline_dir/$f" "$f"
+    else
+      echo "bench_compare: no checked-in baseline for $f (first run?)"
+    fi
+  done
+fi
+
+stage "verify.sh: all stages passed"

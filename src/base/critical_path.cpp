@@ -1,0 +1,199 @@
+#include "axonn/base/critical_path.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "axonn/base/log.hpp"
+#include "axonn/base/table.hpp"
+
+namespace axonn::obs {
+namespace {
+
+constexpr double kUsToS = 1e-6;
+
+/// Top-level blocking collectives of one rank's iteration window: kCatComm
+/// spans on the compute stream that are not nested inside another comm span
+/// of the same thread (Transport::recv_from opens nested "recv(src=N)"
+/// spans; those are implementation detail, not collectives).
+std::vector<const SpanRec*> top_level_comm(const SpanSet& set,
+                                           double win_begin, double win_end) {
+  std::vector<const SpanRec*> comm;
+  for (const SpanRec& s : set.spans) {
+    if (std::string_view{s.category} != kCatComm) continue;
+    if (s.stream != StreamKind::kMain) continue;
+    if (s.end_us <= win_begin || s.begin_us >= win_end) continue;
+    comm.push_back(&s);
+  }
+  std::vector<const SpanRec*> top;
+  for (const SpanRec* s : comm) {
+    bool nested = false;
+    for (const SpanRec* outer : comm) {
+      if (outer == s || outer->tid != s->tid) continue;
+      if (outer->begin_us <= s->begin_us && s->end_us <= outer->end_us &&
+          (outer->begin_us < s->begin_us || outer->end_us > s->end_us)) {
+        nested = true;
+        break;
+      }
+    }
+    if (!nested) top.push_back(s);
+  }
+  std::sort(top.begin(), top.end(), [](const SpanRec* a, const SpanRec* b) {
+    return a->begin_us < b->begin_us;
+  });
+  return top;
+}
+
+}  // namespace
+
+std::vector<CriticalPathReport> critical_path_reports(
+    const std::vector<TraceEvent>& events, int world) {
+  std::vector<SpanSet> sets;
+  sets.reserve(static_cast<std::size_t>(world));
+  std::size_t num_iters = SIZE_MAX;
+  for (int r = 0; r < world; ++r) {
+    sets.push_back(build_spans(events, r));
+    num_iters = std::min(num_iters, sets.back().iterations.size());
+  }
+  if (world <= 0 || num_iters == SIZE_MAX) return {};
+
+  std::vector<CriticalPathReport> reports;
+  for (std::size_t it = 0; it < num_iters; ++it) {
+    CriticalPathReport rep;
+    rep.iteration = static_cast<int>(it);
+    rep.world = world;
+
+    double begin_min = sets[0].iterations[it].begin_us;
+    double end_max = sets[0].iterations[it].end_us;
+    std::vector<std::vector<const SpanRec*>> per_rank;
+    std::size_t num_coll = SIZE_MAX;
+    for (int r = 0; r < world; ++r) {
+      const SpanRec& win = sets[static_cast<std::size_t>(r)].iterations[it];
+      begin_min = std::min(begin_min, win.begin_us);
+      end_max = std::max(end_max, win.end_us);
+      per_rank.push_back(top_level_comm(sets[static_cast<std::size_t>(r)],
+                                        win.begin_us, win.end_us));
+      num_coll = std::min(num_coll, per_rank.back().size());
+    }
+    for (int r = 0; r < world; ++r) {
+      if (per_rank[static_cast<std::size_t>(r)].size() != num_coll) {
+        rep.consistent = false;  // common prefix only
+      }
+    }
+
+    rep.makespan_s = (end_max - begin_min) * kUsToS;
+    double cursor = begin_min;
+    for (std::size_t k = 0; k < num_coll; ++k) {
+      CollectiveTiming ct;
+      ct.name = per_rank[0][k]->name;
+      ct.enter_min_us = per_rank[0][k]->begin_us;
+      ct.enter_max_us = per_rank[0][k]->begin_us;
+      ct.exit_max_us = per_rank[0][k]->end_us;
+      ct.first_rank = 0;
+      ct.last_rank = 0;
+      for (int r = 1; r < world; ++r) {
+        const SpanRec* s = per_rank[static_cast<std::size_t>(r)][k];
+        if (s->name != ct.name) rep.consistent = false;
+        if (s->begin_us < ct.enter_min_us) {
+          ct.enter_min_us = s->begin_us;
+          ct.first_rank = r;
+        }
+        if (s->begin_us > ct.enter_max_us) {
+          ct.enter_max_us = s->begin_us;
+          ct.last_rank = r;
+        }
+        ct.exit_max_us = std::max(ct.exit_max_us, s->end_us);
+      }
+      // Cursor walk: [cursor, enter_min] someone still computes; [enter_min,
+      // enter_max] early ranks blocked on the straggler; [enter_max,
+      // exit_max] the transfer. Overlapping/out-of-order spans clip to >= 0.
+      const double a = std::max(cursor, ct.enter_min_us);
+      const double b = std::max(a, ct.enter_max_us);
+      const double c = std::max(b, ct.exit_max_us);
+      rep.compute_s += (a - cursor) * kUsToS;
+      ct.wait_s = (b - a) * kUsToS;
+      ct.transfer_s = (c - b) * kUsToS;
+      rep.straggler_wait_s += ct.wait_s;
+      rep.exposed_comm_s += ct.transfer_s;
+      cursor = c;
+      rep.collectives.push_back(std::move(ct));
+    }
+    rep.compute_s += std::max(0.0, end_max - cursor) * kUsToS;
+    if (!rep.consistent) {
+      AXONN_LOG_WARN << "critical path: ranks issued mismatched collective "
+                     << "sequences in iteration " << it
+                     << "; report covers the common prefix only";
+    }
+    reports.push_back(std::move(rep));
+  }
+  return reports;
+}
+
+std::string CriticalPathReport::to_table() const {
+  Table summary({"iteration " + std::to_string(iteration), "seconds",
+                 "% of makespan"});
+  const double denom = makespan_s > 0 ? makespan_s : 1;
+  auto row = [&](const char* label, double s) {
+    summary.add_row({label, Table::cell(s, 6), Table::cell(100 * s / denom, 1)});
+  };
+  row("makespan", makespan_s);
+  row("compute", compute_s);
+  row("straggler wait", straggler_wait_s);
+  row("exposed comm", exposed_comm_s);
+  std::string out = summary.to_string();
+
+  Table coll({"collective", "wait_ms", "transfer_ms", "last rank"});
+  for (const CollectiveTiming& ct : collectives) {
+    coll.add_row({ct.name, Table::cell(ct.wait_s * 1e3, 3),
+                  Table::cell(ct.transfer_s * 1e3, 3),
+                  Table::cell(ct.last_rank)});
+  }
+  if (!collectives.empty()) out += coll.to_string();
+  return out;
+}
+
+ModelGapReport compare_with_model(
+    const CriticalPathReport& report,
+    const std::vector<CollectivePrediction>& predictions) {
+  ModelGapReport gap;
+  gap.entries.reserve(predictions.size());
+  for (const CollectivePrediction& p : predictions) {
+    ModelGapEntry e;
+    e.name = p.name_substr;
+    gap.entries.push_back(std::move(e));
+  }
+  for (const CollectiveTiming& ct : report.collectives) {
+    bool matched = false;
+    for (std::size_t i = 0; i < predictions.size(); ++i) {
+      if (ct.name.find(predictions[i].name_substr) == std::string::npos) {
+        continue;
+      }
+      ModelGapEntry& e = gap.entries[i];
+      e.count += 1;
+      e.measured_s += ct.transfer_s;
+      e.predicted_s += predictions[i].predicted_s;
+      matched = true;
+      break;
+    }
+    if (!matched) ++gap.unmatched_collectives;
+  }
+  for (ModelGapEntry& e : gap.entries) {
+    e.rel_gap =
+        e.predicted_s > 0 ? (e.measured_s - e.predicted_s) / e.predicted_s : 0;
+  }
+  return gap;
+}
+
+std::string ModelGapReport::to_table() const {
+  Table table({"collective", "n", "measured_ms", "predicted_ms", "rel gap"});
+  for (const ModelGapEntry& e : entries) {
+    table.add_row({e.name, Table::cell(e.count),
+                   Table::cell(e.measured_s * 1e3, 3),
+                   Table::cell(e.predicted_s * 1e3, 3),
+                   Table::cell(e.rel_gap, 2)});
+  }
+  return table.to_string();
+}
+
+}  // namespace axonn::obs

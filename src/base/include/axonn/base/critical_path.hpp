@@ -1,0 +1,98 @@
+#pragma once
+
+// Cross-rank critical-path analysis (DESIGN.md §10).
+//
+// Blocking collectives are the synchronization points of one training
+// iteration: the MPI ordering contract (every rank of a communicator issues
+// the same collectives in the same order — the property ThreadComm's mailbox
+// matching is built on) means the k-th top-level blocking collective on the
+// compute stream of rank r is the *same operation* as the k-th on every other
+// rank. Matching them by occurrence index stitches the per-rank span
+// timelines of merged_events() into the iteration's dependency structure
+// without any extra instrumentation.
+//
+// For each matched collective we know every rank's enter/exit time, so the
+// iteration makespan decomposes exactly into three buckets:
+//   compute        — before the first rank enters (somebody is still working)
+//   straggler wait — from the first enter to the last enter: early ranks sit
+//                    blocked purely because a peer is late
+//   exposed comm   — from the last enter to the last exit: the transfer
+//                    itself (the wire/protocol time Eqs. 1–7 predict)
+// Walking the collectives in order with a cursor (overlaps clipped) yields
+// CriticalPathReport; per-collective timings also feed compare_with_model(),
+// which turns the runtime CommModelChecker's pass/fail into a quantitative
+// "where the model and reality disagree" report.
+
+#include <string>
+#include <vector>
+
+#include "axonn/base/trace.hpp"
+
+namespace axonn::obs {
+
+/// One matched collective across all ranks of one iteration.
+struct CollectiveTiming {
+  std::string name;        ///< e.g. "all_reduce(world)" (rank 0's label)
+  double enter_min_us = 0; ///< first rank enters
+  double enter_max_us = 0; ///< last rank enters (the straggler bound)
+  double exit_max_us = 0;  ///< last rank exits
+  int first_rank = -1;     ///< argmin of enter
+  int last_rank = -1;      ///< argmax of enter
+  double wait_s = 0;       ///< critical-path share: straggler wait
+  double transfer_s = 0;   ///< critical-path share: wire/protocol time
+};
+
+struct CriticalPathReport {
+  int iteration = -1;    ///< index of the analyzed kCatIter span
+  int world = 0;
+  bool consistent = true;  ///< ranks issued identical collective sequences
+  double makespan_s = 0;   ///< latest iter end - earliest iter begin
+  double compute_s = 0;
+  double straggler_wait_s = 0;
+  double exposed_comm_s = 0;  ///< sum of per-collective transfer shares
+  std::vector<CollectiveTiming> collectives;
+
+  std::string to_table() const;  ///< human-readable summary (base/table)
+};
+
+/// One report per iteration index present on ALL ranks 0..world-1 (ranks
+/// missing an iteration truncate the report list). Ranks with mismatched
+/// collective sequences mark the report !consistent; timings then cover the
+/// common prefix only.
+std::vector<CriticalPathReport> critical_path_reports(
+    const std::vector<TraceEvent>& events, int world);
+
+// ---------------------------------------------------------------------------
+// Measured-vs-model gap (quantitative CommModelChecker)
+// ---------------------------------------------------------------------------
+
+/// A model prediction for every collective whose name contains `name_substr`
+/// (e.g. {"all_gather(tp-z", eq2_seconds}). First match wins.
+struct CollectivePrediction {
+  std::string name_substr;
+  double predicted_s = 0;
+};
+
+struct ModelGapEntry {
+  std::string name;  ///< the prediction's name_substr
+  int count = 0;     ///< matched collectives
+  double measured_s = 0;   ///< summed transfer_s of the matches
+  double predicted_s = 0;  ///< count * prediction
+  double rel_gap = 0;      ///< (measured - predicted) / predicted
+};
+
+struct ModelGapReport {
+  std::vector<ModelGapEntry> entries;  ///< prediction order; unmatched kept
+  int unmatched_collectives = 0;       ///< measured spans with no prediction
+
+  std::string to_table() const;
+};
+
+/// Compares the report's per-collective transfer times against Eq. 1–7 style
+/// predictions supplied by the caller (perf::comm_model for the analytical
+/// side, sim::ring_collective_cost for the simulator's β/latency view).
+ModelGapReport compare_with_model(
+    const CriticalPathReport& report,
+    const std::vector<CollectivePrediction>& predictions);
+
+}  // namespace axonn::obs

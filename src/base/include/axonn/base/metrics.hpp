@@ -1,0 +1,188 @@
+#pragma once
+
+// axonn::obs::metrics — the second observability pillar (DESIGN.md §10).
+//
+// Where the flight recorder (trace.hpp) answers "what happened, when" with a
+// bounded ring of timestamped events, the metrics registry answers "how much,
+// so far" with typed, named aggregates: monotonic counters, last-write-wins
+// gauges, and log2-bucketed histograms. The recording design mirrors the
+// trace rings: every thread owns a shard (one uncontended mutex, taken
+// against the rare snapshot), so the hot path is a relaxed atomic load of
+// enabled(), a thread_local lookup and an uncontended lock — ~free when
+// metrics are off and cheap when on. snapshot() merges all shards and is safe
+// to call while other threads keep recording.
+//
+// Metric identity is (name, kind): register_metric() returns a dense Id that
+// is stable for the process lifetime; registering the same name with a
+// different kind throws. Handle classes (Counter/Gauge/Histogram) register in
+// their constructor, so the idiomatic call site is a function-local static:
+//
+//   static metrics::Counter calls("comm.all_reduce.calls");
+//   calls.add();                     // no-op while metrics are disabled
+//
+// Export: write_prometheus() emits the standard text exposition format
+// (counters/gauges as single samples, histograms as cumulative _bucket/_sum/
+// _count series) so a scrape-time file drop is all an operator needs.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace axonn::obs::metrics {
+
+/// Recording gate: a single relaxed atomic load, so instrumentation costs
+/// ~nothing when metrics are disabled (the default).
+bool enabled();
+void set_enabled(bool on);
+
+enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+const char* to_string(Kind kind);
+
+using Id = std::uint32_t;
+
+/// Registers `name` with `kind` (idempotent) and returns its dense id.
+/// Throws std::invalid_argument if `name` is already registered with a
+/// different kind.
+Id register_metric(const std::string& name, Kind kind);
+
+/// Recording primitives. No-ops while disabled; cheap (thread-shard) when on.
+void add(Id id, double delta);      ///< counter += delta
+void set(Id id, double value);      ///< gauge = value (last write wins)
+void observe(Id id, double value);  ///< histogram sample
+
+/// Like set(), but records even while disabled. For cold export-path
+/// annotations (e.g. trace.dropped_events) that must land regardless of the
+/// recording gate — never use on a hot path.
+void set_forced(Id id, double value);
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+class Counter {
+ public:
+  explicit Counter(const std::string& name)
+      : id_(register_metric(name, Kind::kCounter)) {}
+  void add(double delta = 1.0) const {
+    if (enabled()) metrics::add(id_, delta);
+  }
+  Id id() const { return id_; }
+
+ private:
+  Id id_;
+};
+
+class Gauge {
+ public:
+  explicit Gauge(const std::string& name)
+      : id_(register_metric(name, Kind::kGauge)) {}
+  void set(double value) const {
+    if (enabled()) metrics::set(id_, value);
+  }
+  void set_forced(double value) const { metrics::set_forced(id_, value); }
+  Id id() const { return id_; }
+
+ private:
+  Id id_;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(const std::string& name)
+      : id_(register_metric(name, Kind::kHistogram)) {}
+  void observe(double value) const {
+    if (enabled()) metrics::observe(id_, value);
+  }
+  Id id() const { return id_; }
+
+ private:
+  Id id_;
+};
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// Histograms bucket by power of two: bucket i covers (2^(i-33), 2^(i-32)]
+/// for i in [1, 63]; bucket 0 holds values <= 2^-33 (incl. zero/negative).
+/// That spans ~1e-10 .. ~2e9 with <=2x relative error per bucket — plenty for
+/// latencies in seconds or payloads in bytes.
+inline constexpr std::size_t kNumBuckets = 64;
+
+/// Upper bound of bucket `i` (+inf-ish for the last one, by construction
+/// anything representable as double fits below 2^31 scale used here).
+double bucket_upper_bound(std::size_t i);
+
+struct HistogramData {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;  ///< 0 when count == 0
+  double max = 0;
+  std::array<std::uint64_t, kNumBuckets> buckets{};
+
+  double mean() const { return count ? sum / static_cast<double>(count) : 0; }
+  /// Quantile at bucket resolution (returns a bucket upper bound clamped to
+  /// [min, max]); q in [0, 1]. Returns 0 when empty.
+  double quantile(double q) const;
+};
+
+struct MetricValue {
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double value = 0;  ///< counter total or gauge value
+  HistogramData hist;  ///< kHistogram only
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricValue> values;  ///< in registration (id) order
+
+  /// nullptr when `name` was never registered.
+  const MetricValue* find(const std::string& name) const;
+  /// Convenience: counter/gauge value (0 when absent).
+  double value_of(const std::string& name) const;
+};
+
+/// Merged view of every shard; safe while threads keep recording.
+MetricsSnapshot snapshot();
+
+/// Zeroes every cell in every shard (names/ids stay registered).
+void reset();
+
+/// Prometheus text exposition format. Metric names are prefixed "axonn_" and
+/// sanitized ([^a-zA-Z0-9_] -> '_').
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snap);
+
+/// snapshot() -> file. Returns false (and logs a warning) on I/O failure.
+bool write_prometheus_file(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Exposed-communication stall clock
+// ---------------------------------------------------------------------------
+//
+// Fig. 5's "exposed communication" is the time a rank's compute thread spends
+// stalled inside blocking collectives or Request::wait(). The flight recorder
+// derives it from merged spans after the fact; live telemetry needs it per
+// step without a trace merge, so blocking comm paths wrap themselves in a
+// StallTimer that charges wall time to a per-thread accumulator (and the
+// "comm.stall_s" counter). Reading the accumulator at step boundaries yields
+// the step's exposed comm on the calling (rank) thread.
+
+/// Seconds the calling thread has spent under StallTimer since thread start.
+double thread_stall_seconds();
+
+/// RAII stall scope; inert (no clock read) when metrics are disabled.
+class StallTimer {
+ public:
+  StallTimer();
+  StallTimer(const StallTimer&) = delete;
+  StallTimer& operator=(const StallTimer&) = delete;
+  ~StallTimer();
+
+ private:
+  double start_s_ = -1;  ///< < 0: inactive
+};
+
+}  // namespace axonn::obs::metrics

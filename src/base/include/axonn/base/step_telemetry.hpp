@@ -1,0 +1,153 @@
+#pragma once
+
+// Cross-rank per-step telemetry (DESIGN.md §10).
+//
+// Once per training step every rank folds a small fixed-layout vector of
+// local measurements — step wall time, exposed communication from the stall
+// clock, GEMM flops, wire traffic, integrity events, loss — into ONE
+// all-reduce (the same consensus pattern the training sentinel uses for its
+// health verdicts). The fold buffer is field-major with one slot per rank
+// (`buf[field * world + rank]`, reduced with kSum), so after the reduction
+// every rank holds the exact per-rank vector of every field and can compute
+// min/mean/max/argmax without approximation — and the StragglerMonitor can
+// track per-rank streaks, not just the current argmax.
+//
+// The StragglerMonitor flags on *self time* (wall minus exposed comm), not
+// wall time: blocking collectives synchronize ranks, so a straggler's extra
+// latency shows up as everyone's wall time but only as ITS self time (the
+// others spend it stalled inside the collective, which the stall clock
+// subtracts). See tests/obs/test_telemetry.cpp for this under ChaosComm
+// latency injection.
+//
+// MetricsSession mirrors TraceSession: `AXONN_METRICS=<path>` enables the
+// metrics registry, streams one JSONL object per emitted StepTelemetry to
+// <path>, and on destruction writes a Prometheus text exposition of the final
+// registry snapshot to <path>.prom.
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "axonn/base/metrics.hpp"
+
+namespace axonn::obs {
+
+enum class StepField : int {
+  kWallS = 0,        ///< step wall time, seconds
+  kExposedCommS,     ///< compute-thread comm stalls (metrics stall clock)
+  kSelfS,            ///< wall - exposed comm: compute + any local slowness
+  kGemmGflop,        ///< GEMM work issued this step, Gflop
+  kWireMB,           ///< wire bytes sent this step, MB (payload + CRC)
+  kIntegrityEvents,  ///< SDC detections (process-global counter delta)
+  kLoss,             ///< per-rank loss as seen by the trainer
+};
+inline constexpr int kNumStepFields = 7;
+const char* to_string(StepField field);
+
+struct StepStat {
+  double min = 0;
+  double mean = 0;
+  double max = 0;
+  int argmax_rank = 0;
+};
+
+struct StepTelemetry {
+  std::uint64_t step = 0;
+  int world = 0;
+  std::array<StepStat, kNumStepFields> stats{};
+  /// Exact per-rank values, field-major: per_rank[f * world + r]. Kept so
+  /// consumers (straggler streaks, JSONL) see more than the extrema.
+  std::vector<double> per_rank;
+
+  const StepStat& stat(StepField field) const {
+    return stats[static_cast<std::size_t>(field)];
+  }
+  double rank_value(StepField field, int rank) const {
+    return per_rank[static_cast<std::size_t>(field) *
+                        static_cast<std::size_t>(world) +
+                    static_cast<std::size_t>(rank)];
+  }
+};
+
+/// Required fold-buffer length for `world` ranks.
+inline std::size_t fold_size(int world) {
+  return static_cast<std::size_t>(kNumStepFields) *
+         static_cast<std::size_t>(world);
+}
+
+/// Builds the telemetry from a reduced fold buffer (every slot now holds the
+/// owning rank's value; see the header comment for the layout).
+StepTelemetry fold_to_telemetry(std::uint64_t step, int world,
+                                std::span<const float> fold);
+
+/// One JSON object per line: step, world, per-field {min,mean,max,argmax}
+/// and the per-rank wall/self vectors.
+void write_step_jsonl(std::ostream& out, const StepTelemetry& t);
+
+/// Human-readable one-step table (base/table) for consoles.
+std::string step_table(const StepTelemetry& t);
+
+// ---------------------------------------------------------------------------
+// Straggler detection
+// ---------------------------------------------------------------------------
+
+class StragglerMonitor {
+ public:
+  struct Config {
+    double factor = 1.5;        ///< flag when self_s > factor * mean(self_s)
+    int consecutive_steps = 3;  ///< K: streak length required to flag
+    double min_excess_s = 0;    ///< absolute floor on (self - mean) per step
+  };
+
+  StragglerMonitor() = default;
+  explicit StragglerMonitor(Config config) : config_(config) {}
+
+  /// Feeds one step; returns ranks *newly* flagged by it (empty most steps).
+  std::vector<int> observe(const StepTelemetry& t);
+
+  /// Every rank ever flagged, in flag order.
+  const std::vector<int>& flagged() const { return flagged_; }
+  /// Current consecutive-slow-step streak of `rank` (0 if never observed).
+  int streak(int rank) const;
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::vector<int> streaks_;
+  std::vector<int> flagged_;
+};
+
+// ---------------------------------------------------------------------------
+// MetricsSession (AXONN_METRICS)
+// ---------------------------------------------------------------------------
+
+/// True while a MetricsSession with a path is alive (i.e. emit_step goes
+/// somewhere). Telemetry producers use this to skip JSONL formatting.
+bool step_sink_active();
+
+/// Appends `t` as one JSONL line to the active session (thread-safe; no-op
+/// without an active session), and prints the step table every
+/// `console_every` steps if the session asked for console output.
+void emit_step(const StepTelemetry& t);
+
+class MetricsSession {
+ public:
+  MetricsSession();                         ///< honour AXONN_METRICS
+  explicit MetricsSession(std::string path);  ///< force a path ("" = inactive)
+  MetricsSession(const MetricsSession&) = delete;
+  MetricsSession& operator=(const MetricsSession&) = delete;
+  ~MetricsSession();
+
+  bool active() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+  /// Print step_table() to stderr every n emitted steps (0 = never, default).
+  void set_console_every(int n);
+
+ private:
+  std::string path_;
+};
+
+}  // namespace axonn::obs

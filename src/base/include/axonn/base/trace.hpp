@@ -34,6 +34,11 @@ enum class Phase : std::uint8_t { kBegin, kEnd, kCounter, kInstant };
 /// the NCCL communication stream).
 enum class StreamKind : std::uint8_t { kMain = 0, kProgress = 1, kUnknown = 2 };
 
+/// Sentinel depth for events that never went through record() (hand-built
+/// test events, or a kEnd recorded while no span was open). Span rebuilding
+/// falls back to plain stack matching for such events.
+inline constexpr std::uint32_t kUnknownDepth = 0xffffffffu;
+
 struct TraceEvent {
   double t_us = 0;  ///< microseconds since the process-wide trace epoch
   Phase phase = Phase::kInstant;
@@ -43,6 +48,12 @@ struct TraceEvent {
   const char* category = "";  ///< static-lifetime taxonomy tag (see DESIGN §7)
   std::string name;
   double value = 0;  ///< kCounter payload
+  /// Nesting depth at record time (begin: depth before push; end: depth of
+  /// the begin it closes). Lets span rebuilding detect begin events lost to
+  /// a full ring: an end whose depth does not match the open stack is an
+  /// orphan and must not close someone else's begin. kUnknownDepth for
+  /// events not produced by begin_span()/end_span().
+  std::uint32_t depth = kUnknownDepth;
 };
 
 /// Span/counter taxonomy (the `category` field). Kept as constants so the
@@ -129,7 +140,10 @@ void write_chrome_trace(std::ostream& out,
                         const std::vector<TraceEvent>& events);
 
 /// Convenience: merged_events() -> file. Returns false (and logs a warning)
-/// if the file cannot be written.
+/// if the file cannot be written. If events were dropped (full rings) it logs
+/// a warning and appends a "trace.dropped_events" counter event to the trace
+/// (and sets the metrics gauge of the same name), so truncated traces are
+/// self-describing.
 bool write_chrome_trace_file(const std::string& path);
 
 /// Scoped tracing for binaries: reads AXONN_TRACE on construction (an empty
@@ -149,6 +163,40 @@ class TraceSession {
  private:
   std::string path_;
 };
+
+// ---------------------------------------------------------------------------
+// Span reconstruction
+// ---------------------------------------------------------------------------
+
+/// One closed span of one thread, rebuilt from kBegin/kEnd events.
+struct SpanRec {
+  double begin_us = 0;
+  double end_us = 0;
+  StreamKind stream = StreamKind::kUnknown;
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;  ///< kUnknownDepth when the begin carried none
+  const char* category = "";
+  std::string name;
+};
+
+/// Result of build_spans(): closed spans plus accounting for everything a
+/// malformed stream (ring wrap, span open at snapshot) forced it to repair.
+struct SpanSet {
+  std::vector<SpanRec> spans;       ///< closed non-iteration spans
+  std::vector<SpanRec> iterations;  ///< closed kCatIter spans, by begin time
+  std::uint64_t orphan_ends = 0;    ///< kEnd whose begin was lost (ring wrap)
+  std::uint64_t force_closed = 0;   ///< non-iter spans still open at snapshot
+  std::uint64_t dropped_open_iterations = 0;  ///< iter spans open at snapshot
+};
+
+/// Rebuilds `rank`'s spans from a merged event stream, tolerating unbalanced
+/// begin/end pairs: an end whose recorded depth does not match the open stack
+/// is counted as orphan and ignored (its begin was overwritten by a full
+/// ring) instead of popping an unrelated begin; non-iteration spans still
+/// open when the stream ends are closed at the last observed timestamp;
+/// open iterations are dropped entirely so a partial iteration can never
+/// skew exposed-communication accounting.
+SpanSet build_spans(const std::vector<TraceEvent>& events, int rank);
 
 // ---------------------------------------------------------------------------
 // Iteration breakdowns (Fig. 5 on the real runtime)

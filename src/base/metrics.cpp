@@ -1,0 +1,346 @@
+#include "axonn/base/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "axonn/base/log.hpp"
+
+namespace axonn::obs::metrics {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// Gauge writes are ordered by a global sequence so snapshot() can pick the
+// most recent write across shards (a gauge may be set from several threads).
+std::atomic<std::uint64_t> g_gauge_seq{0};
+
+struct Descriptor {
+  std::string name;
+  Kind kind;
+};
+
+struct NameTable {
+  std::mutex mutex;
+  std::vector<Descriptor> descriptors;  // index == Id
+  std::unordered_map<std::string, Id> by_name;
+};
+
+NameTable& names() {
+  static NameTable* t = new NameTable;  // leaked: outlives all threads
+  return *t;
+}
+
+// One cell per registered metric per shard. The histogram bucket array is
+// allocated lazily so counters/gauges stay one cache line of state.
+struct Cell {
+  double counter = 0;
+  double gauge = 0;
+  std::uint64_t gauge_seq = 0;  // 0: never set in this shard
+  std::uint64_t hist_count = 0;
+  double hist_sum = 0;
+  double hist_min = std::numeric_limits<double>::infinity();
+  double hist_max = -std::numeric_limits<double>::infinity();
+  std::unique_ptr<std::array<std::uint64_t, kNumBuckets>> buckets;
+};
+
+// Per-thread shard, shared with the global registry so totals survive thread
+// exit (rank threads from run_ranks() are gone before anyone snapshots).
+struct Shard {
+  std::mutex mutex;
+  std::vector<Cell> cells;  // indexed by Id, grown on demand
+};
+
+struct ShardRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Shard>> shards;
+};
+
+ShardRegistry& shard_registry() {
+  static ShardRegistry* r = new ShardRegistry;  // leaked
+  return *r;
+}
+
+Shard& local_shard() {
+  thread_local std::shared_ptr<Shard> shard = [] {
+    auto s = std::make_shared<Shard>();
+    ShardRegistry& reg = shard_registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.shards.push_back(s);
+    return s;
+  }();
+  return *shard;
+}
+
+Cell& cell_for(Shard& shard, Id id) {
+  if (id >= shard.cells.size()) shard.cells.resize(id + 1);
+  return shard.cells[static_cast<std::size_t>(id)];
+}
+
+std::size_t bucket_index(double value) {
+  // Bucket i covers (2^(i-33), 2^(i-32)]; bucket 0 is the <= 2^-33 underflow
+  // (incl. zero and negatives), bucket 63 the >= 2^30 overflow.
+  if (!(value > 0)) return 0;  // also catches NaN
+  int exp = 0;
+  std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
+  const int idx = exp + 32;
+  if (idx < 1) return 0;
+  if (idx > 63) return 63;
+  return static_cast<std::size_t>(idx);
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+const char* to_string(Kind kind) {
+  switch (kind) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+Id register_metric(const std::string& name, Kind kind) {
+  NameTable& t = names();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  auto it = t.by_name.find(name);
+  if (it != t.by_name.end()) {
+    const Descriptor& d = t.descriptors[it->second];
+    if (d.kind != kind) {
+      throw std::invalid_argument("metric '" + name + "' already registered as " +
+                                  to_string(d.kind) + ", re-registered as " +
+                                  to_string(kind));
+    }
+    return it->second;
+  }
+  const Id id = static_cast<Id>(t.descriptors.size());
+  t.descriptors.push_back({name, kind});
+  t.by_name.emplace(name, id);
+  return id;
+}
+
+void add(Id id, double delta) {
+  if (!enabled()) return;
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  cell_for(shard, id).counter += delta;
+}
+
+void set(Id id, double value) {
+  if (!enabled()) return;
+  set_forced(id, value);
+}
+
+void set_forced(Id id, double value) {
+  Shard& shard = local_shard();
+  const std::uint64_t seq = 1 + g_gauge_seq.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Cell& c = cell_for(shard, id);
+  c.gauge = value;
+  c.gauge_seq = seq;
+}
+
+void observe(Id id, double value) {
+  if (!enabled()) return;
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Cell& c = cell_for(shard, id);
+  c.hist_count += 1;
+  c.hist_sum += value;
+  c.hist_min = std::min(c.hist_min, value);
+  c.hist_max = std::max(c.hist_max, value);
+  if (!c.buckets) c.buckets = std::make_unique<std::array<std::uint64_t, kNumBuckets>>();
+  (*c.buckets)[bucket_index(value)] += 1;
+}
+
+double bucket_upper_bound(std::size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i) - 32);
+}
+
+double HistogramData::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= target && cumulative > 0) {
+      return std::clamp(bucket_upper_bound(i), min, max);
+    }
+  }
+  return max;
+}
+
+const MetricValue* MetricsSnapshot::find(const std::string& name) const {
+  for (const MetricValue& v : values) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::value_of(const std::string& name) const {
+  const MetricValue* v = find(name);
+  return v ? v->value : 0;
+}
+
+MetricsSnapshot snapshot() {
+  MetricsSnapshot snap;
+  {
+    NameTable& t = names();
+    std::lock_guard<std::mutex> lock(t.mutex);
+    snap.values.reserve(t.descriptors.size());
+    for (const Descriptor& d : t.descriptors) {
+      MetricValue v;
+      v.name = d.name;
+      v.kind = d.kind;
+      snap.values.push_back(std::move(v));
+    }
+  }
+  std::vector<std::uint64_t> gauge_seqs(snap.values.size(), 0);
+  ShardRegistry& reg = shard_registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& shard : reg.shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    const std::size_t n = std::min(shard->cells.size(), snap.values.size());
+    for (std::size_t id = 0; id < n; ++id) {
+      const Cell& c = shard->cells[id];
+      MetricValue& v = snap.values[id];
+      switch (v.kind) {
+        case Kind::kCounter:
+          v.value += c.counter;
+          break;
+        case Kind::kGauge:
+          if (c.gauge_seq > gauge_seqs[id]) {
+            gauge_seqs[id] = c.gauge_seq;
+            v.value = c.gauge;
+          }
+          break;
+        case Kind::kHistogram: {
+          if (c.hist_count == 0) break;
+          HistogramData& h = v.hist;
+          h.min = h.count ? std::min(h.min, c.hist_min) : c.hist_min;
+          h.max = h.count ? std::max(h.max, c.hist_max) : c.hist_max;
+          h.count += c.hist_count;
+          h.sum += c.hist_sum;
+          if (c.buckets) {
+            for (std::size_t i = 0; i < kNumBuckets; ++i) {
+              h.buckets[i] += (*c.buckets)[i];
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+  return snap;
+}
+
+void reset() {
+  ShardRegistry& reg = shard_registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& shard : reg.shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    for (Cell& c : shard->cells) c = Cell{};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "axonn_";
+  for (char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_';
+    out.push_back(ok ? ch : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snap) {
+  for (const MetricValue& v : snap.values) {
+    const std::string name = prometheus_name(v.name);
+    out << "# TYPE " << name << ' ' << to_string(v.kind) << '\n';
+    switch (v.kind) {
+      case Kind::kCounter:
+      case Kind::kGauge:
+        out << name << ' ' << v.value << '\n';
+        break;
+      case Kind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < kNumBuckets; ++i) {
+          cumulative += v.hist.buckets[i];
+          // Only emit buckets that advance the CDF (plus the final +Inf), so
+          // 64 mostly-empty buckets don't balloon the exposition.
+          if (v.hist.buckets[i] == 0) continue;
+          out << name << "_bucket{le=\"" << bucket_upper_bound(i) << "\"} "
+              << cumulative << '\n';
+        }
+        out << name << "_bucket{le=\"+Inf\"} " << v.hist.count << '\n';
+        out << name << "_sum " << v.hist.sum << '\n';
+        out << name << "_count " << v.hist.count << '\n';
+        break;
+      }
+    }
+  }
+}
+
+bool write_prometheus_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    AXONN_LOG_WARN << "metrics: cannot open '" << path << "' for writing";
+    return false;
+  }
+  write_prometheus(out, snapshot());
+  return out.good();
+}
+
+// ---------------------------------------------------------------------------
+// Stall clock
+// ---------------------------------------------------------------------------
+
+namespace {
+
+thread_local double t_stall_seconds = 0;
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+double thread_stall_seconds() { return t_stall_seconds; }
+
+StallTimer::StallTimer() {
+  if (enabled()) start_s_ = steady_seconds();
+}
+
+StallTimer::~StallTimer() {
+  if (start_s_ < 0) return;
+  const double elapsed = steady_seconds() - start_s_;
+  t_stall_seconds += elapsed;
+  static Counter stall_total("comm.stall_s");
+  stall_total.add(elapsed);
+}
+
+}  // namespace axonn::obs::metrics

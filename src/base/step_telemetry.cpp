@@ -1,0 +1,227 @@
+#include "axonn/base/step_telemetry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "axonn/base/error.hpp"
+#include "axonn/base/log.hpp"
+#include "axonn/base/table.hpp"
+
+namespace axonn::obs {
+
+const char* to_string(StepField field) {
+  switch (field) {
+    case StepField::kWallS: return "wall_s";
+    case StepField::kExposedCommS: return "exposed_comm_s";
+    case StepField::kSelfS: return "self_s";
+    case StepField::kGemmGflop: return "gemm_gflop";
+    case StepField::kWireMB: return "wire_mb";
+    case StepField::kIntegrityEvents: return "integrity_events";
+    case StepField::kLoss: return "loss";
+  }
+  return "?";
+}
+
+StepTelemetry fold_to_telemetry(std::uint64_t step, int world,
+                                std::span<const float> fold) {
+  AXONN_CHECK_MSG(world >= 1, "fold_to_telemetry needs world >= 1");
+  AXONN_CHECK_MSG(fold.size() == fold_size(world),
+                  "fold buffer size does not match kNumStepFields * world");
+  StepTelemetry t;
+  t.step = step;
+  t.world = world;
+  t.per_rank.resize(fold.size());
+  for (std::size_t i = 0; i < fold.size(); ++i) {
+    t.per_rank[i] = static_cast<double>(fold[i]);
+  }
+  const auto w = static_cast<std::size_t>(world);
+  for (int f = 0; f < kNumStepFields; ++f) {
+    const double* vals = t.per_rank.data() + static_cast<std::size_t>(f) * w;
+    StepStat& s = t.stats[static_cast<std::size_t>(f)];
+    s.min = vals[0];
+    s.max = vals[0];
+    s.argmax_rank = 0;
+    double sum = 0;
+    for (std::size_t r = 0; r < w; ++r) {
+      sum += vals[r];
+      s.min = std::min(s.min, vals[r]);
+      if (vals[r] > s.max) {
+        s.max = vals[r];
+        s.argmax_rank = static_cast<int>(r);
+      }
+    }
+    s.mean = sum / static_cast<double>(world);
+  }
+  return t;
+}
+
+void write_step_jsonl(std::ostream& out, const StepTelemetry& t) {
+  out << "{\"step\":" << t.step << ",\"world\":" << t.world;
+  for (int f = 0; f < kNumStepFields; ++f) {
+    const StepStat& s = t.stats[static_cast<std::size_t>(f)];
+    const char* name = to_string(static_cast<StepField>(f));
+    out << ",\"" << name << "\":{\"min\":" << s.min << ",\"mean\":" << s.mean
+        << ",\"max\":" << s.max << ",\"argmax_rank\":" << s.argmax_rank << '}';
+  }
+  auto per_rank_array = [&](StepField field, const char* name) {
+    out << ",\"" << name << "\":[";
+    for (int r = 0; r < t.world; ++r) {
+      if (r) out << ',';
+      out << t.rank_value(field, r);
+    }
+    out << ']';
+  };
+  per_rank_array(StepField::kWallS, "per_rank_wall_s");
+  per_rank_array(StepField::kSelfS, "per_rank_self_s");
+  out << "}\n";
+}
+
+std::string step_table(const StepTelemetry& t) {
+  Table table({"step " + std::to_string(t.step), "min", "mean", "max",
+               "argmax rank"});
+  for (int f = 0; f < kNumStepFields; ++f) {
+    const StepStat& s = t.stats[static_cast<std::size_t>(f)];
+    table.add_row({to_string(static_cast<StepField>(f)), Table::cell(s.min, 6),
+                   Table::cell(s.mean, 6), Table::cell(s.max, 6),
+                   Table::cell(s.argmax_rank)});
+  }
+  return table.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// StragglerMonitor
+// ---------------------------------------------------------------------------
+
+std::vector<int> StragglerMonitor::observe(const StepTelemetry& t) {
+  if (static_cast<int>(streaks_.size()) < t.world) {
+    streaks_.resize(static_cast<std::size_t>(t.world), 0);
+  }
+  const double mean = t.stat(StepField::kSelfS).mean;
+  std::vector<int> newly;
+  for (int r = 0; r < t.world; ++r) {
+    const double self = t.rank_value(StepField::kSelfS, r);
+    const bool slow =
+        self > config_.factor * mean && self - mean > config_.min_excess_s;
+    int& streak = streaks_[static_cast<std::size_t>(r)];
+    streak = slow ? streak + 1 : 0;
+    if (streak >= config_.consecutive_steps &&
+        std::find(flagged_.begin(), flagged_.end(), r) == flagged_.end()) {
+      flagged_.push_back(r);
+      newly.push_back(r);
+      AXONN_LOG_WARN << "straggler: rank " << r << " self time " << self
+                     << "s > " << config_.factor << "x mean " << mean
+                     << "s for " << streak << " consecutive steps (step "
+                     << t.step << ")";
+    }
+  }
+  return newly;
+}
+
+int StragglerMonitor::streak(int rank) const {
+  if (rank < 0 || rank >= static_cast<int>(streaks_.size())) return 0;
+  return streaks_[static_cast<std::size_t>(rank)];
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSession
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Process-global sink state. A second concurrent session with a path is
+// rejected (logged) rather than interleaved.
+struct StepSink {
+  std::mutex mutex;
+  std::ofstream out;
+  bool open = false;
+  int console_every = 0;
+  std::uint64_t emitted = 0;
+};
+
+StepSink& step_sink() {
+  static StepSink* s = new StepSink;  // leaked: outlives all threads
+  return *s;
+}
+
+}  // namespace
+
+bool step_sink_active() {
+  StepSink& sink = step_sink();
+  std::lock_guard<std::mutex> lock(sink.mutex);
+  return sink.open;
+}
+
+void emit_step(const StepTelemetry& t) {
+  StepSink& sink = step_sink();
+  std::lock_guard<std::mutex> lock(sink.mutex);
+  if (!sink.open) return;
+  write_step_jsonl(sink.out, t);
+  sink.out.flush();  // live telemetry: a tail -f must see the step now
+  ++sink.emitted;
+  if (sink.console_every > 0 && sink.emitted % static_cast<std::uint64_t>(
+                                                  sink.console_every) == 0) {
+    std::cerr << step_table(t);
+  }
+}
+
+namespace {
+std::string metrics_env_path() {
+  if (const char* env = std::getenv("AXONN_METRICS")) {
+    return *env ? env : "axonn.metrics.jsonl";
+  }
+  return {};
+}
+}  // namespace
+
+MetricsSession::MetricsSession() : MetricsSession(metrics_env_path()) {}
+
+MetricsSession::MetricsSession(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  StepSink& sink = step_sink();
+  std::lock_guard<std::mutex> lock(sink.mutex);
+  if (sink.open) {
+    AXONN_LOG_WARN << "metrics: a MetricsSession is already streaming; '"
+                   << path_ << "' will only collect registry metrics";
+  } else {
+    sink.out.open(path_);
+    if (!sink.out) {
+      AXONN_LOG_WARN << "metrics: cannot open '" << path_ << "' for writing";
+    } else {
+      sink.open = true;
+      sink.emitted = 0;
+    }
+  }
+  metrics::set_enabled(true);
+}
+
+void MetricsSession::set_console_every(int n) {
+  StepSink& sink = step_sink();
+  std::lock_guard<std::mutex> lock(sink.mutex);
+  sink.console_every = n;
+}
+
+MetricsSession::~MetricsSession() {
+  if (path_.empty()) return;
+  metrics::set_enabled(false);
+  {
+    StepSink& sink = step_sink();
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    if (sink.open) {
+      sink.out.close();
+      sink.open = false;
+    }
+  }
+  const std::string prom = path_ + ".prom";
+  if (metrics::write_prometheus_file(prom)) {
+    AXONN_LOG_INFO << "metrics: wrote " << path_ << " (per-step JSONL) and "
+                   << prom << " (Prometheus exposition)";
+  }
+}
+
+}  // namespace axonn::obs

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "axonn/base/log.hpp"
+#include "axonn/base/metrics.hpp"
 
 namespace axonn::obs {
 namespace {
@@ -46,6 +47,7 @@ struct ThreadBuffer {
   int rank = -1;
   StreamKind stream = StreamKind::kUnknown;
   std::uint32_t tid = 0;
+  std::uint32_t depth = 0;  // live span nesting level (owner thread only)
 };
 
 struct Registry {
@@ -83,6 +85,13 @@ void record(Phase phase, const char* category, std::string name,
   ev.category = category;
   ev.name = std::move(name);
   ev.value = value;
+  // Depth annotation: a begin carries the level it opens, the matching end
+  // carries the same level. Only the owner thread touches buf.depth.
+  if (phase == Phase::kBegin) {
+    ev.depth = buf.depth++;
+  } else if (phase == Phase::kEnd) {
+    ev.depth = buf.depth > 0 ? --buf.depth : kUnknownDepth;
+  }
   std::lock_guard<std::mutex> lock(buf.mutex);
   if (buf.events.size() < buf.capacity) {
     buf.events.push_back(std::move(ev));
@@ -291,7 +300,26 @@ bool write_chrome_trace_file(const std::string& path) {
     AXONN_LOG_WARN << "trace: cannot open '" << path << "' for writing";
     return false;
   }
-  write_chrome_trace(out, merged_events());
+  std::vector<TraceEvent> events = merged_events();
+  // Dropped events make the trace (and anything derived from it, like
+  // iteration reports) lossy; say so in the log, inside the trace itself,
+  // and in the metrics registry so the truncation is never silent.
+  const std::uint64_t dropped = dropped_events();
+  if (dropped > 0) {
+    AXONN_LOG_WARN << "trace: " << dropped << " events were dropped by full "
+                   << "ring buffers; the trace at '" << path
+                   << "' is incomplete (raise obs::set_ring_capacity)";
+    TraceEvent marker;
+    marker.t_us = events.empty() ? 0 : events.back().t_us;
+    marker.phase = Phase::kCounter;
+    marker.category = kCatIter;
+    marker.name = "trace.dropped_events";
+    marker.value = static_cast<double>(dropped);
+    events.push_back(std::move(marker));
+  }
+  static metrics::Gauge dropped_gauge("trace.dropped_events");
+  dropped_gauge.set_forced(static_cast<double>(dropped));
+  write_chrome_trace(out, events);
   return out.good();
 }
 
@@ -354,84 +382,120 @@ bool is_comm_category(const char* cat) {
 
 }  // namespace
 
-std::vector<IterationReport> iteration_reports(
-    const std::vector<TraceEvent>& events, int rank) {
-  // Reconstruct closed spans per thread with a begin-stack; unmatched begins
-  // are closed at the last observed timestamp.
+SpanSet build_spans(const std::vector<TraceEvent>& events, int rank) {
   double t_max = 0;
   for (const TraceEvent& ev : events) t_max = std::max(t_max, ev.t_us);
 
-  struct Span {
-    Interval iv;
-    StreamKind stream = StreamKind::kUnknown;
-    const char* category = "";
+  SpanSet set;
+  struct Open {
+    double begin;
+    std::uint32_t depth;
+    const char* category;
+    const std::string* name;
   };
-  std::vector<Span> spans;
-  std::vector<Interval> iters;
-  {
-    struct Open {
-      double begin;
-      const char* category;
-    };
-    // Per-tid begin stacks; tids are small dense integers.
-    std::vector<std::vector<Open>> stacks;
-    auto stack_for = [&](std::uint32_t tid) -> std::vector<Open>& {
-      if (tid >= stacks.size()) stacks.resize(tid + 1);
-      return stacks[tid];
-    };
-    std::vector<StreamKind> streams;
-    auto note_stream = [&](const TraceEvent& ev) {
-      if (ev.tid >= streams.size())
-        streams.resize(ev.tid + 1, StreamKind::kUnknown);
-      streams[ev.tid] = ev.stream;
-    };
-    auto close = [&](std::uint32_t tid, double end) {
-      auto& stack = stack_for(tid);
-      if (stack.empty()) return;
-      const Open open = stack.back();
-      stack.pop_back();
-      Span s;
-      s.iv = {open.begin, end};
-      s.stream = tid < streams.size() ? streams[tid] : StreamKind::kUnknown;
-      s.category = open.category;
-      if (std::string_view{open.category} == kCatIter) {
-        iters.push_back(s.iv);
-      } else {
-        spans.push_back(s);
-      }
-    };
-    for (const TraceEvent& ev : events) {
-      if (ev.rank != rank) continue;
-      note_stream(ev);
-      if (ev.phase == Phase::kBegin) {
-        stack_for(ev.tid).push_back({ev.t_us, ev.category});
-      } else if (ev.phase == Phase::kEnd) {
-        close(ev.tid, ev.t_us);
-      }
+  // Per-tid begin stacks; tids are small dense integers.
+  std::vector<std::vector<Open>> stacks;
+  auto stack_for = [&](std::uint32_t tid) -> std::vector<Open>& {
+    if (tid >= stacks.size()) stacks.resize(tid + 1);
+    return stacks[tid];
+  };
+  std::vector<StreamKind> streams;
+  auto note_stream = [&](const TraceEvent& ev) {
+    if (ev.tid >= streams.size())
+      streams.resize(ev.tid + 1, StreamKind::kUnknown);
+    streams[ev.tid] = ev.stream;
+  };
+  auto close_top = [&](std::uint32_t tid, double end) {
+    auto& stack = stack_for(tid);
+    const Open open = stack.back();
+    stack.pop_back();
+    SpanRec s;
+    s.begin_us = open.begin;
+    s.end_us = end;
+    s.stream = tid < streams.size() ? streams[tid] : StreamKind::kUnknown;
+    s.tid = tid;
+    s.depth = open.depth;
+    s.category = open.category;
+    if (open.name) s.name = *open.name;
+    if (std::string_view{open.category} == kCatIter) {
+      set.iterations.push_back(std::move(s));
+    } else {
+      set.spans.push_back(std::move(s));
     }
-    for (std::uint32_t tid = 0; tid < stacks.size(); ++tid) {
-      while (!stacks[tid].empty()) close(tid, t_max);
+  };
+  for (const TraceEvent& ev : events) {
+    if (ev.rank != rank) continue;
+    note_stream(ev);
+    if (ev.phase == Phase::kBegin) {
+      stack_for(ev.tid).push_back({ev.t_us, ev.depth, ev.category, &ev.name});
+    } else if (ev.phase == Phase::kEnd) {
+      auto& stack = stack_for(ev.tid);
+      if (stack.empty()) {
+        // Its begin predates the surviving window (ring wrap): ignore rather
+        // than popping an unrelated begin.
+        ++set.orphan_ends;
+        continue;
+      }
+      if (ev.depth == kUnknownDepth || stack.back().depth == kUnknownDepth) {
+        // No depth information (hand-built events): classic stack matching.
+        close_top(ev.tid, ev.t_us);
+        continue;
+      }
+      // Depth-matched closing. Deeper opens whose ends were lost are closed
+      // here (at this end's timestamp); an end deeper than the open stack is
+      // an orphan whose begin was overwritten.
+      while (!stack.empty() && stack.back().depth != kUnknownDepth &&
+             stack.back().depth > ev.depth) {
+        close_top(ev.tid, ev.t_us);
+        ++set.force_closed;
+      }
+      if (!stack.empty() && stack.back().depth == ev.depth) {
+        close_top(ev.tid, ev.t_us);
+      } else {
+        ++set.orphan_ends;
+      }
     }
   }
-  std::sort(iters.begin(), iters.end(),
-            [](const Interval& a, const Interval& b) {
-              return a.begin < b.begin;
+  for (std::uint32_t tid = 0; tid < stacks.size(); ++tid) {
+    auto& stack = stacks[tid];
+    while (!stack.empty()) {
+      if (std::string_view{stack.back().category} == kCatIter) {
+        // A partial iteration must not produce a (misleading) report.
+        stack.pop_back();
+        ++set.dropped_open_iterations;
+      } else {
+        close_top(tid, t_max);
+        ++set.force_closed;
+      }
+    }
+  }
+  std::sort(set.iterations.begin(), set.iterations.end(),
+            [](const SpanRec& a, const SpanRec& b) {
+              return a.begin_us < b.begin_us;
             });
+  return set;
+}
+
+std::vector<IterationReport> iteration_reports(
+    const std::vector<TraceEvent>& events, int rank) {
+  const SpanSet set = build_spans(events, rank);
 
   std::vector<IterationReport> reports;
-  reports.reserve(iters.size());
-  for (const Interval& iter : iters) {
+  reports.reserve(set.iterations.size());
+  for (const SpanRec& iter_span : set.iterations) {
+    const Interval iter{iter_span.begin_us, iter_span.end_us};
     std::vector<Interval> exposed;   // compute-thread comm/wait stalls
     std::vector<Interval> comm_any;  // comm activity on either stream
     std::vector<Interval> compute;   // explicit compute spans
-    for (const Span& s : spans) {
-      if (s.iv.end <= iter.begin || s.iv.begin >= iter.end) continue;
+    for (const SpanRec& s : set.spans) {
+      const Interval iv{s.begin_us, s.end_us};
+      if (iv.end <= iter.begin || iv.begin >= iter.end) continue;
       if (is_comm_category(s.category)) {
-        comm_any.push_back(s.iv);
-        if (s.stream == StreamKind::kMain) exposed.push_back(s.iv);
+        comm_any.push_back(iv);
+        if (s.stream == StreamKind::kMain) exposed.push_back(iv);
       } else if (std::string_view{s.category} == kCatCompute &&
                  s.stream == StreamKind::kMain) {
-        compute.push_back(s.iv);
+        compute.push_back(iv);
       }
     }
     IterationReport r;

@@ -22,6 +22,8 @@
 #include <span>
 #include <string>
 
+#include "axonn/base/metrics.hpp"
+
 namespace axonn::comm {
 
 enum class ReduceOp { kSum, kMax, kMin };
@@ -63,8 +65,12 @@ class Request {
   explicit Request(std::shared_future<void> done) : done_(std::move(done)) {}
 
   /// Blocks until the operation completes; rethrows any transport error.
+  /// The blocked time is exposed communication, so it feeds the per-thread
+  /// stall clock (obs::metrics::StallTimer; ~free when metrics are off).
   void wait() {
-    if (done_.valid()) done_.get();
+    if (!done_.valid()) return;
+    obs::metrics::StallTimer stall;
+    done_.get();
   }
 
   /// True if the operation has completed (does not rethrow).

@@ -9,6 +9,7 @@
 #include "axonn/base/crc32.hpp"
 #include "axonn/base/error.hpp"
 #include "axonn/base/log.hpp"
+#include "axonn/base/metrics.hpp"
 #include "axonn/base/trace.hpp"
 #include "axonn/comm/fault.hpp"
 #include "axonn/comm/ring.hpp"
@@ -23,6 +24,21 @@ void open_comm_span(obs::SpanGuard& span, const char* op,
   if (!obs::enabled()) return;
   span.open(obs::kCatComm, std::string(op) + "(" + comm_name + ")");
 }
+
+// Live-telemetry scope for blocking collectives (DESIGN.md §10): the whole
+// call is a compute-thread stall, so its wall time feeds the per-thread
+// stall clock (the per-step exposed-comm measurement), and the payload size
+// feeds the comm.* metrics. ~Free when metrics are disabled.
+struct BlockingCollectiveScope {
+  obs::metrics::StallTimer stall;
+  explicit BlockingCollectiveScope(std::size_t payload_bytes) {
+    if (!obs::metrics::enabled()) return;
+    static obs::metrics::Counter calls("comm.blocking_calls");
+    static obs::metrics::Histogram payload("comm.payload_bytes");
+    calls.add();
+    payload.observe(static_cast<double>(payload_bytes));
+  }
+};
 
 // CRC framing: a stamped message is payload || one float whose bit pattern
 // is crc32 over the payload bytes. The word is never used arithmetically —
@@ -399,9 +415,19 @@ std::uint64_t ThreadComm::next_seq() {
 }
 
 void ThreadComm::add_wire_bytes(std::uint64_t bytes, std::uint64_t crc_bytes) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  stats_.wire_bytes_sent += bytes;
-  stats_.crc_bytes_sent += crc_bytes;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.wire_bytes_sent += bytes;
+    stats_.crc_bytes_sent += crc_bytes;
+  }
+  if (obs::metrics::enabled()) {
+    // Process-wide mirrors of the per-communicator CommStats (summed over
+    // every communicator and rank in this process).
+    static obs::metrics::Counter wire("comm.wire_bytes");
+    static obs::metrics::Counter crc("comm.crc_bytes");
+    wire.add(static_cast<double>(bytes));
+    if (crc_bytes > 0) crc.add(static_cast<double>(crc_bytes));
+  }
 }
 
 void ThreadComm::bump(std::uint64_t CommStats::*counter) {
@@ -453,6 +479,7 @@ std::vector<std::size_t> equal_counts(int parts, std::size_t each) {
 }  // namespace
 
 void ThreadComm::all_reduce(std::span<float> buffer, ReduceOp op) {
+  BlockingCollectiveScope telemetry(buffer.size() * sizeof(float));
   bump(&CommStats::all_reduce_calls);
   obs::SpanGuard span;
   open_comm_span(span, "all_reduce", name_);
@@ -467,6 +494,7 @@ void ThreadComm::all_gather(std::span<const float> send,
   AXONN_CHECK_MSG(recv.size() == send.size() * static_cast<std::size_t>(size()),
                   "all_gather recv size must be size() * send size");
   const auto counts = equal_counts(size(), send.size());
+  BlockingCollectiveScope telemetry(send.size() * sizeof(float));
   bump(&CommStats::all_gather_calls);
   obs::SpanGuard span;
   open_comm_span(span, "all_gather", name_);
@@ -478,6 +506,7 @@ void ThreadComm::all_gather(std::span<const float> send,
 
 void ThreadComm::all_gatherv(std::span<const float> send, std::span<float> recv,
                              std::span<const std::size_t> recv_counts) {
+  BlockingCollectiveScope telemetry(send.size() * sizeof(float));
   bump(&CommStats::all_gather_calls);
   obs::SpanGuard span;
   open_comm_span(span, "all_gatherv", name_);
@@ -492,6 +521,7 @@ void ThreadComm::reduce_scatter(std::span<const float> send,
   AXONN_CHECK_MSG(send.size() == recv.size() * static_cast<std::size_t>(size()),
                   "reduce_scatter send size must be size() * recv size");
   const auto counts = equal_counts(size(), recv.size());
+  BlockingCollectiveScope telemetry(send.size() * sizeof(float));
   bump(&CommStats::reduce_scatter_calls);
   obs::SpanGuard span;
   open_comm_span(span, "reduce_scatter", name_);
@@ -505,6 +535,7 @@ void ThreadComm::reduce_scatterv(std::span<const float> send,
                                  std::span<float> recv,
                                  std::span<const std::size_t> counts,
                                  ReduceOp op) {
+  BlockingCollectiveScope telemetry(send.size() * sizeof(float));
   bump(&CommStats::reduce_scatter_calls);
   obs::SpanGuard span;
   open_comm_span(span, "reduce_scatterv", name_);
@@ -515,6 +546,7 @@ void ThreadComm::reduce_scatterv(std::span<const float> send,
 }
 
 void ThreadComm::broadcast(std::span<float> buffer, int root) {
+  BlockingCollectiveScope telemetry(buffer.size() * sizeof(float));
   bump(&CommStats::broadcast_calls);
   obs::SpanGuard span;
   open_comm_span(span, "broadcast", name_);
@@ -525,6 +557,7 @@ void ThreadComm::broadcast(std::span<float> buffer, int root) {
 }
 
 void ThreadComm::barrier() {
+  BlockingCollectiveScope telemetry(sizeof(float));
   float token = 0.0f;
   obs::SpanGuard span;
   open_comm_span(span, "barrier", name_);

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "axonn/base/error.hpp"
+#include "axonn/base/metrics.hpp"
 #include "axonn/base/trace.hpp"
 
 namespace axonn::core {
@@ -116,6 +117,17 @@ Matrix KernelTuner::run(GemmMode semantic_mode, const Matrix& a,
   if (it == decisions_.end()) {
     // First batch: measure, then remember (§V-C).
     it = decisions_.emplace(key, tune(semantic_mode, a, b, packed_b)).first;
+    {
+      // Registry mirror of the trace counters: tuning decisions and how
+      // often the tuner overruled the framework-default kernel mode.
+      static obs::metrics::Counter tuned("tuner.decisions");
+      static obs::metrics::Counter overrides("tuner.kernel_overrides");
+      tuned.add();
+      if (it->second.kernel_mode != semantic_mode ||
+          it->second.backend != GemmBackend::kReference) {
+        overrides.add();
+      }
+    }
     if (obs::enabled()) {
       const Choice& choice = it->second;
       // Counter per kernel mode: how many products tuned to it so far.

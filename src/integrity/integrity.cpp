@@ -5,6 +5,7 @@
 #include <string>
 
 #include "axonn/base/error.hpp"
+#include "axonn/base/metrics.hpp"
 #include "axonn/base/trace.hpp"
 
 namespace axonn::integrity {
@@ -86,6 +87,8 @@ void note_sdc_detected(const char* what) {
                  static_cast<double>(total));
     obs::instant(obs::kCatIntegrity, std::string("sdc_detected(") + what + ")");
   }
+  static obs::metrics::Counter detected("integrity.sdc_detected");
+  detected.add();
 }
 
 void note_sdc_recovered(const char* what) {
@@ -97,6 +100,8 @@ void note_sdc_recovered(const char* what) {
     obs::instant(obs::kCatIntegrity,
                  std::string("sdc_recovered(") + what + ")");
   }
+  static obs::metrics::Counter recovered("integrity.sdc_recovered");
+  recovered.add();
 }
 
 }  // namespace axonn::integrity

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "axonn/base/step_telemetry.hpp"
 #include "axonn/model/gpt.hpp"
 #include "axonn/sim/bandwidth.hpp"
 #include "axonn/sim/event_sim.hpp"
@@ -87,5 +88,13 @@ enum class CollectiveKind { kAllGather, kReduceScatter, kAllReduce };
 CollectiveCost ring_collective_cost(CollectiveKind kind, int group_size,
                                     double full_bytes, double beta,
                                     double per_message_latency);
+
+/// Bridges the simulator into the live-telemetry pipeline (DESIGN.md §10):
+/// one simulated iteration becomes the same StepTelemetry the real training
+/// loop folds, with identical per-rank values (the event simulator models a
+/// straggler-free machine), so sim-vs-real runs stream into one JSONL file
+/// and are directly comparable field by field.
+obs::StepTelemetry to_step_telemetry(const IterationBreakdown& breakdown,
+                                     std::uint64_t step, int world);
 
 }  // namespace axonn::sim

@@ -425,4 +425,22 @@ IterationBreakdown simulate_iteration(const model::TrainingJob& job,
   return builder.build_and_run(timeline);
 }
 
+obs::StepTelemetry to_step_telemetry(const IterationBreakdown& breakdown,
+                                     std::uint64_t step, int world) {
+  AXONN_CHECK_MSG(world >= 1, "to_step_telemetry needs world >= 1");
+  // The event simulator models one representative GCD; every simulated rank
+  // sees the same schedule, so the fold buffer is world identical copies.
+  std::vector<float> fold(obs::fold_size(world), 0.0f);
+  auto fill = [&](obs::StepField f, double value) {
+    for (int r = 0; r < world; ++r) {
+      fold[static_cast<std::size_t>(f) * static_cast<std::size_t>(world) +
+           static_cast<std::size_t>(r)] = static_cast<float>(value);
+    }
+  };
+  fill(obs::StepField::kWallS, breakdown.total_s);
+  fill(obs::StepField::kExposedCommS, breakdown.exposed_comm_s);
+  fill(obs::StepField::kSelfS, breakdown.compute_s);
+  return obs::fold_to_telemetry(step, world, fold);
+}
+
 }  // namespace axonn::sim

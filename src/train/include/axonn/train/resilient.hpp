@@ -17,7 +17,9 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "axonn/base/step_telemetry.hpp"
 #include "axonn/comm/chaos_comm.hpp"
 #include "axonn/integrity/integrity.hpp"
 #include "axonn/sim/grid_shape.hpp"
@@ -63,6 +65,12 @@ struct ResilientTrainConfig {
   /// supervisor restarts from the latest on-disk checkpoint.
   SentinelConfig sentinel;
 
+  /// Straggler policy for the live step telemetry (only consulted when
+  /// obs::metrics is enabled, e.g. under a MetricsSession / AXONN_METRICS).
+  /// Each healthy step folds a StepTelemetry across ranks; rank 0 streams it
+  /// to the metrics session and feeds the StragglerMonitor.
+  obs::StragglerMonitor::Config straggler;
+
   /// Seed for the data-order RNG (part of the checkpointed cursor).
   std::uint64_t data_seed = 0xDA7A0DD5ULL;
 };
@@ -73,6 +81,8 @@ struct ResilientTrainResult {
   std::uint64_t checkpoints_written = 0;  ///< files written across all ranks
   std::uint64_t steps_executed = 0;  ///< rank-0 steps incl. replays
   std::uint64_t step_replays = 0;  ///< rank-0 sentinel rollback+replays
+  std::uint64_t telemetry_steps = 0;   ///< StepTelemetry folds performed
+  std::vector<int> straggler_ranks;    ///< ranks the monitor flagged (order)
 };
 
 /// Runs the supervisor loop to completion (or rethrows after the restart

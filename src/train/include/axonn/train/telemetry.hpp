@@ -1,0 +1,59 @@
+#pragma once
+
+// Per-step telemetry collection for the training loop (DESIGN.md §10).
+//
+// StepTelemetryCollector brackets one training step on one rank:
+// begin_step() snapshots the local clocks and counters (steady clock, the
+// metrics stall clock, GEMM dispatch flops, wire bytes, integrity events);
+// end_step() turns the deltas into this rank's StepField vector and folds it
+// across ranks with ONE small all-reduce (the sentinel consensus pattern),
+// returning the identical StepTelemetry on every rank.
+//
+// The whole collector is gated on obs::metrics::enabled(), which is
+// process-global and therefore consistent across thread ranks — either every
+// rank folds or none does, so the extra collective can never deadlock a
+// subset of the world.
+
+#include <cstdint>
+
+#include "axonn/base/step_telemetry.hpp"
+#include "axonn/comm/communicator.hpp"
+
+namespace axonn::core {
+class Grid4D;
+}
+
+namespace axonn::train {
+
+class StepTelemetryCollector {
+ public:
+  /// `world` performs the fold; `grid` (optional) scopes wire-byte deltas to
+  /// the grid's four sub-communicators instead of the world communicator.
+  explicit StepTelemetryCollector(comm::Communicator& world,
+                                  core::Grid4D* grid = nullptr)
+      : world_(world), grid_(grid) {}
+
+  /// True when metrics are enabled (the collector records and folds).
+  bool active() const { return obs::metrics::enabled(); }
+
+  void begin_step();
+
+  /// Collective when active (one world all-reduce): every rank returns the
+  /// same StepTelemetry. Returns an empty (world == 0) telemetry when
+  /// inactive — callers skip it without a second flag.
+  obs::StepTelemetry end_step(std::uint64_t step, float loss);
+
+ private:
+  std::uint64_t wire_bytes() const;
+
+  comm::Communicator& world_;
+  core::Grid4D* grid_ = nullptr;
+  bool open_ = false;
+  double t0_s_ = 0;
+  double stall0_s_ = 0;
+  std::uint64_t flops0_ = 0;
+  std::uint64_t wire0_ = 0;
+  std::uint64_t integrity0_ = 0;
+};
+
+}  // namespace axonn::train

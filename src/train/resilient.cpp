@@ -7,6 +7,7 @@
 #include "axonn/comm/thread_comm.hpp"
 #include "axonn/core/grid4d.hpp"
 #include "axonn/train/checkpoint.hpp"
+#include "axonn/train/telemetry.hpp"
 
 namespace axonn::train {
 
@@ -69,12 +70,21 @@ void run_attempt(const ResilientTrainConfig& config,
 
         TrainingSentinel sentinel(config.sentinel, *comm, model, adam);
 
+        // Live telemetry (DESIGN.md §10): no-ops unless obs::metrics is
+        // enabled (AXONN_METRICS / MetricsSession). The fold runs on the raw
+        // world communicator so fault injection cannot corrupt the telemetry
+        // that is supposed to diagnose it — chaos-injected latency still
+        // shows up, because it delays the *instrumented* step window.
+        StepTelemetryCollector telemetry(world, &grid);
+        obs::StragglerMonitor stragglers(config.straggler);
+
         const auto batch = static_cast<std::uint64_t>(config.batch_per_rank);
         while (cursor.step < static_cast<std::uint64_t>(config.total_steps)) {
           // Journal the pre-step state (weights, moments, cursor — including
           // the data RNG *before* the jitter draw) so an unhealthy step can
           // be rolled back and replayed on identical data.
           sentinel.journal(cursor);
+          telemetry.begin_step();
 
           // One shared RNG draw per step jitters the document window; every
           // rank draws identically (same cursor state), then takes its own
@@ -109,6 +119,20 @@ void run_attempt(const ResilientTrainConfig& config,
             ++result.steps_executed;
             AXONN_LOG_DEBUG << "resilient: step " << cursor.step << " loss "
                             << loss;
+          }
+
+          // Healthy step: fold the cross-rank telemetry (collective; gated
+          // on the process-global metrics flag, so all ranks agree).
+          if (telemetry.active()) {
+            const obs::StepTelemetry t = telemetry.end_step(cursor.step, loss);
+            if (rank == 0) {
+              obs::emit_step(t);
+              const std::vector<int> newly = stragglers.observe(t);
+              std::lock_guard<std::mutex> lock(result_mutex);
+              ++result.telemetry_steps;
+              result.straggler_ranks.insert(result.straggler_ranks.end(),
+                                            newly.begin(), newly.end());
+            }
           }
 
           if (config.checkpoint_every > 0 &&

@@ -1,0 +1,84 @@
+#include "axonn/train/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <span>
+#include <vector>
+
+#include "axonn/core/grid4d.hpp"
+#include "axonn/integrity/integrity.hpp"
+#include "axonn/tensor/gemm.hpp"
+
+namespace axonn::train {
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::uint64_t StepTelemetryCollector::wire_bytes() const {
+  const comm::CommStats stats =
+      grid_ ? grid_->total_stats() : world_.stats();
+  return stats.wire_bytes_sent + stats.crc_bytes_sent;
+}
+
+void StepTelemetryCollector::begin_step() {
+  if (!active()) {
+    open_ = false;
+    return;
+  }
+  open_ = true;
+  t0_s_ = steady_seconds();
+  stall0_s_ = obs::metrics::thread_stall_seconds();
+  flops0_ = axonn::gemm_dispatch_flops();
+  wire0_ = wire_bytes();
+  // Process-global at thread-rank scale: every rank reads the same counter,
+  // so the per-rank delta is really "events seen by the process during my
+  // step window". Good enough to localize a step; the argmax identifies the
+  // straggler fields, not this one.
+  integrity0_ = integrity::counters().snapshot().sdc_detected;
+}
+
+obs::StepTelemetry StepTelemetryCollector::end_step(std::uint64_t step,
+                                                    float loss) {
+  if (!active() || !open_) return {};
+  open_ = false;
+
+  const double wall_s = steady_seconds() - t0_s_;
+  const double stall_s = obs::metrics::thread_stall_seconds() - stall0_s_;
+  const double exposed_s = std::min(stall_s, wall_s);
+  const double self_s = wall_s - exposed_s;
+  const double gflop =
+      static_cast<double>(axonn::gemm_dispatch_flops() - flops0_) * 1e-9;
+  const double wire_mb = static_cast<double>(wire_bytes() - wire0_) * 1e-6;
+  const double integrity_events = static_cast<double>(
+      integrity::counters().snapshot().sdc_detected - integrity0_);
+
+  const int world = world_.size();
+  const int rank = world_.rank();
+  std::vector<float> fold(obs::fold_size(world), 0.0f);
+  auto slot = [&](obs::StepField f) -> float& {
+    return fold[static_cast<std::size_t>(f) * static_cast<std::size_t>(world) +
+                static_cast<std::size_t>(rank)];
+  };
+  slot(obs::StepField::kWallS) = static_cast<float>(wall_s);
+  slot(obs::StepField::kExposedCommS) = static_cast<float>(exposed_s);
+  slot(obs::StepField::kSelfS) = static_cast<float>(self_s);
+  slot(obs::StepField::kGemmGflop) = static_cast<float>(gflop);
+  slot(obs::StepField::kWireMB) = static_cast<float>(wire_mb);
+  slot(obs::StepField::kIntegrityEvents) = static_cast<float>(integrity_events);
+  slot(obs::StepField::kLoss) = loss;
+
+  // The fold: one fixed-layout all-reduce, every slot owned by exactly one
+  // rank, kSum — afterwards all ranks hold the exact per-rank vectors.
+  world_.all_reduce(std::span<float>(fold.data(), fold.size()),
+                    comm::ReduceOp::kSum);
+  return obs::fold_to_telemetry(step, world, fold);
+}
+
+}  // namespace axonn::train

@@ -1,0 +1,205 @@
+// Cross-rank critical-path analysis (DESIGN.md §10): collectives matched by
+// occurrence index across ranks, the compute / straggler-wait / exposed-comm
+// decomposition of the iteration makespan — exact arithmetic on synthetic
+// events, straggler attribution on a real 2-rank world with injected latency,
+// and the measured-vs-model gap report.
+
+#include "axonn/base/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "axonn/base/trace.hpp"
+#include "axonn/comm/thread_comm.hpp"
+
+namespace axonn::obs {
+namespace {
+
+TraceEvent make_event(double t_us, Phase phase, int rank, std::uint32_t tid,
+                      const char* category, std::string name = {}) {
+  TraceEvent ev;
+  ev.t_us = t_us;
+  ev.phase = phase;
+  ev.stream = StreamKind::kMain;
+  ev.rank = rank;
+  ev.tid = tid;
+  ev.category = category;
+  ev.name = std::move(name);
+  return ev;
+}
+
+/// Two ranks, one iteration [0, 100]us each, one matched all_reduce:
+/// rank 0 enters at 10, rank 1 (the straggler) at 30, both exit at 40.
+std::vector<TraceEvent> straggler_stream() {
+  std::vector<TraceEvent> events;
+  auto span = [&](int rank, std::uint32_t tid, double b, double e,
+                  const char* cat, const char* name) {
+    events.push_back(make_event(b, Phase::kBegin, rank, tid, cat, name));
+    events.push_back(make_event(e, Phase::kEnd, rank, tid, ""));
+  };
+  // Rank 0 (tid 0): iter [0, 100], all_reduce [10, 40].
+  events.push_back(make_event(0, Phase::kBegin, 0, 0, kCatIter, "iteration"));
+  span(0, 0, 10, 40, kCatComm, "all_reduce(world)");
+  events.push_back(make_event(100, Phase::kEnd, 0, 0, ""));
+  // Rank 1 (tid 1): iter [0, 100], all_reduce [30, 40].
+  events.push_back(make_event(0, Phase::kBegin, 1, 1, kCatIter, "iteration"));
+  span(1, 1, 30, 40, kCatComm, "all_reduce(world)");
+  events.push_back(make_event(100, Phase::kEnd, 1, 1, ""));
+  return events;
+}
+
+TEST(CriticalPathTest, DecomposesMakespanExactly) {
+  const auto reports = critical_path_reports(straggler_stream(), 2);
+  ASSERT_EQ(reports.size(), 1u);
+  const CriticalPathReport& r = reports[0];
+  EXPECT_EQ(r.iteration, 0);
+  EXPECT_EQ(r.world, 2);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 100e-6);
+  // [0,10] compute, [10,30] wait on the straggler, [30,40] transfer,
+  // [40,100] tail compute.
+  EXPECT_DOUBLE_EQ(r.compute_s, 70e-6);
+  EXPECT_DOUBLE_EQ(r.straggler_wait_s, 20e-6);
+  EXPECT_DOUBLE_EQ(r.exposed_comm_s, 10e-6);
+  EXPECT_NEAR(r.compute_s + r.straggler_wait_s + r.exposed_comm_s,
+              r.makespan_s, 1e-12);
+
+  ASSERT_EQ(r.collectives.size(), 1u);
+  const CollectiveTiming& ct = r.collectives[0];
+  EXPECT_EQ(ct.name, "all_reduce(world)");
+  EXPECT_DOUBLE_EQ(ct.enter_min_us, 10.0);
+  EXPECT_DOUBLE_EQ(ct.enter_max_us, 30.0);
+  EXPECT_DOUBLE_EQ(ct.exit_max_us, 40.0);
+  EXPECT_EQ(ct.first_rank, 0);
+  EXPECT_EQ(ct.last_rank, 1);
+  EXPECT_DOUBLE_EQ(ct.wait_s, 20e-6);
+  EXPECT_DOUBLE_EQ(ct.transfer_s, 10e-6);
+
+  const std::string table = r.to_table();
+  EXPECT_NE(table.find("straggler wait"), std::string::npos) << table;
+  EXPECT_NE(table.find("all_reduce(world)"), std::string::npos);
+}
+
+TEST(CriticalPathTest, NestedRecvSpansAreNotCollectives) {
+  auto events = straggler_stream();
+  // Transport detail inside rank 0's all_reduce: must not become a second
+  // matched collective (rank 1 has no counterpart).
+  events.push_back(make_event(12, Phase::kBegin, 0, 0, kCatComm, "recv(src=1)"));
+  events.push_back(make_event(20, Phase::kEnd, 0, 0, ""));
+
+  const auto reports = critical_path_reports(events, 2);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].consistent);
+  ASSERT_EQ(reports[0].collectives.size(), 1u);
+  EXPECT_EQ(reports[0].collectives[0].name, "all_reduce(world)");
+  EXPECT_DOUBLE_EQ(reports[0].straggler_wait_s, 20e-6);
+}
+
+TEST(CriticalPathTest, MismatchedSequencesCoverTheCommonPrefix) {
+  auto events = straggler_stream();
+  // Rank 0 issues a second collective that rank 1 never does.
+  events.push_back(make_event(50, Phase::kBegin, 0, 0, kCatComm, "extra"));
+  events.push_back(make_event(60, Phase::kEnd, 0, 0, ""));
+
+  const auto reports = critical_path_reports(events, 2);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_FALSE(reports[0].consistent);
+  ASSERT_EQ(reports[0].collectives.size(), 1u) << "common prefix only";
+  EXPECT_EQ(reports[0].collectives[0].name, "all_reduce(world)");
+}
+
+TEST(CriticalPathTest, MismatchedNamesMarkTheReportInconsistent) {
+  auto events = straggler_stream();
+  for (TraceEvent& ev : events) {
+    if (ev.rank == 1 && ev.name == "all_reduce(world)") {
+      ev.name = "broadcast(world)";
+    }
+  }
+  const auto reports = critical_path_reports(events, 2);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_FALSE(reports[0].consistent);
+}
+
+TEST(CriticalPathTest, RanksMissingAnIterationTruncateTheReportList) {
+  auto events = straggler_stream();
+  // Rank 0 records a second iteration; rank 1 does not.
+  events.push_back(make_event(100, Phase::kBegin, 0, 0, kCatIter, "iteration"));
+  events.push_back(make_event(200, Phase::kEnd, 0, 0, ""));
+  EXPECT_EQ(critical_path_reports(events, 2).size(), 1u);
+}
+
+TEST(CriticalPathTest, CompareWithModelReportsTheGap) {
+  const auto reports = critical_path_reports(straggler_stream(), 2);
+  ASSERT_EQ(reports.size(), 1u);
+
+  // Measured transfer is 10us; predict 8us -> rel gap +25%.
+  const ModelGapReport gap = compare_with_model(
+      reports[0], {{"all_reduce", 8e-6}, {"all_gather", 1e-6}});
+  ASSERT_EQ(gap.entries.size(), 2u);
+  EXPECT_EQ(gap.entries[0].name, "all_reduce");
+  EXPECT_EQ(gap.entries[0].count, 1);
+  EXPECT_DOUBLE_EQ(gap.entries[0].measured_s, 10e-6);
+  EXPECT_DOUBLE_EQ(gap.entries[0].predicted_s, 8e-6);
+  EXPECT_NEAR(gap.entries[0].rel_gap, 0.25, 1e-9);
+  EXPECT_EQ(gap.entries[1].count, 0);
+  EXPECT_EQ(gap.unmatched_collectives, 0);
+
+  const std::string table = gap.to_table();
+  EXPECT_NE(table.find("rel gap"), std::string::npos) << table;
+}
+
+TEST(CriticalPathTest, UnpredictedCollectivesAreCountedNotDropped) {
+  const auto reports = critical_path_reports(straggler_stream(), 2);
+  const ModelGapReport gap =
+      compare_with_model(reports[0], {{"reduce_scatter", 1e-6}});
+  EXPECT_EQ(gap.entries[0].count, 0);
+  EXPECT_EQ(gap.unmatched_collectives, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Real 2-rank world: injected latency must land in straggler wait
+// ---------------------------------------------------------------------------
+
+TEST(CriticalPathTest, InjectedLatencyIsAttributedToStragglerWaitNotCompute) {
+  const bool was_enabled = enabled();
+  set_enabled(true);
+  clear();
+
+  constexpr auto kDelay = std::chrono::milliseconds(15);
+  comm::run_ranks(2, [&](comm::Communicator& world) {
+    IterationScope iteration;
+    // Rank 1 arrives late at the collective; rank 0 sits blocked inside it.
+    if (world.rank() == 1) std::this_thread::sleep_for(kDelay);
+    std::vector<float> buf(32, 1.0f);
+    world.all_reduce(std::span<float>(buf), comm::ReduceOp::kSum);
+  });
+
+  const auto events = merged_events();
+  set_enabled(was_enabled);
+
+  const auto reports = critical_path_reports(events, 2);
+  clear();
+  ASSERT_EQ(reports.size(), 1u);
+  const CriticalPathReport& r = reports[0];
+  EXPECT_TRUE(r.consistent);
+  ASSERT_GE(r.collectives.size(), 1u);
+
+  // The 15ms sleep happened before rank 1 *entered* the all_reduce, so the
+  // analyzer must charge it to straggler wait — not to compute and not to
+  // the transfer. Generous margins: scheduling noise stays well under 10ms.
+  EXPECT_GE(r.straggler_wait_s, 0.010);
+  EXPECT_GT(r.straggler_wait_s, r.compute_s);
+  EXPECT_GT(r.straggler_wait_s, r.exposed_comm_s);
+  EXPECT_GE(r.straggler_wait_s, 0.5 * r.makespan_s);
+  EXPECT_EQ(r.collectives[0].last_rank, 1) << "rank 1 entered last";
+  EXPECT_NEAR(r.compute_s + r.straggler_wait_s + r.exposed_comm_s,
+              r.makespan_s, 1e-9);
+}
+
+}  // namespace
+}  // namespace axonn::obs

@@ -17,7 +17,8 @@ namespace {
 
 TraceEvent make_event(double t_us, Phase phase, StreamKind stream, int rank,
                       std::uint32_t tid, const char* category,
-                      std::string name = {}) {
+                      std::string name = {},
+                      std::uint32_t depth = kUnknownDepth) {
   TraceEvent ev;
   ev.t_us = t_us;
   ev.phase = phase;
@@ -26,6 +27,7 @@ TraceEvent make_event(double t_us, Phase phase, StreamKind stream, int rank,
   ev.tid = tid;
   ev.category = category;
   ev.name = std::move(name);
+  ev.depth = depth;
   return ev;
 }
 
@@ -181,6 +183,196 @@ TEST(IterationReportTest, OnlyOverlapVariantsHideCommunication) {
   const VariantResult overlapped = run_variant(/*overlapped=*/true, 2);
   ASSERT_FALSE(overlapped.reports.empty());
   EXPECT_TRUE(overlapped.saw_progress_comm);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed streams (ring wrap, spans open at snapshot) — build_spans repairs
+// ---------------------------------------------------------------------------
+
+TEST(IterationReportTest, NestedCommSpansCountTheUnionOnce) {
+  // A comm span [10, 50] with a nested comm span [20, 30] (a transport recv
+  // inside a collective): exposed communication is the 40us union, not 50.
+  std::vector<TraceEvent> events;
+  events.push_back(make_event(0, Phase::kBegin, StreamKind::kMain, 0, 0,
+                              kCatIter, "it", 0));
+  events.push_back(make_event(10, Phase::kBegin, StreamKind::kMain, 0, 0,
+                              kCatComm, "all_reduce", 1));
+  events.push_back(make_event(20, Phase::kBegin, StreamKind::kMain, 0, 0,
+                              kCatComm, "recv(src=1)", 2));
+  events.push_back(
+      make_event(30, Phase::kEnd, StreamKind::kMain, 0, 0, "", "", 2));
+  events.push_back(
+      make_event(50, Phase::kEnd, StreamKind::kMain, 0, 0, "", "", 1));
+  events.push_back(
+      make_event(100, Phase::kEnd, StreamKind::kMain, 0, 0, "", "", 0));
+
+  const auto reports = iteration_reports(events, 0);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_DOUBLE_EQ(reports[0].exposed_comm_s, 40e-6);
+  EXPECT_DOUBLE_EQ(reports[0].comm_busy_s, 40e-6);
+  EXPECT_DOUBLE_EQ(reports[0].compute_s, 60e-6);
+}
+
+TEST(IterationReportTest, ZeroCommIterationReportsPureCompute) {
+  std::vector<TraceEvent> events;
+  events.push_back(make_event(0, Phase::kBegin, StreamKind::kMain, 0, 0,
+                              kCatIter, "it", 0));
+  events.push_back(make_event(10, Phase::kBegin, StreamKind::kMain, 0, 0,
+                              kCatCompute, "gemm", 1));
+  events.push_back(
+      make_event(60, Phase::kEnd, StreamKind::kMain, 0, 0, "", "", 1));
+  events.push_back(
+      make_event(80, Phase::kEnd, StreamKind::kMain, 0, 0, "", "", 0));
+
+  const auto reports = iteration_reports(events, 0);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_DOUBLE_EQ(reports[0].wall_s, 80e-6);
+  EXPECT_DOUBLE_EQ(reports[0].exposed_comm_s, 0.0);
+  EXPECT_DOUBLE_EQ(reports[0].compute_s, 80e-6);
+  EXPECT_DOUBLE_EQ(reports[0].instrumented_compute_s, 50e-6);
+  EXPECT_DOUBLE_EQ(reports[0].overlap_efficiency, 0.0);
+}
+
+TEST(IterationReportTest, OrphanEndFromRingWrapDoesNotCloseTheIteration) {
+  // The ring overwrote a comm BEGIN; its end (depth 1) arrives while only
+  // the iteration (depth 0) is open. Stack matching alone would pop the
+  // iteration at t=30 and corrupt every later span; depth matching counts it
+  // as an orphan instead.
+  std::vector<TraceEvent> events;
+  events.push_back(make_event(0, Phase::kBegin, StreamKind::kMain, 0, 0,
+                              kCatIter, "it", 0));
+  events.push_back(
+      make_event(30, Phase::kEnd, StreamKind::kMain, 0, 0, "", "", 1));
+  events.push_back(make_event(40, Phase::kBegin, StreamKind::kMain, 0, 0,
+                              kCatComm, "all_reduce", 1));
+  events.push_back(
+      make_event(50, Phase::kEnd, StreamKind::kMain, 0, 0, "", "", 1));
+  events.push_back(
+      make_event(100, Phase::kEnd, StreamKind::kMain, 0, 0, "", "", 0));
+
+  const SpanSet set = build_spans(events, 0);
+  EXPECT_EQ(set.orphan_ends, 1u);
+  ASSERT_EQ(set.iterations.size(), 1u);
+  EXPECT_DOUBLE_EQ(set.iterations[0].end_us, 100.0);
+
+  const auto reports = iteration_reports(events, 0);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_DOUBLE_EQ(reports[0].wall_s, 100e-6);
+  EXPECT_DOUBLE_EQ(reports[0].exposed_comm_s, 10e-6);
+}
+
+TEST(IterationReportTest, LostEndIsForceClosedAtTheEnclosingEnd) {
+  // The ring overwrote a comm END: when the iteration's end (depth 0)
+  // arrives, the still-open deeper comm span is closed at that timestamp.
+  std::vector<TraceEvent> events;
+  events.push_back(make_event(0, Phase::kBegin, StreamKind::kMain, 0, 0,
+                              kCatIter, "it", 0));
+  events.push_back(make_event(10, Phase::kBegin, StreamKind::kMain, 0, 0,
+                              kCatComm, "all_reduce", 1));
+  events.push_back(
+      make_event(100, Phase::kEnd, StreamKind::kMain, 0, 0, "", "", 0));
+
+  const SpanSet set = build_spans(events, 0);
+  EXPECT_EQ(set.force_closed, 1u);
+  ASSERT_EQ(set.spans.size(), 1u);
+  EXPECT_DOUBLE_EQ(set.spans[0].begin_us, 10.0);
+  EXPECT_DOUBLE_EQ(set.spans[0].end_us, 100.0);
+  ASSERT_EQ(set.iterations.size(), 1u);
+
+  const auto reports = iteration_reports(events, 0);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_DOUBLE_EQ(reports[0].exposed_comm_s, 90e-6);
+}
+
+TEST(IterationReportTest, IterationOpenAtSnapshotIsDropped) {
+  // An iteration still open when the trace was snapshotted must not produce
+  // a partial (misleading) report; closed spans inside it are kept.
+  std::vector<TraceEvent> events;
+  events.push_back(make_event(0, Phase::kBegin, StreamKind::kMain, 0, 0,
+                              kCatIter, "it", 0));
+  events.push_back(make_event(10, Phase::kBegin, StreamKind::kMain, 0, 0,
+                              kCatComm, "all_reduce", 1));
+  events.push_back(
+      make_event(20, Phase::kEnd, StreamKind::kMain, 0, 0, "", "", 1));
+
+  const SpanSet set = build_spans(events, 0);
+  EXPECT_EQ(set.dropped_open_iterations, 1u);
+  EXPECT_TRUE(set.iterations.empty());
+  ASSERT_EQ(set.spans.size(), 1u);
+  EXPECT_TRUE(iteration_reports(events, 0).empty());
+}
+
+TEST(IterationReportTest, NonIterSpanOpenAtSnapshotClosesAtLastTimestamp) {
+  std::vector<TraceEvent> events;
+  events.push_back(make_event(0, Phase::kBegin, StreamKind::kMain, 0, 0,
+                              kCatIter, "it", 0));
+  events.push_back(
+      make_event(80, Phase::kEnd, StreamKind::kMain, 0, 0, "", "", 0));
+  // A progress-stream comm span never ended (tid 1); last timestamp is 80.
+  events.push_back(make_event(50, Phase::kBegin, StreamKind::kProgress, 0, 1,
+                              kCatComm, "iall_gather", 0));
+
+  const SpanSet set = build_spans(events, 0);
+  EXPECT_EQ(set.force_closed, 1u);
+  bool found = false;
+  for (const SpanRec& s : set.spans) {
+    if (s.name == "iall_gather") {
+      found = true;
+      EXPECT_DOUBLE_EQ(s.end_us, 80.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(IterationReportTest, RecorderStampsMatchingDepths) {
+  // The live recorder annotates begins/ends with the nesting depth that the
+  // repair logic above relies on.
+  const bool was_enabled = enabled();
+  set_enabled(true);
+  clear();
+  set_thread_ident(0, StreamKind::kMain);
+  begin_span(kCatIter, "it");
+  begin_span(kCatComm, "inner");
+  end_span();
+  end_span();
+
+  const auto events = merged_events();
+  set_enabled(was_enabled);
+  clear();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[2].depth, 1u);
+  EXPECT_EQ(events[3].depth, 0u);
+}
+
+TEST(IterationReportTest, RealRingWrapMidIterationYieldsNoPartialReport) {
+  // A ring too small for the iteration: the iteration begin (and many early
+  // comm spans) are overwritten. The surviving suffix must yield orphan
+  // accounting and ZERO iteration reports — never a skewed partial one.
+  const bool was_enabled = enabled();
+  set_ring_capacity(64);
+  set_enabled(true);
+  clear();
+  set_thread_ident(0, StreamKind::kMain);
+
+  begin_span(kCatIter, "it");
+  for (int i = 0; i < 200; ++i) {
+    begin_span(kCatComm, "chatter");
+    end_span();
+  }
+  end_span();
+
+  const auto events = merged_events();
+  EXPECT_GT(dropped_events(), 0u);
+  const SpanSet set = build_spans(events, 0);
+  EXPECT_GE(set.orphan_ends, 1u) << "the iteration end lost its begin";
+  EXPECT_TRUE(set.iterations.empty());
+  EXPECT_TRUE(iteration_reports(events, 0).empty());
+
+  set_enabled(was_enabled);
+  set_ring_capacity(std::size_t{1} << 16);
+  clear();
 }
 
 }  // namespace

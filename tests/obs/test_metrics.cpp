@@ -1,0 +1,215 @@
+// axonn::obs::metrics — the typed metrics registry (DESIGN.md §10): counters,
+// gauges and log2-bucketed histograms recorded from many threads, snapshots
+// taken while recording continues, the enable gate, kind clashes, the stall
+// clock, and the Prometheus text exposition.
+
+#include "axonn/base/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace axonn::obs::metrics {
+namespace {
+
+// The registry is process-global: every test starts from a clean, enabled
+// state and leaves recording off for whoever runs next.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+  }
+};
+
+TEST_F(MetricsTest, CounterAccumulatesAcrossThreads) {
+  const Counter hits("test.metrics.hits");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&] {
+      for (int j = 0; j < kPerThread; ++j) hits.add();
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const MetricsSnapshot snap = snapshot();
+  const MetricValue* v = snap.find("test.metrics.hits");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->kind, Kind::kCounter);
+  EXPECT_DOUBLE_EQ(v->value, kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.value_of("test.metrics.hits"), kThreads * kPerThread);
+}
+
+TEST_F(MetricsTest, GaugeLastWriteWins) {
+  const Gauge depth("test.metrics.depth");
+  depth.set(3.0);
+  depth.set(7.0);
+  EXPECT_DOUBLE_EQ(snapshot().value_of("test.metrics.depth"), 7.0);
+
+  // Cross-thread: a strictly later write (join = happens-before) must win
+  // even though it lives in a different shard.
+  std::thread([&] { depth.set(11.0); }).join();
+  EXPECT_DOUBLE_EQ(snapshot().value_of("test.metrics.depth"), 11.0);
+}
+
+TEST_F(MetricsTest, HistogramTracksCountSumExtremaAndQuantiles) {
+  const Histogram h("test.metrics.latency");
+  h.observe(1.0);
+  h.observe(2.0);
+  h.observe(4.0);
+
+  const MetricsSnapshot snap = snapshot();
+  const MetricValue* v = snap.find("test.metrics.latency");
+  ASSERT_NE(v, nullptr);
+  ASSERT_EQ(v->kind, Kind::kHistogram);
+  EXPECT_EQ(v->hist.count, 3u);
+  EXPECT_DOUBLE_EQ(v->hist.sum, 7.0);
+  EXPECT_DOUBLE_EQ(v->hist.min, 1.0);
+  EXPECT_DOUBLE_EQ(v->hist.max, 4.0);
+  EXPECT_DOUBLE_EQ(v->hist.mean(), 7.0 / 3.0);
+
+  std::uint64_t bucketed = 0;
+  for (const std::uint64_t b : v->hist.buckets) bucketed += b;
+  EXPECT_EQ(bucketed, 3u);
+
+  // Quantiles resolve to bucket bounds clamped into [min, max].
+  const double q50 = v->hist.quantile(0.5);
+  EXPECT_GE(q50, v->hist.min);
+  EXPECT_LE(q50, v->hist.max);
+  const double q0 = v->hist.quantile(0.0);
+  EXPECT_GE(q0, v->hist.min);
+  EXPECT_LE(q0, v->hist.max);
+  EXPECT_DOUBLE_EQ(v->hist.quantile(1.0), v->hist.max);
+}
+
+TEST_F(MetricsTest, BucketBoundsAreMonotone) {
+  for (std::size_t i = 1; i < kNumBuckets; ++i) {
+    EXPECT_GT(bucket_upper_bound(i), bucket_upper_bound(i - 1)) << i;
+  }
+  // A power of two lands in the bucket whose upper bound it equals.
+  EXPECT_DOUBLE_EQ(bucket_upper_bound(33), 2.0);
+}
+
+TEST_F(MetricsTest, DisabledRecordingIsANoOp) {
+  const Counter c("test.metrics.gated");
+  set_enabled(false);
+  c.add(5.0);
+  EXPECT_DOUBLE_EQ(snapshot().value_of("test.metrics.gated"), 0.0);
+
+  set_enabled(true);
+  c.add(5.0);
+  EXPECT_DOUBLE_EQ(snapshot().value_of("test.metrics.gated"), 5.0);
+}
+
+TEST_F(MetricsTest, SetForcedBypassesTheGate) {
+  const Gauge g("test.metrics.forced");
+  set_enabled(false);
+  g.set(1.0);  // gated: ignored
+  g.set_forced(42.0);
+  EXPECT_DOUBLE_EQ(snapshot().value_of("test.metrics.forced"), 42.0);
+}
+
+TEST_F(MetricsTest, KindClashThrows) {
+  register_metric("test.metrics.clash", Kind::kCounter);
+  // Idempotent under the same kind...
+  EXPECT_NO_THROW(register_metric("test.metrics.clash", Kind::kCounter));
+  // ...and rejected under a different one.
+  EXPECT_THROW(register_metric("test.metrics.clash", Kind::kGauge),
+               std::invalid_argument);
+  EXPECT_THROW(Histogram("test.metrics.clash"), std::invalid_argument);
+}
+
+TEST_F(MetricsTest, ResetZeroesValuesButKeepsRegistrations) {
+  const Counter c("test.metrics.resettable");
+  c.add(9.0);
+  reset();
+  const MetricsSnapshot snap = snapshot();
+  const MetricValue* v = snap.find("test.metrics.resettable");
+  ASSERT_NE(v, nullptr) << "reset must not unregister names";
+  EXPECT_DOUBLE_EQ(v->value, 0.0);
+}
+
+TEST_F(MetricsTest, SnapshotIsSafeWhileRecording) {
+  const Counter c("test.metrics.live");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) c.add();
+  });
+
+  double last = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double now = snapshot().value_of("test.metrics.live");
+    EXPECT_GE(now, last) << "counter snapshots must be monotone";
+    last = now;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_GE(snapshot().value_of("test.metrics.live"), last);
+}
+
+TEST_F(MetricsTest, PrometheusExpositionFormat) {
+  Counter("test.metrics.prom-counter").add(3.0);
+  Gauge("test.metrics.prom-gauge").set(1.5);
+  const Histogram h("test.metrics.prom-hist");
+  h.observe(0.5);
+  h.observe(2.0);
+
+  std::ostringstream out;
+  write_prometheus(out, snapshot());
+  const std::string text = out.str();
+
+  // Names are prefixed and sanitized ('-' and '.' are not legal).
+  EXPECT_NE(text.find("axonn_test_metrics_prom_counter 3"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE axonn_test_metrics_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("axonn_test_metrics_prom_gauge 1.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE axonn_test_metrics_prom_gauge gauge"),
+            std::string::npos);
+  // Histograms expose cumulative buckets plus +Inf, _sum and _count.
+  EXPECT_NE(text.find("axonn_test_metrics_prom_hist_bucket"),
+            std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("axonn_test_metrics_prom_hist_sum 2.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("axonn_test_metrics_prom_hist_count 2"),
+            std::string::npos);
+}
+
+TEST_F(MetricsTest, StallTimerChargesTheCallingThread) {
+  const double before = thread_stall_seconds();
+  {
+    StallTimer stall;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const double charged = thread_stall_seconds() - before;
+  EXPECT_GE(charged, 0.003);
+  // The shared counter mirrors the per-thread clock.
+  EXPECT_GE(snapshot().value_of("comm.stall_s"), 0.003);
+}
+
+TEST_F(MetricsTest, StallTimerIsInertWhenDisabled) {
+  set_enabled(false);
+  const double before = thread_stall_seconds();
+  {
+    StallTimer stall;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_DOUBLE_EQ(thread_stall_seconds(), before);
+}
+
+}  // namespace
+}  // namespace axonn::obs::metrics

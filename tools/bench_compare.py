@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Diff two bench JSON files (bench/json_out.hpp schema) and gate regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+                     [--series REGEX] [--min-abs SECONDS]
+
+Every series present in both files is compared point by point (matched by x).
+For "lower is better" units (the default: seconds and everything else), a
+point regresses when current > baseline * (1 + threshold). Series whose units
+mark them as "higher is better" ("ratio", "%", "flops", "gflops") regress in
+the opposite direction. Exit status: 0 when no point regresses past the
+threshold, 1 otherwise, 2 on malformed input.
+
+Timing on shared CI hosts is noisy; the default threshold is deliberately
+loose (50%) and --min-abs ignores regressions smaller than an absolute floor,
+so only real cliffs — a dead overlap path, an accidentally quadratic loop —
+trip the gate.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+HIGHER_IS_BETTER_UNITS = {"ratio", "%", "flops", "gflops", "gflop/s", "bytes/s"}
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if "series" not in doc or not isinstance(doc["series"], list):
+        print(f"bench_compare: {path} has no 'series' array", file=sys.stderr)
+        sys.exit(2)
+    series = {}
+    for s in doc["series"]:
+        points = {p["x"]: p["y"] for p in s.get("points", [])}
+        series[s["name"]] = {"units": s.get("units", "s"), "points": points}
+    return doc.get("benchmark", "?"), series
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=50.0,
+        metavar="PCT",
+        help="allowed relative regression per point, percent (default: 50)",
+    )
+    ap.add_argument(
+        "--series",
+        default="",
+        metavar="REGEX",
+        help="only compare series whose name matches this regex",
+    )
+    ap.add_argument(
+        "--min-abs",
+        type=float,
+        default=1e-4,
+        metavar="DELTA",
+        help="ignore regressions with absolute delta below this (default: 1e-4)",
+    )
+    args = ap.parse_args()
+
+    base_name, base = load(args.baseline)
+    cur_name, cur = load(args.current)
+    if base_name != cur_name:
+        print(
+            f"bench_compare: comparing different benchmarks "
+            f"('{base_name}' vs '{cur_name}')",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+
+    pattern = re.compile(args.series) if args.series else None
+    tol = args.threshold / 100.0
+    regressions = []
+    compared = 0
+    for name, b in sorted(base.items()):
+        if pattern and not pattern.search(name):
+            continue
+        c = cur.get(name)
+        if c is None:
+            print(f"  MISSING  {name} (dropped from current run)")
+            regressions.append(name)
+            continue
+        higher_better = b["units"].lower() in HIGHER_IS_BETTER_UNITS
+        for x, by in sorted(b["points"].items()):
+            cy = c["points"].get(x)
+            if cy is None:
+                continue
+            compared += 1
+            if higher_better:
+                bad = cy < by * (1 - tol) and (by - cy) > args.min_abs
+                rel = (cy - by) / by * 100 if by else 0.0
+            else:
+                bad = cy > by * (1 + tol) and (cy - by) > args.min_abs
+                rel = (cy - by) / by * 100 if by else 0.0
+            marker = "REGRESSED" if bad else "ok"
+            if bad or abs(rel) > args.threshold / 2:
+                print(
+                    f"  {marker:9s} {name} @ x={x}: "
+                    f"{by:.6g} -> {cy:.6g} ({rel:+.1f}%)"
+                )
+            if bad:
+                regressions.append(f"{name}@{x}")
+
+    print(
+        f"bench_compare: {base_name}: {compared} points compared, "
+        f"{len(regressions)} regression(s) past {args.threshold:.0f}%"
+    )
+    if compared == 0:
+        print("bench_compare: nothing compared — wrong --series?", file=sys.stderr)
+        sys.exit(2)
+    sys.exit(1 if regressions else 0)
+
+
+if __name__ == "__main__":
+    main()
