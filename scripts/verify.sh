@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # One-command verification gate (ISSUE 5 satellite):
-#   1. tier-1: plain tree, full ctest (ROADMAP.md's recipe)
+#   1. tier-1: plain tree, full ctest (ROADMAP.md's recipe), then the
+#      elastic-recovery acceptance label (`ctest -L elastic`) on its own so
+#      a membership/epoch regression is named by the gate that owns it
 #   2. ASan tree, `ctest -L integrity` (the SDC-defense suites)
-#   3. TSan tree, `ctest -L tsan` (comm, fault-tolerance, and the obs/metrics
-#      suites — the registry's sharded snapshot path races for real there)
+#   3. TSan tree, `ctest -L tsan` (comm, fault-tolerance, elastic membership,
+#      and the obs/metrics suites — the registry's sharded snapshot path and
+#      the membership state machine race for real there)
 #   4. bench-smoke (`ctest -L bench`) + tools/bench_compare.py against the
-#      checked-in BENCH_*.json baselines
+#      checked-in BENCH_*.json baselines (incl. BENCH_recovery.json: elastic
+#      MTTR vs the full-restart baseline)
 #
 # Usage: scripts/verify.sh [--skip-sanitizers] [--skip-bench]
 # Runs from anywhere; builds into build/, build-asan/, build-tsan/ under the
@@ -35,6 +39,9 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
+stage "tier-1: elastic-recovery acceptance (ctest -L elastic)"
+ctest --test-dir build -L elastic --output-on-failure -j "$jobs"
+
 if [[ "$skip_sanitizers" == 0 ]]; then
   stage "ASan tree: ctest -L integrity"
   cmake -B build-asan -S . -DAXONN_SANITIZE=address >/dev/null
@@ -53,11 +60,13 @@ if [[ "$skip_bench" == 0 ]]; then
   # snapshot the checked-in baselines first and diff fresh-vs-baseline.
   baseline_dir="$(mktemp -d)"
   trap 'rm -rf "$baseline_dir"' EXIT
-  for f in BENCH_micro_gemm.json BENCH_micro_comm.json BENCH_fig5_overlap.json; do
+  for f in BENCH_micro_gemm.json BENCH_micro_comm.json BENCH_fig5_overlap.json \
+           BENCH_recovery.json; do
     [[ -f "$f" ]] && cp "$f" "$baseline_dir/"
   done
   ctest --test-dir build -L bench --output-on-failure
-  for f in BENCH_micro_gemm.json BENCH_micro_comm.json BENCH_fig5_overlap.json; do
+  for f in BENCH_micro_gemm.json BENCH_micro_comm.json BENCH_fig5_overlap.json \
+           BENCH_recovery.json; do
     if [[ -f "$baseline_dir/$f" ]]; then
       # fig5's derived ratio series (overlap efficiency, pipelining reduction
       # pct) divide tiny timed quantities and swing wildly in a 7-iteration
@@ -74,6 +83,12 @@ if [[ "$skip_bench" == 0 ]]; then
           gate_args=(--series '^(sim/|real/(unsegmented|pipelined)/iteration_time)') ;;
         BENCH_micro_gemm.json|BENCH_micro_comm.json)
           gate_args=(--threshold 120) ;;
+        BENCH_recovery.json)
+          # MTTR on a loaded CI host swings with thread scheduling; gate only
+          # the two MTTR series, loosely, with an absolute floor so tens-of-ms
+          # jitter never trips it. bench_recovery itself hard-fails if elastic
+          # MTTR is not strictly below the full-restart baseline.
+          gate_args=(--series '^mttr_' --threshold 300 --min-abs 100) ;;
       esac
       python3 tools/bench_compare.py "${gate_args[@]+"${gate_args[@]}"}" \
         "$baseline_dir/$f" "$f"

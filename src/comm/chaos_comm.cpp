@@ -88,11 +88,25 @@ void apply_wire_chaos(const ChaosConfig& cfg,
 
 }  // namespace
 
+namespace {
+/// Provenance tag folded into every injected-fault report: the seed plus the
+/// per-rank collective (draw) index reproduce the fault deterministically.
+std::string chaos_note(std::uint64_t seed, std::uint64_t draw) {
+  return "chaos seed=" + std::to_string(seed) + " draw=" + std::to_string(draw);
+}
+}  // namespace
+
 ChaosComm::ChaosComm(Communicator& inner, const ChaosConfig& config)
     : inner_(&inner), state_(std::make_shared<State>()) {
   state_->config = config;
   state_->world_rank = inner.rank();
   maybe_install_wire_chaos();
+  // Tag the world so even errors raised below the chaos layer (watchdog
+  // timeouts, ring CRC escalations) carry the seed that provoked them.
+  if (auto* thread_comm = dynamic_cast<ThreadComm*>(inner_)) {
+    thread_comm->thread_world()->set_fault_note(
+        "chaos seed=" + std::to_string(config.seed));
+  }
 }
 
 void ChaosComm::maybe_install_wire_chaos() {
@@ -128,20 +142,46 @@ std::uint64_t ChaosComm::collectives_issued() const {
 std::uint64_t ChaosComm::begin_collective() {
   State& s = *state_;
   const std::uint64_t op = s.next_collective++;
+  const std::string note = chaos_note(s.config.seed, op);
   if (s.config.slow_rank == s.world_rank && s.config.slow_delay.count() > 0) {
     s.log.push_back({FaultEvent::Kind::kDelay, op,
                      "delayed " + std::to_string(s.config.slow_delay.count()) +
-                         "us on \"" + inner_->name() + "\""});
+                         "us on \"" + inner_->name() + "\" (" + note + ")"});
     std::this_thread::sleep_for(s.config.slow_delay);
+  }
+  if (s.config.hang_rank == s.world_rank &&
+      op == s.config.hang_at_collective) {
+    s.log.push_back({FaultEvent::Kind::kHang, op,
+                     "rank " + std::to_string(s.world_rank) + " hung on \"" +
+                         inner_->name() + "\" (" + note + ")"});
+    AXONN_LOG_WARN << "ChaosComm: injecting hang of rank " << s.world_rank
+                   << " at collective #" << op << " (" << note << ")";
+    auto* thread_comm = dynamic_cast<ThreadComm*>(inner_);
+    if (thread_comm == nullptr) {
+      AXONN_LOG_WARN << "ChaosComm: hang fault needs a ThreadComm inner to "
+                        "observe the world; degrading to a crash";
+      throw RankFailure(s.world_rank, op, note);
+    }
+    // Go silent: no collective is issued, no heartbeat beats. Spin until the
+    // world aborts (watchdog path) or a peer's heartbeat check declares this
+    // rank dead (elastic path), then unwind like a crashed rank.
+    ThreadWorld* world = thread_comm->thread_world();
+    const int my_world = thread_comm->world_rank_of(thread_comm->rank());
+    for (;;) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      if (world->aborted() || (world->elastic() && world->is_dead(my_world))) {
+        throw RankFailure(s.world_rank, op, note);
+      }
+    }
   }
   if (s.config.crash_rank == s.world_rank &&
       op == s.config.crash_at_collective) {
     s.log.push_back({FaultEvent::Kind::kCrash, op,
                      "rank " + std::to_string(s.world_rank) + " crashed on \"" +
-                         inner_->name() + "\""});
+                         inner_->name() + "\" (" + note + ")"});
     AXONN_LOG_WARN << "ChaosComm: injecting crash of rank " << s.world_rank
-                   << " at collective #" << op;
-    throw RankFailure(s.world_rank, op);
+                   << " at collective #" << op << " (" << note << ")";
+    throw RankFailure(s.world_rank, op, note);
   }
   return op;
 }
@@ -160,7 +200,8 @@ void ChaosComm::maybe_corrupt(std::uint64_t op, std::span<float> result) {
     s.log.push_back({FaultEvent::Kind::kCorruption, op,
                      "one-shot flipped bit " +
                          std::to_string(s.config.corrupt_once_bit & 31) +
-                         " of element 0 on \"" + inner_->name() + "\""});
+                         " of element 0 on \"" + inner_->name() + "\" (" +
+                         chaos_note(s.config.seed, op) + ")"});
   }
   if (s.config.corrupt_probability <= 0.0 || result.empty()) return;
   if (schedule_draw(s.config.seed, s.world_rank, op) >=
@@ -174,7 +215,7 @@ void ChaosComm::maybe_corrupt(std::uint64_t op, std::span<float> result) {
   s.log.push_back({FaultEvent::Kind::kCorruption, op,
                    "flipped bit " + std::to_string(bit % 32) + " of element " +
                        std::to_string(bit / 32) + " on \"" + inner_->name() +
-                       "\""});
+                       "\" (" + chaos_note(s.config.seed, op) + ")"});
 }
 
 void ChaosComm::verify_replicated(std::uint64_t op,
@@ -190,7 +231,9 @@ void ChaosComm::verify_replicated(std::uint64_t op,
   inner_->all_gather(std::span<const float>(mine, 2), all);
   for (std::size_t i = 0; i < all.size(); i += 2) {
     if (all[i] != mine[0] || all[i + 1] != mine[1]) {
-      throw DataCorruptionError(inner_->name(), op);
+      throw DataCorruptionError(inner_->name(), op,
+                                "result checksums differ across ranks",
+                                chaos_note(state_->config.seed, op));
     }
   }
 }

@@ -79,6 +79,16 @@ struct ChaosConfig {
   int crash_rank = -1;
   std::uint64_t crash_at_collective = 0;
 
+  /// World rank that *hangs* (stops issuing collectives and stops making
+  /// progress, without dying) when its per-rank collective counter reaches
+  /// `hang_at_collective`. Unlike a crash there is no exception and no abort:
+  /// the rank just goes silent — the failure mode heartbeat detection exists
+  /// for. The hung rank spins until the world aborts or (in an elastic
+  /// world) a peer declares it dead, then unwinds with RankFailure so its
+  /// thread exits like a crashed rank's. -1 disables.
+  int hang_rank = -1;
+  std::uint64_t hang_at_collective = 0;
+
   /// World rank that sleeps `slow_delay` before every collective (straggler
   /// emulation for watchdog tests). -1 disables.
   int slow_rank = -1;
@@ -110,7 +120,7 @@ struct ChaosConfig {
 };
 
 struct FaultEvent {
-  enum class Kind { kDelay, kCorruption, kCrash };
+  enum class Kind { kDelay, kCorruption, kCrash, kHang };
   Kind kind;
   std::uint64_t collective_index;
   std::string detail;

@@ -11,18 +11,28 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "axonn/base/error.hpp"
 
 namespace axonn::comm {
 
+namespace detail {
+/// Renders an optional provenance note (e.g. "chaos seed=11 draw=25") as a
+/// bracketed suffix so every fault message stays replayable from text alone.
+inline std::string note_suffix(const std::string& note) {
+  return note.empty() ? std::string() : " [" + note + "]";
+}
+}  // namespace detail
+
 /// A rank terminated mid-collective (injected by ChaosComm, or raised by a
 /// transport when a peer vanishes). Recoverable by restart-from-checkpoint.
 class RankFailure : public Error {
  public:
-  RankFailure(int rank, std::uint64_t collective_index)
+  RankFailure(int rank, std::uint64_t collective_index,
+              const std::string& note = "")
       : Error("rank " + std::to_string(rank) + " failed at collective #" +
-              std::to_string(collective_index)),
+              std::to_string(collective_index) + detail::note_suffix(note)),
         rank_(rank),
         collective_index_(collective_index) {}
 
@@ -42,12 +52,13 @@ class RankFailure : public Error {
 class CommTimeoutError : public Error {
  public:
   CommTimeoutError(std::string communicator, std::uint64_t sequence,
-                   int peer_world_rank, long long budget_ms)
+                   int peer_world_rank, long long budget_ms,
+                   const std::string& note = "")
       : Error("collective watchdog: timeout after " +
               std::to_string(budget_ms) + " ms on communicator \"" +
               communicator + "\" seq " + std::to_string(sequence) +
               " — no message from world rank " +
-              std::to_string(peer_world_rank)),
+              std::to_string(peer_world_rank) + detail::note_suffix(note)),
         communicator_(std::move(communicator)),
         sequence_(sequence),
         peer_world_rank_(peer_world_rank) {}
@@ -72,10 +83,10 @@ class DataCorruptionError : public Error {
                             "result checksums differ across ranks") {}
 
   DataCorruptionError(std::string communicator, std::uint64_t collective_index,
-                      const std::string& detail)
+                      const std::string& detail, const std::string& note = "")
       : Error("data corruption detected on communicator \"" + communicator +
               "\" at collective #" + std::to_string(collective_index) + ": " +
-              detail),
+              detail + detail::note_suffix(note)),
         communicator_(std::move(communicator)),
         collective_index_(collective_index) {}
 
@@ -85,6 +96,65 @@ class DataCorruptionError : public Error {
  private:
   std::string communicator_;
   std::uint64_t collective_index_;
+};
+
+// ---------------------------------------------------------------------------
+// Elastic membership faults (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+/// A peer was declared dead (crash announcement or heartbeat timeout) while
+/// this rank had a collective in flight at the same epoch. Recoverable
+/// in-job: drain the progress stream, then rendezvous in
+/// ThreadWorld::reconfigure() for the next epoch.
+class RankDeadError : public Error {
+ public:
+  RankDeadError(std::vector<int> dead_ranks, std::uint64_t epoch,
+                const std::string& detail)
+      : Error("collective abandoned at epoch " + std::to_string(epoch) +
+              ": world rank(s) " + join(dead_ranks) + " declared dead (" +
+              detail + ")"),
+        dead_ranks_(std::move(dead_ranks)),
+        epoch_(epoch) {}
+
+  /// World ranks declared dead but not yet reconfigured around.
+  const std::vector<int>& dead_ranks() const { return dead_ranks_; }
+  /// Epoch at which the abandoned collective was issued.
+  std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  static std::string join(const std::vector<int>& ranks) {
+    std::string s;
+    for (const int r : ranks) {
+      if (!s.empty()) s += ",";
+      s += std::to_string(r);
+    }
+    return s.empty() ? "?" : s;
+  }
+
+  std::vector<int> dead_ranks_;
+  std::uint64_t epoch_;
+};
+
+/// A communicator from a pre-failure epoch was used after the world
+/// reconfigured: its traffic is fenced (dropped, never delivered), so the
+/// operation cannot complete. The holder must rebuild its communicators from
+/// ThreadWorld::active_comm() at the current epoch.
+class EpochFencedError : public Error {
+ public:
+  EpochFencedError(std::uint64_t message_epoch, std::uint64_t current_epoch)
+      : Error("epoch fence: message from epoch " +
+              std::to_string(message_epoch) +
+              " dropped — world reconfigured to epoch " +
+              std::to_string(current_epoch)),
+        message_epoch_(message_epoch),
+        current_epoch_(current_epoch) {}
+
+  std::uint64_t message_epoch() const { return message_epoch_; }
+  std::uint64_t current_epoch() const { return current_epoch_; }
+
+ private:
+  std::uint64_t message_epoch_;
+  std::uint64_t current_epoch_;
 };
 
 }  // namespace axonn::comm

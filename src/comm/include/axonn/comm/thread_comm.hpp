@@ -23,6 +23,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -61,6 +62,32 @@ struct WorldOptions {
   integrity::IntegrityMode ring_crc = integrity::IntegrityMode::kOff;
   /// kHeal retry budget per message before DataCorruptionError.
   int crc_max_retries = 3;
+
+  // --- Elastic membership (DESIGN.md §11) ---------------------------------
+
+  /// Enables the membership/epoch layer: declare_dead(), reconfigure(),
+  /// active_comm(), epoch fencing, and heartbeat-based hang detection. Off
+  /// (the default) the world behaves exactly as before this layer existed:
+  /// any failure aborts every rank.
+  bool elastic = false;
+  /// Trailing ranks held out of the initial active set as hot spares. The
+  /// initial active communicator spans world ranks [0, size - spare_ranks);
+  /// spares park in park_for_assignment() until a reconfiguration swaps them
+  /// into a dead rank's slot.
+  int spare_ranks = 0;
+  /// Peer-heartbeat staleness budget for hang detection. While a receive
+  /// waits on a peer's message, a peer whose progress heartbeat is staler
+  /// than this is declared dead (the receive then throws RankDeadError).
+  /// Must comfortably exceed the longest compute gap between a rank's
+  /// collectives, or healthy-but-slow ranks get fenced off as hung. 0
+  /// disables hang detection (crashes still announce via declare_dead).
+  std::chrono::milliseconds heartbeat_timeout{0};
+  /// On failure without a spare available: true shrinks the active set to
+  /// the survivors, false aborts the world (escalate to a full restart).
+  bool allow_shrink = true;
+  /// Reconfiguration refuses to shrink below this many active ranks (the
+  /// world aborts instead).
+  int min_active = 1;
 };
 
 /// Shared state for a group of thread ranks. Construct one, then either use
@@ -131,6 +158,99 @@ class ThreadWorld {
   /// Messages currently retained for possible retransmission (tests assert
   /// this drains back to zero once receives verify).
   std::size_t retained_messages() const;
+
+  // --- Elastic membership (DESIGN.md §11) ---------------------------------
+  //
+  // Only meaningful when WorldOptions::elastic is set. The membership state
+  // machine: ranks are kActive (hold a slot in the active communicator),
+  // kSpare (parked, waiting for assignment), or kDead. A failure — a crash
+  // announcing itself via declare_dead(), or a hang detected by a peer's
+  // heartbeat check — marks the rank dead and poisons every in-flight
+  // collective at the current epoch (survivors throw RankDeadError). The
+  // survivors drain their progress streams and rendezvous in reconfigure(),
+  // whose last arriver performs the transition: purge (fence) every mailbox
+  // message from the dead epoch, bump the epoch, and fill dead slots with
+  // spares (or shrink the active set). Traffic from the old epoch that is
+  // still in flight is dropped at delivery time — the epoch fence.
+
+  bool elastic() const { return elastic_; }
+  /// Current membership epoch (0 until the first reconfiguration).
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  /// Messages dropped by the epoch fence (purged at reconfiguration or
+  /// refused at delivery) — the counter the fencing test asserts.
+  std::uint64_t fenced_messages() const {
+    return fenced_messages_.load(std::memory_order_relaxed);
+  }
+
+  enum class RankState { kActive, kSpare, kDead };
+  RankState rank_state(int world_rank) const;
+  bool is_dead(int world_rank) const {
+    return rank_state(world_rank) == RankState::kDead;
+  }
+  /// Dead ranks not yet reconfigured around (empty between recoveries).
+  std::vector<int> pending_dead_ranks() const;
+
+  /// Marks `world_rank` dead (idempotent; elastic worlds only). This is the
+  /// failure broadcast: it wakes every blocked receive, progress worker and
+  /// membership waiter, so survivors fail their in-flight collectives with
+  /// RankDeadError and converge on reconfigure(). Never call while holding a
+  /// mailbox lock. A crashing rank calls this on itself while unwinding;
+  /// hang detection calls it from the waiting peer.
+  void declare_dead(int world_rank, const std::string& reason);
+
+  /// Stamps `world_rank`'s liveness clock. Piggybacked on the transport
+  /// (send/recv/collective issue) and progress-task pickup, so any rank
+  /// making communication progress beats automatically.
+  void heartbeat(int world_rank);
+
+  /// steady_clock timestamp (ns) of the first declare_dead of the current
+  /// failure, or 0 — the MTTR measurement anchor.
+  std::int64_t last_failure_ns() const {
+    return last_failure_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// The outcome of one reconfiguration, identical on every participant.
+  struct ReconfigurePlan {
+    std::uint64_t epoch = 0;        ///< the new epoch
+    std::vector<int> active;        ///< slot -> world rank, post-transition
+    std::vector<int> old_active;    ///< slot -> world rank, pre-transition
+    std::vector<int> dead_slots;    ///< old slots whose occupant died
+    std::vector<int> swapped_in;    ///< spare world ranks assigned, per dead slot
+    bool shrunk = false;            ///< true: dead slots removed, no spares left
+  };
+
+  /// Survivor rendezvous. Every live active rank calls this after draining
+  /// its progress stream; the last arriver performs the epoch transition
+  /// (fence purge, epoch bump, spare assignment or shrink) and wakes
+  /// everyone, including assigned spares parked in park_for_assignment().
+  /// Throws if the world aborted, or if this rank was itself declared dead.
+  ReconfigurePlan reconfigure(int my_world_rank);
+
+  /// Spare parking: blocks until a reconfiguration assigns this rank a slot
+  /// (returns the plan), or the run finished / this rank was declared dead
+  /// (returns nullopt). Throws if the world aborted.
+  std::optional<ReconfigurePlan> park_for_assignment(int my_world_rank);
+
+  /// Marks the run finished (idempotent); wakes parked spares so they
+  /// return nullopt and unwind.
+  void finish();
+
+  /// This rank's handle on the current active communicator: comm rank ==
+  /// slot index, fresh communicator id and epoch stamp per reconfiguration
+  /// (name "active.e<epoch>"). The caller must currently occupy a slot.
+  std::unique_ptr<ThreadComm> active_comm(int my_world_rank);
+
+  /// Blocks until every task queued on `my_world_rank`'s progress stream has
+  /// run. Call before destroying communicators whose collectives may still
+  /// be queued (the tasks fail fast once a failure is pending, but they must
+  /// finish before the objects they reference unwind).
+  void drain_progress(int my_world_rank);
+
+  /// Provenance note appended to watchdog/corruption error messages (e.g.
+  /// "chaos seed=11" installed by ChaosComm) so injected-fault runs are
+  /// replayable from error text. Thread-safe; last writer wins.
+  void set_fault_note(const std::string& note);
+  std::string fault_note() const;
   /// Adjusts the ring segment size. Thread-safe, but every member rank of a
   /// communicator must observe the same value for any given collective —
   /// change it only between collectives (e.g. from the driver thread while
@@ -154,6 +274,10 @@ class ThreadWorld {
     std::uint64_t comm_id;
     int src_world_rank;
     std::uint64_t tag;
+    /// Membership epoch the sending communicator was built at (always 0 in
+    /// non-elastic worlds). The epoch fence drops messages whose epoch is
+    /// older than the world's current epoch.
+    std::uint64_t epoch = 0;
     friend auto operator<=>(const MessageKey&, const MessageKey&) = default;
   };
 
@@ -240,6 +364,52 @@ class ThreadWorld {
 
   mutable std::mutex retained_mutex_;
   std::map<RetainedKey, std::vector<float>> retained_;
+
+  // --- Elastic membership state -------------------------------------------
+  //
+  // Lock order: membership_.mutex before any mailbox/stream/registry mutex;
+  // never acquire membership_.mutex while holding a mailbox lock (collect()
+  // unlocks its mailbox before calling declare_dead()).
+
+  struct Membership {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<RankState> state;       ///< per world rank
+    std::vector<std::string> reason;    ///< death reason, per world rank
+    std::vector<int> active;            ///< slot -> world rank
+    std::vector<int> pending_dead;      ///< deaths since the last transition
+    std::vector<int> arrived;           ///< ranks waiting in reconfigure()
+    bool finished = false;
+    std::uint64_t active_comm_id = 0;   ///< comm id of the current epoch's comm
+    ReconfigurePlan last_plan;          ///< result of the latest transition
+  };
+
+  /// Performs the epoch transition if every survivor has arrived; must be
+  /// called with membership_.mutex held. Also invoked from declare_dead so a
+  /// death *during* the rendezvous (crash-during-recovery) re-evaluates the
+  /// arrival condition instead of deadlocking the survivors. Returns a
+  /// non-empty abort reason when recovery is impossible (shrink disallowed or
+  /// below min_active); the caller must invoke abort() after unlocking.
+  std::string maybe_complete_reconfiguration_locked();
+  [[noreturn]] void throw_rank_dead_locked(std::uint64_t comm_epoch);
+  /// Fail-fast check used at collective issue and receive completion: throws
+  /// EpochFencedError past an epoch bump, RankDeadError on a pending failure.
+  void check_elastic_health(std::uint64_t comm_epoch);
+  std::int64_t heartbeat_age_ms(int world_rank) const;
+
+  bool elastic_ = false;
+  long long heartbeat_ms_ = 0;
+  bool allow_shrink_ = true;
+  int min_active_ = 1;
+  Membership membership_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<bool> failure_pending_{false};
+  std::atomic<std::uint64_t> fenced_messages_{0};
+  std::atomic<std::int64_t> last_failure_ns_{0};
+  std::unique_ptr<std::atomic<std::int64_t>[]> heartbeats_;  ///< steady ns
+
+  mutable std::mutex note_mutex_;
+  std::string fault_note_;
 };
 
 class ThreadComm final : public Communicator {
@@ -282,6 +452,10 @@ class ThreadComm final : public Communicator {
   /// World rank of communicator-rank r (diagnostics / tests).
   int world_rank_of(int r) const { return members_[static_cast<std::size_t>(r)]; }
 
+  /// Membership epoch this communicator (and its split children) stamps on
+  /// every message. 0 for world communicators and in non-elastic worlds.
+  std::uint64_t epoch() const { return epoch_; }
+
   /// The owning world — the seam ChaosComm uses to install its wire-level
   /// fault schedule (per-segment corruption happens below the collective
   /// API, in the transport).
@@ -291,7 +465,7 @@ class ThreadComm final : public Communicator {
   friend class ThreadWorld;
 
   ThreadComm(ThreadWorld* world, std::uint64_t comm_id, std::vector<int> members,
-             int rank, std::string name);
+             int rank, std::string name, std::uint64_t epoch = 0);
 
   // Transport bound to one collective invocation (a fixed sequence number),
   // passed to the ring algorithm templates. The per-peer message counters
@@ -340,6 +514,7 @@ class ThreadComm final : public Communicator {
   // execution time) so blocking and nonblocking calls cannot race.
   std::uint64_t seq_ = 0;
   std::uint64_t split_generation_ = 0;
+  std::uint64_t epoch_ = 0;
 
   mutable std::mutex stats_mutex_;
   CommStats stats_;

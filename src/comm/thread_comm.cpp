@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstdlib>
 #include <exception>
+#include <future>
 #include <utility>
 
 #include "axonn/base/crc32.hpp"
@@ -53,6 +54,12 @@ bool crc_frame_ok(const std::vector<float>& frame) {
   return std::bit_cast<std::uint32_t>(frame.back()) ==
          crc32(payload.data(), payload.size() * sizeof(float));
 }
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -74,6 +81,35 @@ ThreadWorld::ThreadWorld(int size, WorldOptions options) : size_(size) {
   ring_segment_elems_.store(segment, std::memory_order_relaxed);
   ring_crc_mode_ = integrity::effective_mode(options.ring_crc);
   crc_max_retries_ = options.crc_max_retries;
+  elastic_ = options.elastic;
+  heartbeat_ms_ = options.heartbeat_timeout.count();
+  allow_shrink_ = options.allow_shrink;
+  min_active_ = options.min_active;
+  if (elastic_) {
+    AXONN_CHECK_MSG(options.spare_ranks >= 0 && options.spare_ranks < size,
+                    "spare_ranks must leave at least one active rank");
+    const int actives = size - options.spare_ranks;
+    AXONN_CHECK_MSG(actives >= min_active_,
+                    "initial active set smaller than min_active");
+    membership_.state.assign(static_cast<std::size_t>(size),
+                             RankState::kActive);
+    membership_.reason.assign(static_cast<std::size_t>(size), "");
+    for (int r = 0; r < actives; ++r) membership_.active.push_back(r);
+    for (int r = actives; r < size; ++r) {
+      membership_.state[static_cast<std::size_t>(r)] = RankState::kSpare;
+    }
+    membership_.active_comm_id = next_comm_id_++;  // pre-thread: no lock yet
+    membership_.last_plan.epoch = 0;
+    membership_.last_plan.active = membership_.active;
+    membership_.last_plan.old_active = membership_.active;
+    heartbeats_ =
+        std::make_unique<std::atomic<std::int64_t>[]>(static_cast<std::size_t>(size));
+    const std::int64_t now = steady_now_ns();
+    for (int r = 0; r < size; ++r) {
+      heartbeats_[static_cast<std::size_t>(r)].store(now,
+                                                     std::memory_order_relaxed);
+    }
+  }
   mailboxes_.reserve(static_cast<std::size_t>(size));
   streams_.reserve(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r) {
@@ -132,6 +168,11 @@ void ThreadWorld::abort(const std::string& reason) {
     std::lock_guard<std::mutex> lock(stream->mutex);
     stream->cv.notify_all();
   }
+  if (elastic_) {
+    // Ranks blocked in reconfigure()/park_for_assignment() must also wake.
+    std::lock_guard<std::mutex> lock(membership_.mutex);
+    membership_.cv.notify_all();
+  }
 }
 
 void ThreadWorld::throw_aborted() {
@@ -141,6 +182,15 @@ void ThreadWorld::throw_aborted() {
 
 void ThreadWorld::deliver(int dest_world_rank, const MessageKey& key,
                           std::vector<float> payload) {
+  // Epoch fence, delivery side: traffic stamped before the latest
+  // reconfiguration must never reach a post-reconfiguration receive (a stale
+  // ring segment could silently corrupt a same-shape collective at the new
+  // epoch). Purging at the transition handles what was already queued; this
+  // handles what was still in flight.
+  if (elastic_ && key.epoch < epoch_.load(std::memory_order_acquire)) {
+    fenced_messages_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   Mailbox& mailbox = *mailboxes_[static_cast<std::size_t>(dest_world_rank)];
   {
     std::lock_guard<std::mutex> lock(mailbox.mutex);
@@ -153,26 +203,73 @@ std::vector<float> ThreadWorld::collect(int my_world_rank,
                                         const MessageKey& key,
                                         const RecvContext& context) {
   Mailbox& mailbox = *mailboxes_[static_cast<std::size_t>(my_world_rank)];
+  const long long budget_ms = timeout_ms_.load(std::memory_order_relaxed);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
+  const bool hang_detect = elastic_ && heartbeat_ms_ > 0;
   std::unique_lock<std::mutex> lock(mailbox.mutex);
-  const auto pred = [&] {
-    if (aborted_.load(std::memory_order_acquire)) return true;
-    auto it = mailbox.queues.find(key);
+  const auto ready = [&] {
+    const auto it = mailbox.queues.find(key);
     return it != mailbox.queues.end() && !it->second.empty();
   };
-  const long long budget_ms = timeout_ms_.load(std::memory_order_relaxed);
-  if (budget_ms <= 0) {
-    mailbox.cv.wait(lock, pred);
-  } else {
-    // The watchdog: a peer that never delivers turns a silent hang into a
-    // structured error naming exactly which collective wedged on whom.
-    const auto deadline =
-        std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
-    if (!mailbox.cv.wait_until(lock, deadline, pred)) {
-      throw CommTimeoutError(*context.comm_name, context.seq,
-                             context.src_world_rank, budget_ms);
+  const auto pred = [&] {
+    if (aborted_.load(std::memory_order_acquire)) return true;
+    if (elastic_ && (failure_pending_.load(std::memory_order_acquire) ||
+                     epoch_.load(std::memory_order_acquire) > key.epoch)) {
+      return true;
     }
+    return ready();
+  };
+  for (;;) {
+    if (hang_detect) {
+      // Slice the wait so this thread (a) keeps beating its own liveness
+      // clock — blocked-on-a-peer is healthy, not hung — and (b) keeps
+      // re-checking the peer's clock: a peer that stops making progress for
+      // longer than the heartbeat budget is declared dead, which turns this
+      // silent hang into a structured RankDeadError for the survivors.
+      const auto slice = std::chrono::milliseconds(
+          std::clamp(heartbeat_ms_ / 4, 1LL, 50LL));
+      while (!pred()) {
+        if (budget_ms > 0 && std::chrono::steady_clock::now() >= deadline) {
+          throw CommTimeoutError(*context.comm_name, context.seq,
+                                 context.src_world_rank, budget_ms,
+                                 fault_note());
+        }
+        mailbox.cv.wait_for(lock, slice, pred);
+        heartbeat(my_world_rank);
+        if (pred()) break;
+        const std::int64_t age_ms = heartbeat_age_ms(context.src_world_rank);
+        if (age_ms > heartbeat_ms_) {
+          // Lock order: never call declare_dead under a mailbox lock.
+          lock.unlock();
+          declare_dead(context.src_world_rank,
+                       "heartbeat timeout: no progress for " +
+                           std::to_string(age_ms) + " ms (communicator \"" +
+                           *context.comm_name + "\" seq " +
+                           std::to_string(context.seq) + " waiting)");
+          lock.lock();
+          break;  // failure_pending_ is now set; fall through to triage
+        }
+      }
+    } else if (budget_ms <= 0) {
+      mailbox.cv.wait(lock, pred);
+    } else {
+      // The watchdog: a peer that never delivers turns a silent hang into a
+      // structured error naming exactly which collective wedged on whom.
+      if (!mailbox.cv.wait_until(lock, deadline, pred)) {
+        throw CommTimeoutError(*context.comm_name, context.seq,
+                               context.src_world_rank, budget_ms, fault_note());
+      }
+    }
+    if (aborted_.load(std::memory_order_acquire)) throw_aborted();
+    if (ready()) break;
+    // Woken by the failure broadcast or an epoch bump with no message to
+    // take: triage outside the mailbox lock (lock order), then re-wait if
+    // the collective turns out to still be completable.
+    lock.unlock();
+    check_elastic_health(key.epoch);
+    lock.lock();
   }
-  if (aborted_.load(std::memory_order_acquire)) throw_aborted();
   auto it = mailbox.queues.find(key);
   std::vector<float> payload = std::move(it->second.front());
   it->second.pop_front();
@@ -267,8 +364,324 @@ void ThreadWorld::progress_loop(int rank, ProgressStream& stream) {
       task = std::move(stream.tasks.front());
       stream.tasks.pop_front();
     }
+    // Picking up a task is progress: the rank's comm stream is alive.
+    heartbeat(rank);
     task();  // exceptions are captured inside the packaged task
   }
+}
+
+// ---------------------------------------------------------------------------
+// Elastic membership (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+ThreadWorld::RankState ThreadWorld::rank_state(int world_rank) const {
+  AXONN_CHECK(world_rank >= 0 && world_rank < size_);
+  if (!elastic_) return RankState::kActive;
+  std::lock_guard<std::mutex> lock(membership_.mutex);
+  return membership_.state[static_cast<std::size_t>(world_rank)];
+}
+
+std::vector<int> ThreadWorld::pending_dead_ranks() const {
+  if (!elastic_) return {};
+  std::lock_guard<std::mutex> lock(membership_.mutex);
+  return membership_.pending_dead;
+}
+
+void ThreadWorld::heartbeat(int world_rank) {
+  if (!elastic_) return;
+  heartbeats_[static_cast<std::size_t>(world_rank)].store(
+      steady_now_ns(), std::memory_order_relaxed);
+}
+
+std::int64_t ThreadWorld::heartbeat_age_ms(int world_rank) const {
+  const std::int64_t beat =
+      heartbeats_[static_cast<std::size_t>(world_rank)].load(
+          std::memory_order_relaxed);
+  return (steady_now_ns() - beat) / 1'000'000;
+}
+
+void ThreadWorld::declare_dead(int world_rank, const std::string& reason) {
+  AXONN_CHECK_MSG(elastic_, "declare_dead requires WorldOptions::elastic");
+  AXONN_CHECK(world_rank >= 0 && world_rank < size_);
+  std::string abort_reason;
+  {
+    std::lock_guard<std::mutex> lock(membership_.mutex);
+    RankState& state = membership_.state[static_cast<std::size_t>(world_rank)];
+    if (state == RankState::kDead) return;  // idempotent: first report wins
+    state = RankState::kDead;
+    membership_.reason[static_cast<std::size_t>(world_rank)] = reason;
+    membership_.pending_dead.push_back(world_rank);
+    if (membership_.pending_dead.size() == 1) {
+      // First death of this failure: the MTTR measurement anchor.
+      last_failure_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+    }
+    // Crash-during-recovery: a rank already waiting in reconfigure() no
+    // longer counts toward the rendezvous.
+    auto& arrived = membership_.arrived;
+    arrived.erase(std::remove(arrived.begin(), arrived.end(), world_rank),
+                  arrived.end());
+    failure_pending_.store(true, std::memory_order_release);
+    AXONN_LOG_WARN << "elastic: world rank " << world_rank
+                   << " declared dead at epoch "
+                   << epoch_.load(std::memory_order_relaxed) << " (" << reason
+                   << ")";
+    if (obs::metrics::enabled()) {
+      static obs::metrics::Counter failures("elastic.rank_failures");
+      failures.add();
+    }
+    abort_reason = maybe_complete_reconfiguration_locked();
+    membership_.cv.notify_all();
+  }
+  if (!abort_reason.empty()) abort(abort_reason);
+  // The failure broadcast: wake every blocked receive and progress worker so
+  // in-flight collectives at this epoch fail fast with RankDeadError.
+  for (auto& mailbox : mailboxes_) {
+    std::lock_guard<std::mutex> lock(mailbox->mutex);
+    mailbox->cv.notify_all();
+  }
+  for (auto& stream : streams_) {
+    std::lock_guard<std::mutex> lock(stream->mutex);
+    stream->cv.notify_all();
+  }
+}
+
+std::string ThreadWorld::maybe_complete_reconfiguration_locked() {
+  if (membership_.pending_dead.empty()) return {};
+  int survivors = 0;
+  for (const int r : membership_.active) {
+    if (membership_.state[static_cast<std::size_t>(r)] == RankState::kActive) {
+      ++survivors;
+    }
+  }
+  if (survivors == 0) return "elastic: no surviving active ranks";
+  if (static_cast<int>(membership_.arrived.size()) < survivors) return {};
+
+  // Every survivor has abandoned its epoch-e work and arrived: perform the
+  // transition to epoch e+1.
+  const std::uint64_t old_epoch = epoch_.load(std::memory_order_relaxed);
+  ReconfigurePlan plan;
+  plan.epoch = old_epoch + 1;
+  plan.old_active = membership_.active;
+  std::vector<int> spares;
+  for (int r = 0; r < size_; ++r) {
+    if (membership_.state[static_cast<std::size_t>(r)] == RankState::kSpare) {
+      spares.push_back(r);
+    }
+  }
+  std::size_t next_spare = 0;
+  for (std::size_t slot = 0; slot < membership_.active.size(); ++slot) {
+    const int occupant = membership_.active[slot];
+    if (membership_.state[static_cast<std::size_t>(occupant)] !=
+        RankState::kDead) {
+      plan.active.push_back(occupant);
+      continue;
+    }
+    plan.dead_slots.push_back(static_cast<int>(slot));
+    if (next_spare < spares.size()) {
+      const int spare = spares[next_spare++];
+      membership_.state[static_cast<std::size_t>(spare)] = RankState::kActive;
+      plan.active.push_back(spare);
+      plan.swapped_in.push_back(spare);
+    } else {
+      plan.shrunk = true;  // slot removed: survivors renumber densely
+    }
+  }
+  if (plan.shrunk && !allow_shrink_) {
+    return "elastic: rank failure with no spare available and shrink "
+           "disallowed";
+  }
+  if (static_cast<int>(plan.active.size()) < min_active_) {
+    return "elastic: surviving active set (" +
+           std::to_string(plan.active.size()) + ") below min_active (" +
+           std::to_string(min_active_) + ")";
+  }
+
+  // Epoch fence, transition side: purge queued traffic from the dead epoch —
+  // undelivered ring segments of abandoned collectives — and the CRC-retained
+  // copies that back them.
+  std::uint64_t purged = 0;
+  for (auto& mailbox : mailboxes_) {
+    std::lock_guard<std::mutex> lock(mailbox->mutex);
+    for (auto it = mailbox->queues.begin(); it != mailbox->queues.end();) {
+      if (it->first.epoch <= old_epoch) {
+        purged += it->second.size();
+        it = mailbox->queues.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(retained_mutex_);
+    for (auto it = retained_.begin(); it != retained_.end();) {
+      if (it->first.key.epoch <= old_epoch) {
+        it = retained_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  fenced_messages_.fetch_add(purged, std::memory_order_relaxed);
+  {
+    // Fresh communicator id for the new epoch: even identical (seq, src,
+    // tag) coordinates can never collide across the fence.
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    membership_.active_comm_id = next_comm_id_++;
+  }
+  membership_.active = plan.active;
+  membership_.last_plan = plan;
+  membership_.pending_dead.clear();
+  membership_.arrived.clear();
+  // Fresh liveness clocks for the new epoch: a swapped-in spare was parked
+  // (not beating), and survivors' clocks went stale during the rendezvous.
+  const std::int64_t now = steady_now_ns();
+  for (int r = 0; r < size_; ++r) {
+    heartbeats_[static_cast<std::size_t>(r)].store(now,
+                                                   std::memory_order_relaxed);
+  }
+  failure_pending_.store(false, std::memory_order_release);
+  epoch_.store(plan.epoch, std::memory_order_release);
+  AXONN_LOG_INFO << "elastic: reconfigured to epoch " << plan.epoch << " with "
+                 << plan.active.size() << " active rank(s) ("
+                 << plan.swapped_in.size() << " spare(s) swapped in"
+                 << (plan.shrunk ? ", shrunk" : "") << "), " << purged
+                 << " stale message(s) fenced";
+  if (obs::metrics::enabled()) {
+    static obs::metrics::Counter bumps("elastic.epoch_bumps");
+    static obs::metrics::Counter fenced("elastic.fenced_messages");
+    static obs::metrics::Counter swaps("elastic.spare_swaps");
+    static obs::metrics::Counter shrinks("elastic.shrinks");
+    bumps.add();
+    if (purged > 0) fenced.add(static_cast<double>(purged));
+    if (!plan.swapped_in.empty()) {
+      swaps.add(static_cast<double>(plan.swapped_in.size()));
+    }
+    if (plan.shrunk) shrinks.add();
+  }
+  membership_.cv.notify_all();
+  for (auto& mailbox : mailboxes_) {
+    std::lock_guard<std::mutex> lock(mailbox->mutex);
+    mailbox->cv.notify_all();
+  }
+  return {};
+}
+
+void ThreadWorld::throw_rank_dead_locked(std::uint64_t comm_epoch) {
+  std::vector<int> dead = membership_.pending_dead;
+  std::string detail;
+  for (const int r : dead) {
+    if (!detail.empty()) detail += "; ";
+    detail += "rank " + std::to_string(r) + ": " +
+              membership_.reason[static_cast<std::size_t>(r)];
+  }
+  if (detail.empty()) detail = "failure pending";
+  throw RankDeadError(std::move(dead), comm_epoch, detail);
+}
+
+void ThreadWorld::check_elastic_health(std::uint64_t comm_epoch) {
+  if (!elastic_) return;
+  const std::uint64_t now_epoch = epoch_.load(std::memory_order_acquire);
+  if (now_epoch > comm_epoch) throw EpochFencedError(comm_epoch, now_epoch);
+  if (!failure_pending_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(membership_.mutex);
+  if (!membership_.pending_dead.empty()) throw_rank_dead_locked(comm_epoch);
+  // The failure resolved between the two loads: re-check for an epoch bump.
+  const std::uint64_t after = epoch_.load(std::memory_order_acquire);
+  if (after > comm_epoch) throw EpochFencedError(comm_epoch, after);
+}
+
+ThreadWorld::ReconfigurePlan ThreadWorld::reconfigure(int my_world_rank) {
+  AXONN_CHECK_MSG(elastic_, "reconfigure requires WorldOptions::elastic");
+  std::unique_lock<std::mutex> lock(membership_.mutex);
+  const auto my = static_cast<std::size_t>(my_world_rank);
+  if (membership_.state[my] == RankState::kDead) {
+    throw_rank_dead_locked(epoch_.load(std::memory_order_relaxed));
+  }
+  const std::uint64_t target = epoch_.load(std::memory_order_relaxed) + 1;
+  membership_.arrived.push_back(my_world_rank);
+  const std::string abort_reason = maybe_complete_reconfiguration_locked();
+  if (!abort_reason.empty()) {
+    lock.unlock();
+    abort(abort_reason);
+    throw_aborted();
+  }
+  membership_.cv.wait(lock, [&] {
+    return aborted_.load(std::memory_order_acquire) ||
+           epoch_.load(std::memory_order_acquire) >= target ||
+           membership_.state[my] == RankState::kDead;
+  });
+  if (aborted_.load(std::memory_order_acquire)) {
+    lock.unlock();
+    throw_aborted();
+  }
+  if (membership_.state[my] == RankState::kDead) {
+    auto& arrived = membership_.arrived;
+    arrived.erase(std::remove(arrived.begin(), arrived.end(), my_world_rank),
+                  arrived.end());
+    throw_rank_dead_locked(epoch_.load(std::memory_order_relaxed));
+  }
+  return membership_.last_plan;
+}
+
+std::optional<ThreadWorld::ReconfigurePlan> ThreadWorld::park_for_assignment(
+    int my_world_rank) {
+  AXONN_CHECK_MSG(elastic_,
+                  "park_for_assignment requires WorldOptions::elastic");
+  std::unique_lock<std::mutex> lock(membership_.mutex);
+  const auto my = static_cast<std::size_t>(my_world_rank);
+  membership_.cv.wait(lock, [&] {
+    return aborted_.load(std::memory_order_acquire) || membership_.finished ||
+           membership_.state[my] != RankState::kSpare;
+  });
+  if (aborted_.load(std::memory_order_acquire)) {
+    lock.unlock();
+    throw_aborted();
+  }
+  if (membership_.state[my] == RankState::kActive) return membership_.last_plan;
+  return std::nullopt;  // run finished, or this spare was declared dead
+}
+
+void ThreadWorld::finish() {
+  if (!elastic_) return;
+  std::lock_guard<std::mutex> lock(membership_.mutex);
+  membership_.finished = true;
+  membership_.cv.notify_all();
+}
+
+std::unique_ptr<ThreadComm> ThreadWorld::active_comm(int my_world_rank) {
+  AXONN_CHECK_MSG(elastic_, "active_comm requires WorldOptions::elastic");
+  std::lock_guard<std::mutex> lock(membership_.mutex);
+  int slot = -1;
+  for (std::size_t i = 0; i < membership_.active.size(); ++i) {
+    if (membership_.active[i] == my_world_rank) {
+      slot = static_cast<int>(i);
+      break;
+    }
+  }
+  AXONN_CHECK_MSG(slot >= 0,
+                  "active_comm: rank does not occupy an active slot");
+  obs::set_thread_ident(my_world_rank, obs::StreamKind::kMain);
+  const std::uint64_t e = epoch_.load(std::memory_order_acquire);
+  return std::unique_ptr<ThreadComm>(
+      new ThreadComm(this, membership_.active_comm_id, membership_.active,
+                     slot, "active.e" + std::to_string(e), e));
+}
+
+void ThreadWorld::drain_progress(int my_world_rank) {
+  auto done = std::make_shared<std::promise<void>>();
+  std::future<void> drained = done->get_future();
+  enqueue_task(my_world_rank, [done] { done->set_value(); });
+  drained.wait();
+}
+
+void ThreadWorld::set_fault_note(const std::string& note) {
+  std::lock_guard<std::mutex> lock(note_mutex_);
+  fault_note_ = note;
+}
+
+std::string ThreadWorld::fault_note() const {
+  std::lock_guard<std::mutex> lock(note_mutex_);
+  return fault_note_;
 }
 
 // ---------------------------------------------------------------------------
@@ -276,12 +689,14 @@ void ThreadWorld::progress_loop(int rank, ProgressStream& stream) {
 // ---------------------------------------------------------------------------
 
 ThreadComm::ThreadComm(ThreadWorld* world, std::uint64_t comm_id,
-                       std::vector<int> members, int rank, std::string name)
+                       std::vector<int> members, int rank, std::string name,
+                       std::uint64_t epoch)
     : world_(world),
       comm_id_(comm_id),
       members_(std::move(members)),
       rank_(rank),
-      name_(std::move(name)) {
+      name_(std::move(name)),
+      epoch_(epoch) {
   AXONN_CHECK(rank_ >= 0 && rank_ < static_cast<int>(members_.size()));
 }
 
@@ -293,11 +708,13 @@ ThreadComm::Transport::Transport(ThreadComm* comm, std::uint64_t seq)
       rcvd_(static_cast<std::size_t>(comm->size()), 0) {}
 
 void ThreadComm::Transport::send_to(int dest, std::span<const float> data) {
-  ThreadWorld::MessageKey key{comm_->comm_id_, comm_->rank_, seq_};
+  ThreadWorld::MessageKey key{comm_->comm_id_, comm_->rank_, seq_,
+                              comm_->epoch_};
   comm_->bump(&CommStats::point_to_point_calls);
   ThreadWorld* world = comm_->world_;
   const int src_world =
       comm_->members_[static_cast<std::size_t>(comm_->rank_)];
+  world->heartbeat(src_world);
   const int dest_world = comm_->members_[static_cast<std::size_t>(dest)];
   const std::uint64_t msg_index = sent_[static_cast<std::size_t>(dest)]++;
 
@@ -322,7 +739,7 @@ void ThreadComm::Transport::send_to(int dest, std::span<const float> data) {
 }
 
 void ThreadComm::Transport::recv_from(int src, std::span<float> out) {
-  ThreadWorld::MessageKey key{comm_->comm_id_, src, seq_};
+  ThreadWorld::MessageKey key{comm_->comm_id_, src, seq_, comm_->epoch_};
   comm_->bump(&CommStats::point_to_point_calls);
   // A nested span per ring hop: receives are where a ring step blocks, so
   // these make the ring's pipeline structure visible in the trace.
@@ -374,7 +791,8 @@ void ThreadComm::Transport::recv_from(int src, std::span<float> out) {
     throw DataCorruptionError(
         comm_->name_, seq_,
         "ring segment CRC mismatch (message " + std::to_string(msg_index) +
-            " from world rank " + std::to_string(src_world) + ")");
+            " from world rank " + std::to_string(src_world) + ")",
+        world->fault_note());
   }
 
   // NACK loop: pull fresh copies of the retained frame across the (still
@@ -403,7 +821,8 @@ void ThreadComm::Transport::recv_from(int src, std::span<float> out) {
       "ring segment CRC mismatch persisted after " +
           std::to_string(world->crc_max_retries_) +
           " retransmits (message " + std::to_string(msg_index) +
-          " from world rank " + std::to_string(src_world) + ")");
+          " from world rank " + std::to_string(src_world) + ")",
+      world->fault_note());
 }
 
 std::uint64_t ThreadComm::next_seq() {
@@ -411,6 +830,13 @@ std::uint64_t ThreadComm::next_seq() {
   // collective (blocking or nonblocking) fails fast instead of queueing work
   // that could never complete.
   world_->throw_if_aborted();
+  if (world_->elastic()) {
+    // Issuing a collective is progress (beats the liveness clock), and a
+    // fail-fast point: a pending failure or an epoch bump makes every further
+    // collective on this epoch's communicators pointless.
+    world_->heartbeat(members_[static_cast<std::size_t>(rank_)]);
+    world_->check_elastic_health(epoch_);
+  }
   return seq_++;
 }
 
@@ -667,9 +1093,12 @@ std::unique_ptr<Communicator> ThreadComm::split(int color, int key) {
   AXONN_CHECK(my_new_rank >= 0);
 
   const std::uint64_t id = world_->subcomm_id(comm_id_, generation, color);
+  // Children inherit the parent's epoch stamp: a split of an active-epoch
+  // communicator is fenced together with its parent.
   return std::unique_ptr<Communicator>(new ThreadComm(
       world_, id, std::move(members), my_new_rank,
-      name_ + "/split" + std::to_string(generation) + "." + std::to_string(color)));
+      name_ + "/split" + std::to_string(generation) + "." + std::to_string(color),
+      epoch_));
 }
 
 const CommStats& ThreadComm::stats() const {

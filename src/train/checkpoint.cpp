@@ -14,14 +14,6 @@ namespace {
 
 constexpr char kMagic[4] = {'A', 'X', 'C', 'K'};
 
-void write_u32(std::ofstream& out, std::uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-void write_u64(std::ofstream& out, std::uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -78,24 +70,32 @@ void CheckpointWriter::add_section(const std::string& name,
   sections_.emplace_back(name, std::move(payload));
 }
 
+std::vector<std::byte> CheckpointWriter::to_bytes() const {
+  ByteWriter out;
+  out.put_bytes(std::as_bytes(std::span<const char>(kMagic, sizeof(kMagic))));
+  out.put_u32(kCheckpointVersion);
+  out.put_u32(static_cast<std::uint32_t>(sections_.size()));
+  for (const auto& [name, payload] : sections_) {
+    out.put_u32(static_cast<std::uint32_t>(name.size()));
+    out.put_bytes(
+        std::as_bytes(std::span<const char>(name.data(), name.size())));
+    out.put_u64(payload.size());
+    out.put_u32(crc32(payload.data(), payload.size()));
+    out.put_bytes(payload);
+  }
+  return out.take();
+}
+
 void CheckpointWriter::write(const std::string& path) const {
+  const std::vector<std::byte> bytes = to_bytes();
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
       throw CheckpointError("cannot open checkpoint file for writing: " + tmp);
     }
-    out.write(kMagic, sizeof(kMagic));
-    write_u32(out, kCheckpointVersion);
-    write_u32(out, static_cast<std::uint32_t>(sections_.size()));
-    for (const auto& [name, payload] : sections_) {
-      write_u32(out, static_cast<std::uint32_t>(name.size()));
-      out.write(name.data(), static_cast<std::streamsize>(name.size()));
-      write_u64(out, payload.size());
-      write_u32(out, crc32(payload.data(), payload.size()));
-      out.write(reinterpret_cast<const char*>(payload.data()),
-                static_cast<std::streamsize>(payload.size()));
-    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
     out.flush();
     if (!out) throw CheckpointError("short write to " + tmp);
   }
@@ -119,17 +119,25 @@ CheckpointReader::CheckpointReader(const std::string& path) {
   in.read(reinterpret_cast<char*>(bytes.data()),
           static_cast<std::streamsize>(bytes.size()));
   if (!in) throw CheckpointError("cannot read checkpoint: " + path);
+  parse(bytes, path);
+}
 
+CheckpointReader::CheckpointReader(std::span<const std::byte> bytes) {
+  parse(bytes, "<in-memory image>");
+}
+
+void CheckpointReader::parse(std::span<const std::byte> bytes,
+                             const std::string& origin) {
   ByteReader reader(bytes);
   char magic[4];
   reader.get_bytes(std::as_writable_bytes(std::span<char>(magic, 4)));
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw CheckpointError("bad checkpoint magic in " + path);
+    throw CheckpointError("bad checkpoint magic in " + origin);
   }
   const std::uint32_t version = reader.get_u32();
   if (version != kCheckpointVersion) {
     throw CheckpointError("unsupported checkpoint version " +
-                          std::to_string(version) + " in " + path +
+                          std::to_string(version) + " in " + origin +
                           " (expected " + std::to_string(kCheckpointVersion) +
                           ")");
   }
@@ -146,7 +154,7 @@ CheckpointReader::CheckpointReader(const std::string& path) {
     const std::uint32_t actual_crc = crc32(payload.data(), payload.size());
     if (actual_crc != expected_crc) {
       throw CheckpointError("CRC mismatch in section \"" + name + "\" of " +
-                            path);
+                            origin);
     }
     sections_[name] = std::move(payload);
   }
@@ -194,8 +202,11 @@ void put_all_params(GPTModel& model, ByteWriter& writer) {
 
 }  // namespace
 
-void save_checkpoint(const std::string& path, GPTModel& model, Adam& adam,
-                     const TrainCursor& cursor, int rank, int world_size) {
+namespace {
+
+CheckpointWriter build_train_snapshot(GPTModel& model, Adam& adam,
+                                      const TrainCursor& cursor, int rank,
+                                      int world_size) {
   CheckpointWriter ckpt;
 
   {
@@ -231,13 +242,13 @@ void save_checkpoint(const std::string& path, GPTModel& model, Adam& adam,
     ckpt.add_section("cursor", cur.take());
   }
 
-  ckpt.write(path);
+  return ckpt;
 }
 
-void load_checkpoint(const std::string& path, GPTModel& model, Adam& adam,
-                     TrainCursor& cursor, int rank, int world_size) {
-  const CheckpointReader ckpt(path);
-
+void restore_train_snapshot(const CheckpointReader& ckpt,
+                            const std::string& origin, GPTModel& model,
+                            Adam& adam, TrainCursor& cursor, int rank,
+                            int world_size) {
   {
     ByteReader meta(ckpt.section("meta"));
     const auto saved_rank = meta.get_u32();
@@ -247,14 +258,14 @@ void load_checkpoint(const std::string& path, GPTModel& model, Adam& adam,
     if (saved_rank != static_cast<std::uint32_t>(rank) ||
         saved_world != static_cast<std::uint32_t>(world_size)) {
       throw CheckpointError(
-          "checkpoint " + path + " was written by rank " +
+          "checkpoint " + origin + " was written by rank " +
           std::to_string(saved_rank) + "/" + std::to_string(saved_world) +
           " but is being restored on rank " + std::to_string(rank) + "/" +
           std::to_string(world_size));
     }
     if (saved_slots != adam.num_params() ||
         saved_scalars != adam.total_parameter_count()) {
-      throw CheckpointError("checkpoint " + path +
+      throw CheckpointError("checkpoint " + origin +
                             " parameter layout does not match the live model");
     }
   }
@@ -293,6 +304,33 @@ void load_checkpoint(const std::string& path, GPTModel& model, Adam& adam,
     for (auto& word : state) word = cur.get_u64();
     cursor.rng.set_state(state);
   }
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, GPTModel& model, Adam& adam,
+                     const TrainCursor& cursor, int rank, int world_size) {
+  build_train_snapshot(model, adam, cursor, rank, world_size).write(path);
+}
+
+void load_checkpoint(const std::string& path, GPTModel& model, Adam& adam,
+                     TrainCursor& cursor, int rank, int world_size) {
+  restore_train_snapshot(CheckpointReader(path), path, model, adam, cursor,
+                         rank, world_size);
+}
+
+std::vector<std::byte> encode_train_snapshot(GPTModel& model, Adam& adam,
+                                             const TrainCursor& cursor,
+                                             int rank, int world_size) {
+  return build_train_snapshot(model, adam, cursor, rank, world_size)
+      .to_bytes();
+}
+
+void decode_train_snapshot(std::span<const std::byte> bytes, GPTModel& model,
+                           Adam& adam, TrainCursor& cursor, int rank,
+                           int world_size) {
+  restore_train_snapshot(CheckpointReader(bytes), "<in-memory replica>",
+                         model, adam, cursor, rank, world_size);
 }
 
 std::string checkpoint_filename(std::uint64_t step, int rank) {

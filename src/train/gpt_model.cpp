@@ -151,6 +151,32 @@ void GPTModel::for_each_gradient(const std::function<void(Matrix&)>& fn) {
   fn(lm_head_grad_);
 }
 
+std::vector<GPTModel::ParamSpec> GPTModel::parameter_specs() const {
+  // Must mirror register_params() exactly, like for_each_parameter().
+  std::vector<ParamSpec> specs;
+  const auto replicated = [&](const Matrix& m) {
+    specs.push_back({false, m.rows(), m.cols()});
+  };
+  replicated(tok_emb_);
+  replicated(pos_emb_);
+  for (const Block& block : blocks_) {
+    replicated(block.ln1_gamma);
+    replicated(block.ln1_beta);
+    replicated(block.ln2_gamma);
+    replicated(block.ln2_beta);
+    for (const auto* fc : {block.qkv.get(), block.attn_out.get(),
+                           block.mlp_up.get(), block.mlp_down.get()}) {
+      // gx == gy == 1 (the supported grid family): the shard is a row chunk
+      // of the full (in x out) weight, partitioned over Z.
+      specs.push_back({true, fc->in_features(), fc->out_features()});
+    }
+  }
+  replicated(final_gamma_);
+  replicated(final_beta_);
+  replicated(lm_head_);
+  return specs;
+}
+
 Matrix GPTModel::embed(const std::vector<TokenSeq>& sequences,
                        std::size_t input_len) {
   const auto h = static_cast<std::size_t>(config_.hidden);

@@ -53,6 +53,7 @@ class ByteWriter {
   void put_floats(std::span<const float> v) {
     put_raw(v.data(), v.size_bytes());
   }
+  void put_bytes(std::span<const std::byte> v) { put_raw(v.data(), v.size()); }
 
   std::vector<std::byte> take() { return std::move(bytes_); }
 
@@ -86,6 +87,12 @@ class CheckpointWriter {
  public:
   void add_section(const std::string& name, std::vector<std::byte> payload);
 
+  /// Serializes the checkpoint into a memory image — byte-identical to the
+  /// file write() produces. This is the payload a rank pushes to its buddy's
+  /// in-memory replica store (DESIGN.md §11): the CRC framing travels with
+  /// the bytes, so a replica validates exactly like an on-disk file.
+  std::vector<std::byte> to_bytes() const;
+
   /// Writes to `path` atomically: the bytes land in `path + ".tmp"` first
   /// and are renamed over `path` only once complete, so readers never see a
   /// half-written checkpoint under the final name.
@@ -95,16 +102,21 @@ class CheckpointWriter {
   std::vector<std::pair<std::string, std::vector<std::byte>>> sections_;
 };
 
-/// A parsed-and-verified checkpoint. The constructor validates the magic,
+/// A parsed-and-verified checkpoint. The constructors validate the magic,
 /// version and every section CRC, throwing CheckpointError otherwise.
 class CheckpointReader {
  public:
   explicit CheckpointReader(const std::string& path);
+  /// Parses an in-memory image (CheckpointWriter::to_bytes(), or a buddy's
+  /// replica blob) with identical validation.
+  explicit CheckpointReader(std::span<const std::byte> bytes);
 
   bool has_section(const std::string& name) const;
   std::span<const std::byte> section(const std::string& name) const;
 
  private:
+  void parse(std::span<const std::byte> bytes, const std::string& origin);
+
   std::map<std::string, std::vector<std::byte>> sections_;
 };
 
@@ -133,6 +145,16 @@ void save_checkpoint(const std::string& path, GPTModel& model, Adam& adam,
 /// and world size. Throws CheckpointError on any mismatch.
 void load_checkpoint(const std::string& path, GPTModel& model, Adam& adam,
                      TrainCursor& cursor, int rank, int world_size);
+
+/// The in-memory twins of save/load_checkpoint: identical bytes, no file.
+/// encode produces the blob a rank hands to its buddy's replica store;
+/// decode restores from such a blob (validating every section CRC first).
+std::vector<std::byte> encode_train_snapshot(GPTModel& model, Adam& adam,
+                                             const TrainCursor& cursor,
+                                             int rank, int world_size);
+void decode_train_snapshot(std::span<const std::byte> bytes, GPTModel& model,
+                           Adam& adam, TrainCursor& cursor, int rank,
+                           int world_size);
 
 /// "ckpt-<step padded to 8>.r<rank>.axck".
 std::string checkpoint_filename(std::uint64_t step, int rank);

@@ -1,0 +1,32 @@
+#pragma once
+
+// Elastic in-job recovery driver (DESIGN.md §11).
+//
+// run_elastic_attempt is one attempt of run_resilient_training with
+// config.elastic.enabled: it spawns grid.total() active thread ranks plus
+// config.elastic.spares parked spares over an elastic ThreadWorld, trains to
+// total_steps, and — instead of tearing the world down on a rank failure —
+// recovers in-job: the membership layer detects the failure (crash
+// announcement or heartbeat-timed-out hang), survivors rendezvous and
+// reconfigure at a bumped epoch (hot-swapping a spare into the dead slot, or
+// shrinking gz to the survivor count), and every rank restores from the
+// peer-replicated in-memory checkpoints before continuing. The function
+// throws only when in-job recovery is impossible (replica lost, shrink
+// disallowed / below min_ranks, unrecoverable error) — the supervisor then
+// falls back to the classic disk-checkpoint full restart.
+//
+// Declared separately from run_resilient_training so tests and benchmarks
+// can drive a single elastic attempt directly.
+
+#include <mutex>
+
+#include "axonn/train/resilient.hpp"
+
+namespace axonn::train {
+
+void run_elastic_attempt(const ResilientTrainConfig& config,
+                         const comm::ChaosConfig& chaos,
+                         ResilientTrainResult& result,
+                         std::mutex& result_mutex);
+
+}  // namespace axonn::train

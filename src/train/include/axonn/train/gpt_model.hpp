@@ -73,6 +73,19 @@ class GPTModel {
   /// sync_gradients()). Used by the training sentinel's health checks.
   void for_each_gradient(const std::function<void(Matrix&)>& fn);
 
+  /// Global shape of one parameter, in register_params() order.
+  /// Z-sharded tensors (the FC weights) are stored per-rank as a contiguous
+  /// row chunk of the (full_rows x cols) global tensor, partitioned over the
+  /// Z group by base::chunk_range; replicated tensors are stored whole. This
+  /// is the schema the elastic shrink path uses to re-shard a gz=N snapshot
+  /// onto gz=M survivors without constructing the old model.
+  struct ParamSpec {
+    bool z_sharded = false;
+    std::size_t full_rows = 0;  ///< global rows (shard rows summed over Z)
+    std::size_t cols = 0;
+  };
+  std::vector<ParamSpec> parameter_specs() const;
+
   /// Forward + backward + gradient sync over this rank's batch of
   /// equal-length sequences. Returns the mean next-token cross-entropy over
   /// this rank's unmasked targets. If `goldfish` is non-null the goldfish

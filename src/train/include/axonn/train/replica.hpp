@@ -1,0 +1,97 @@
+#pragma once
+
+// Peer-replicated in-memory checkpoints (DESIGN.md §11).
+//
+// Disk checkpoints bound the blast radius of a failure to `checkpoint_every`
+// steps — but only if the filesystem cooperates. At the paper's scale the
+// parallel filesystem is itself a failure domain (stale snapshot, lost
+// files), so the elastic layer adds a second, storage-free tier: every
+// `checkpoint_every` steps each active slot pushes its CRC-framed snapshot
+// (CheckpointWriter::to_bytes() — byte-identical to the on-disk format) to a
+// buddy slot's memory. Recovery then restores from RAM: a swapped-in spare
+// decodes the dead slot's blob from the buddy that holds it, and survivors
+// decode their own — no disk read on the recovery path at all.
+//
+// The store keeps a two-deep history per slot. Pushes are not atomic across
+// ranks: a crash *during* the push wave leaves some slots at step S and
+// others still at S - k. The recovery step is therefore the newest step
+// every slot holds (`common_step`), which the history guarantees exists as
+// long as at most one push wave was torn.
+//
+// A slot's replica survives the failure iff someone still holding its bytes
+// is alive: the slot's own occupant (local copy) or its buddy, slot
+// (slot + 1) % slots (pushed copy). Both dead => the replica is lost and
+// recovery falls back to the supervisor's disk-checkpoint full restart —
+// the "lost checkpoint replica" row of the fault-model table.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "axonn/train/adam.hpp"
+#include "axonn/train/checkpoint.hpp"
+#include "axonn/train/gpt_model.hpp"
+
+namespace axonn::train {
+
+/// Thread-safe per-slot snapshot-blob store shared by the rank threads of
+/// one elastic run (the in-process stand-in for buddy ranks' RAM).
+class ReplicaStore {
+ public:
+  explicit ReplicaStore(int slots);
+
+  int slots() const;
+
+  /// The buddy (holder) of `slot`'s pushed copy.
+  static int buddy_slot(int slot, int slots) {
+    return (slot + 1) % slots;
+  }
+
+  /// Drops all history and resizes to `slots` (used when the world shrinks:
+  /// old-gz blobs cannot seed a new-gz buddy scheme).
+  void reset(int slots);
+
+  /// Stores `blob` as slot `slot`'s snapshot at `step`, keeping at most the
+  /// two newest steps per slot.
+  void push(int slot, std::uint64_t step, std::vector<std::byte> blob);
+
+  /// Newest step every slot holds a blob for, or nullopt if some slot has
+  /// no blob at the common step (empty store, or more than one torn wave).
+  std::optional<std::uint64_t> common_step() const;
+
+  bool has(int slot, std::uint64_t step) const;
+
+  /// Copy of slot `slot`'s blob at `step`; throws CheckpointError if absent.
+  std::vector<std::byte> blob(int slot, std::uint64_t step) const;
+
+  /// Total pushes accepted (telemetry / tests).
+  std::uint64_t pushes() const;
+
+ private:
+  struct Entry {
+    std::uint64_t step = 0;
+    std::vector<std::byte> bytes;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<std::deque<Entry>> history_;  ///< per slot, newest last
+  std::uint64_t pushes_ = 0;
+};
+
+/// Rebuilds this rank's live state for a `new_world`-way grid from the full
+/// set of `old_blobs.size()`-way snapshot blobs taken at one step — the
+/// elastic shrink restore. Replicated tensors are taken from old slot 0;
+/// Z-sharded tensors (per GPTModel::parameter_specs()) are reassembled from
+/// every old slot's row chunk and re-cut for new rank `new_rank`. Adam step
+/// count and the cursor come from old slot 0 (the cursor is identical across
+/// ranks; the corpus re-partitions deterministically because document
+/// assignment is a pure function of cursor, rank and world size).
+void reshard_restore(const std::vector<std::vector<std::byte>>& old_blobs,
+                     GPTModel& model, Adam& adam, TrainCursor& cursor,
+                     int new_rank, int new_world);
+
+}  // namespace axonn::train

@@ -45,6 +45,38 @@ struct ResilientTrainConfig {
   /// driver gives up and rethrows the last failure.
   int max_restarts = 4;
 
+  /// Supervisor restart backoff (full restarts only — in-job elastic
+  /// recovery never waits). Attempt k sleeps
+  ///   min(cap, base << k) * jitter,   jitter in [0.5, 1.0)
+  /// with the jitter drawn deterministically from (data_seed, k) so runs
+  /// are reproducible. base == 0 keeps the legacy immediate-respawn
+  /// behavior. Waits are counted in ResilientTrainResult and the metrics
+  /// registry (resilient.backoff_waits / resilient.backoff_wait_ms).
+  std::chrono::milliseconds restart_backoff_base{0};
+  std::chrono::milliseconds restart_backoff_cap{2000};
+
+  /// Elastic fault tolerance (DESIGN.md §11). When enabled the driver runs
+  /// the world with membership tracking: heartbeats on the comm progress
+  /// path detect crashes *and* hangs in-job, survivors reconfigure at a
+  /// bumped epoch (hot-swapping a spare into the dead rank's grid slot, or
+  /// shrinking gz to the survivor count), and training resumes from the
+  /// peer-replicated in-memory checkpoints — no full-world respawn. A
+  /// failure the elastic layer cannot absorb (replica lost, below
+  /// min_ranks) falls back to the supervisor's disk-checkpoint restart.
+  struct ElasticConfig {
+    bool enabled = false;
+    /// Extra ranks spawned beyond grid.total(); parked until a failure.
+    int spares = 0;
+    /// Heartbeat staleness threshold for hang detection (0 = crash-only).
+    /// Keep generous under sanitizers (TSan slows ranks ~5-15x).
+    std::chrono::milliseconds heartbeat_timeout{0};
+    /// Shrink gz to the survivor count when no spare is available.
+    bool allow_shrink = true;
+    /// Smallest world the shrink path may produce.
+    int min_ranks = 1;
+  };
+  ElasticConfig elastic;
+
   /// Fault injection applied to every rank's world communicator. The crash
   /// fault only fires on the first attempt — a restart models the failed
   /// node being replaced by a healthy one.
@@ -83,6 +115,21 @@ struct ResilientTrainResult {
   std::uint64_t step_replays = 0;  ///< rank-0 sentinel rollback+replays
   std::uint64_t telemetry_steps = 0;   ///< StepTelemetry folds performed
   std::vector<int> straggler_ranks;    ///< ranks the monitor flagged (order)
+
+  // Supervisor backoff (satellite of the elastic work; also active for
+  // non-elastic configs with restart_backoff_base > 0).
+  std::uint64_t backoff_waits = 0;    ///< sleeps taken before restarts
+  std::uint64_t backoff_wait_ms = 0;  ///< total milliseconds slept
+
+  // Elastic recovery accounting (all zero unless config.elastic.enabled).
+  std::uint64_t epoch_bumps = 0;       ///< world reconfigurations performed
+  std::uint64_t spare_swaps = 0;       ///< dead slots refilled by spares
+  std::uint64_t shrinks = 0;           ///< reconfigurations that shrank gz
+  std::uint64_t replica_pushes = 0;    ///< in-memory snapshot pushes
+  std::uint64_t replica_restores = 0;  ///< ranks restored from replicas
+  std::uint64_t fenced_messages = 0;   ///< stale-epoch messages dropped
+  double recovery_ms = -1.0;  ///< failure -> first post-recovery step (MTTR)
+  int final_world_size = 0;   ///< active ranks at finish (shrink visible)
 };
 
 /// Runs the supervisor loop to completion (or rethrows after the restart

@@ -1,12 +1,16 @@
 #include "axonn/train/resilient.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <mutex>
+#include <thread>
 
 #include "axonn/base/log.hpp"
+#include "axonn/base/metrics.hpp"
 #include "axonn/comm/thread_comm.hpp"
 #include "axonn/core/grid4d.hpp"
 #include "axonn/train/checkpoint.hpp"
+#include "axonn/train/elastic.hpp"
 #include "axonn/train/telemetry.hpp"
 
 namespace axonn::train {
@@ -160,9 +164,49 @@ void run_attempt(const ResilientTrainConfig& config,
         if (rank == 0) {
           std::lock_guard<std::mutex> lock(result_mutex);
           result.final_loss = eval_loss;
+          result.final_world_size = world_size;
         }
       },
       world_options(config));
+}
+
+/// Satellite of the elastic work: exponential backoff with deterministic
+/// jitter before a full restart, so a fleet of supervisors recovering from a
+/// correlated failure does not hammer the scheduler/filesystem in lockstep.
+/// base == 0 keeps the legacy immediate respawn.
+void backoff_before_restart(const ResilientTrainConfig& config, int attempt,
+                            ResilientTrainResult& result,
+                            std::mutex& result_mutex) {
+  if (config.restart_backoff_base.count() <= 0) return;
+  const auto base =
+      static_cast<std::uint64_t>(config.restart_backoff_base.count());
+  const auto cap = std::max(
+      base, static_cast<std::uint64_t>(
+                std::max<long long>(0, config.restart_backoff_cap.count())));
+  std::uint64_t raw = base;
+  for (int i = 0; i < attempt && raw < cap; ++i) raw <<= 1;
+  raw = std::min(raw, cap);
+  // Jitter in [0.5, 1.0), a pure function of (data_seed, attempt): spreads
+  // restarts across a fleet while keeping any one run reproducible.
+  Rng rng(config.data_seed ^
+          (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(attempt + 1)));
+  const double jitter =
+      0.5 + 0.5 * static_cast<double>(rng.uniform_int(1u << 20)) /
+                static_cast<double>(1u << 20);
+  const auto delay_ms = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(raw) * jitter));
+  AXONN_LOG_INFO << "resilient: backing off " << delay_ms
+                 << " ms before restart attempt " << attempt + 2;
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  if (obs::metrics::enabled()) {
+    static obs::metrics::Counter waits("resilient.backoff_waits");
+    static obs::metrics::Counter wait_ms("resilient.backoff_wait_ms");
+    waits.add();
+    wait_ms.add(static_cast<double>(delay_ms));
+  }
+  std::lock_guard<std::mutex> lock(result_mutex);
+  ++result.backoff_waits;
+  result.backoff_wait_ms += delay_ms;
 }
 
 }  // namespace
@@ -173,6 +217,13 @@ ResilientTrainResult run_resilient_training(
                   "GPTModel supports Z x data grids only");
   AXONN_CHECK_MSG(!config.checkpoint_dir.empty(),
                   "resilient training needs a checkpoint directory");
+  if (config.elastic.enabled) {
+    AXONN_CHECK_MSG(config.grid.gdata == 1,
+                    "elastic mode re-shards over the Z dimension and "
+                    "requires gdata == 1");
+    AXONN_CHECK_MSG(config.elastic.spares >= 0 && config.elastic.min_ranks >= 1,
+                    "elastic needs spares >= 0 and min_ranks >= 1");
+  }
   std::filesystem::create_directories(config.checkpoint_dir);
 
   ResilientTrainResult result;
@@ -182,14 +233,19 @@ ResilientTrainResult run_resilient_training(
     comm::ChaosConfig chaos = config.chaos;
     if (attempt > 0) {
       // The restarted world models the failed node having been replaced:
-      // the crash fault and the one-shot memory corruption (both transient,
-      // tied to the failed hardware) do not re-fire, but latency/corruption
-      // chaos (and the watchdog) stay armed.
+      // the crash, the hang and the one-shot memory corruption (all
+      // transient, tied to the failed hardware) do not re-fire, but
+      // latency/corruption chaos (and the watchdog) stay armed.
       chaos.crash_rank = -1;
+      chaos.hang_rank = -1;
       chaos.corrupt_once_rank = -1;
     }
     try {
-      run_attempt(config, chaos, result, result_mutex);
+      if (config.elastic.enabled) {
+        run_elastic_attempt(config, chaos, result, result_mutex);
+      } else {
+        run_attempt(config, chaos, result, result_mutex);
+      }
       return result;
     } catch (const std::exception& e) {
       if (attempt >= config.max_restarts) {
@@ -200,6 +256,7 @@ ResilientTrainResult run_resilient_training(
       ++result.restarts;
       AXONN_LOG_WARN << "resilient: attempt " << attempt + 1 << " failed ("
                      << e.what() << ") — restarting from latest checkpoint";
+      backoff_before_restart(config, attempt, result, result_mutex);
     }
   }
 }

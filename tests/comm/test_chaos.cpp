@@ -139,6 +139,70 @@ TEST(ChaosTest, OpCounterSpansSplitCommunicators) {
       RankFailure);
 }
 
+TEST(ChaosTest, HangTripsWatchdogInNonElasticWorld) {
+  // Without the elastic membership layer there is no heartbeat detection: a
+  // hung rank (silent, no crash announcement) must still be caught — by the
+  // collective watchdog — within its budget, not hang the join forever.
+  WorldOptions options;
+  options.collective_timeout = std::chrono::milliseconds(1500);
+
+  ChaosConfig config;
+  config.seed = 7;
+  config.hang_rank = 1;
+  config.hang_at_collective = 2;
+
+  const auto start = std::chrono::steady_clock::now();
+  bool saw_failure = false;
+  try {
+    run_ranks(
+        2,
+        [&](Communicator& world) {
+          ChaosComm chaos(world, config);
+          std::vector<float> buffer{1.0f};
+          for (int i = 0; i < 6; ++i) {
+            chaos.all_reduce(buffer, ReduceOp::kSum);
+          }
+        },
+        options);
+  } catch (const std::exception& e) {
+    saw_failure = true;
+    // Whichever error wins the race to be recorded first — the survivor's
+    // CommTimeoutError (carrying the world's fault note) or the hung rank's
+    // RankFailure — it must name the chaos seed for replayability.
+    EXPECT_NE(std::string(e.what()).find("chaos seed=7"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_TRUE(saw_failure);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(8000));
+}
+
+TEST(ChaosTest, FailureReportsCarrySeedAndDrawIndex) {
+  // Replayability: the error text alone must pin down the fault schedule —
+  // the chaos seed and the fault's draw (collective) index.
+  ChaosConfig config;
+  config.seed = 11;
+  config.crash_rank = 0;
+  config.crash_at_collective = 3;
+  try {
+    run_ranks(1, [&](Communicator& world) {
+      ChaosComm chaos(world, config);
+      std::vector<float> buffer{1.0f};
+      for (int i = 0; i < 6; ++i) {
+        chaos.all_reduce(buffer, ReduceOp::kSum);
+      }
+      ADD_FAILURE() << "rank 0 should have crashed at collective 3";
+    });
+    FAIL() << "expected RankFailure";
+  } catch (const RankFailure& failure) {
+    EXPECT_EQ(failure.rank(), 0);
+    EXPECT_EQ(failure.collective_index(), 3u);
+    EXPECT_NE(std::string(failure.what()).find("chaos seed=11 draw=3"),
+              std::string::npos)
+        << failure.what();
+  }
+}
+
 TEST(ChaosTest, SlowRankDelaysButCompletes) {
   ChaosConfig config;
   config.slow_rank = 0;

@@ -1,0 +1,230 @@
+// Elastic membership layer (DESIGN.md §11): a declared death wakes blocked
+// collectives with RankDeadError, survivors reconfigure at a bumped epoch
+// (shrinking or hot-swapping a spare), stale-epoch traffic is provably
+// fenced, and a hung peer is detected by its stale heartbeat.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "axonn/comm/fault.hpp"
+#include "axonn/comm/thread_comm.hpp"
+
+namespace axonn::comm {
+namespace {
+
+WorldOptions elastic_options(int spares = 0) {
+  WorldOptions options;
+  options.elastic = true;
+  options.spare_ranks = spares;
+  options.allow_shrink = true;
+  // Generous watchdog so only the membership layer decides outcomes here.
+  options.collective_timeout = std::chrono::milliseconds(30000);
+  return options;
+}
+
+/// Spawns one thread per world rank running `body(rank)` and joins them.
+void spawn_ranks(int nranks, const std::function<void(int)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) threads.emplace_back([&body, r] { body(r); });
+  for (auto& t : threads) t.join();
+}
+
+TEST(MembershipTest, DeclareDeadWakesBlockedCollectiveAndShrinks) {
+  ThreadWorld world(3, elastic_options());
+  std::atomic<int> rank_dead_errors{0};
+  std::atomic<int> completed{0};
+
+  spawn_ranks(3, [&](int my) {
+    if (my == 2) {
+      // The casualty: announce the death without ever joining the
+      // collective — the failure broadcast every crash path ends in.
+      world.declare_dead(my, "injected crash");
+      world.drain_progress(my);
+      return;
+    }
+    auto comm = world.active_comm(my);
+    std::vector<float> buffer{1.0f};
+    try {
+      comm->all_reduce(buffer, ReduceOp::kSum);
+      ADD_FAILURE() << "rank " << my << " completed a 3-way all-reduce "
+                    << "missing rank 2";
+    } catch (const RankDeadError& e) {
+      ++rank_dead_errors;
+      EXPECT_EQ(e.epoch(), 0u);
+      ASSERT_EQ(e.dead_ranks().size(), 1u);
+      EXPECT_EQ(e.dead_ranks()[0], 2);
+    }
+    world.drain_progress(my);
+
+    const auto plan = world.reconfigure(my);
+    EXPECT_EQ(plan.epoch, 1u);
+    EXPECT_TRUE(plan.shrunk);
+    EXPECT_EQ(plan.old_active, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(plan.active, (std::vector<int>{0, 1}));
+    EXPECT_EQ(plan.dead_slots, (std::vector<int>{2}));
+    EXPECT_TRUE(plan.swapped_in.empty());
+
+    auto fresh = world.active_comm(my);
+    EXPECT_EQ(fresh->size(), 2);
+    EXPECT_EQ(fresh->epoch(), 1u);
+    std::vector<float> again{1.0f};
+    fresh->all_reduce(again, ReduceOp::kSum);
+    EXPECT_EQ(again[0], 2.0f);
+    world.drain_progress(my);
+    ++completed;
+  });
+
+  EXPECT_EQ(rank_dead_errors.load(), 2);
+  EXPECT_EQ(completed.load(), 2);
+  EXPECT_EQ(world.epoch(), 1u);
+  EXPECT_FALSE(world.aborted());
+  EXPECT_EQ(world.rank_state(2), ThreadWorld::RankState::kDead);
+  EXPECT_TRUE(world.pending_dead_ranks().empty());
+}
+
+TEST(MembershipTest, SpareSwapFencesStaleEpochTraffic) {
+  // Active {0, 1}, spare {2}. Rank 1 dies after the first collective while
+  // rank 0's second all-reduce is in flight: rank 0's already-delivered
+  // message to rank 1 must be purged by the epoch fence, the spare must
+  // inherit slot 1, and a handle from the dead epoch must refuse to issue.
+  ThreadWorld world(3, elastic_options(/*spares=*/1));
+  EXPECT_EQ(world.rank_state(2), ThreadWorld::RankState::kSpare);
+
+  spawn_ranks(3, [&](int my) {
+    if (my == 1) {
+      auto comm = world.active_comm(my);
+      std::vector<float> buffer{static_cast<float>(comm->rank())};
+      comm->all_reduce(buffer, ReduceOp::kSum);
+      EXPECT_EQ(buffer[0], 1.0f);
+      // Give rank 0's second all-reduce time to put its ring message in
+      // this rank's mailbox — the message the fence must drop.
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      world.declare_dead(my, "injected crash");
+      world.drain_progress(my);
+      return;
+    }
+    if (my == 2) {
+      const auto plan = world.park_for_assignment(my);
+      ASSERT_TRUE(plan.has_value());
+      EXPECT_EQ(plan->epoch, 1u);
+      EXPECT_FALSE(plan->shrunk);
+      EXPECT_EQ(plan->swapped_in, (std::vector<int>{2}));
+      auto comm = world.active_comm(my);
+      EXPECT_EQ(comm->rank(), 1);  // the dead rank's slot, not a new one
+      std::vector<float> buffer{10.0f + static_cast<float>(comm->rank())};
+      comm->all_reduce(buffer, ReduceOp::kSum);
+      EXPECT_EQ(buffer[0], 21.0f);
+      world.drain_progress(my);
+      return;
+    }
+    auto stale = world.active_comm(my);
+    std::vector<float> buffer{static_cast<float>(stale->rank())};
+    stale->all_reduce(buffer, ReduceOp::kSum);
+    EXPECT_EQ(buffer[0], 1.0f);
+    // Large enough that both ring chunks are non-empty: this rank delivers a
+    // real segment into rank 1's mailbox before blocking on the reply — the
+    // stale message the fence must purge.
+    std::vector<float> abandoned(64, 1.0f);
+    EXPECT_THROW(stale->all_reduce(abandoned, ReduceOp::kSum), RankDeadError);
+    world.drain_progress(my);
+
+    const auto plan = world.reconfigure(my);
+    EXPECT_EQ(plan.epoch, 1u);
+    EXPECT_EQ(plan.active, (std::vector<int>{0, 2}));
+    EXPECT_EQ(plan.dead_slots, (std::vector<int>{1}));
+
+    // The pre-failure handle is fenced: it may not issue into the new epoch.
+    std::vector<float> fenced{0.0f};
+    EXPECT_THROW(stale->all_reduce(fenced, ReduceOp::kSum), EpochFencedError);
+
+    auto fresh = world.active_comm(my);
+    std::vector<float> again{10.0f + static_cast<float>(fresh->rank())};
+    fresh->all_reduce(again, ReduceOp::kSum);
+    EXPECT_EQ(again[0], 21.0f);
+    world.drain_progress(my);
+  });
+
+  EXPECT_EQ(world.epoch(), 1u);
+  EXPECT_FALSE(world.aborted());
+  // Rank 0's abandoned second all-reduce delivered at least one ring message
+  // into dead rank 1's mailbox at epoch 0 — the transition must have fenced
+  // it (the acceptance-counter assertion for the epoch fence).
+  EXPECT_GE(world.fenced_messages(), 1u);
+  EXPECT_EQ(world.rank_state(1), ThreadWorld::RankState::kDead);
+  EXPECT_EQ(world.rank_state(2), ThreadWorld::RankState::kActive);
+}
+
+TEST(MembershipTest, HeartbeatTimeoutDetectsHungPeer) {
+  // Rank 1 never issues and never beats: rank 0, blocked waiting on its ring
+  // message, must declare it dead once its heartbeat goes stale — no
+  // watchdog, no abort, an in-job recovery to a 1-rank world.
+  auto options = elastic_options();
+  options.heartbeat_timeout = std::chrono::milliseconds(500);
+  ThreadWorld world(2, options);
+  std::string failure_reason;
+
+  spawn_ranks(2, [&](int my) {
+    if (my == 1) {
+      // Hung: make no progress at all, then unwind once fenced off.
+      while (!world.is_dead(my) && !world.aborted()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      world.drain_progress(my);
+      return;
+    }
+    auto comm = world.active_comm(my);
+    std::vector<float> buffer{1.0f};
+    try {
+      comm->all_reduce(buffer, ReduceOp::kSum);
+      ADD_FAILURE() << "all-reduce completed without the hung peer";
+    } catch (const RankDeadError& e) {
+      failure_reason = e.what();
+    }
+    world.drain_progress(my);
+    const auto plan = world.reconfigure(my);
+    EXPECT_TRUE(plan.shrunk);
+    EXPECT_EQ(plan.active, (std::vector<int>{0}));
+    world.drain_progress(my);
+  });
+
+  EXPECT_FALSE(world.aborted());
+  EXPECT_TRUE(world.is_dead(1));
+  EXPECT_NE(failure_reason.find("heartbeat timeout"), std::string::npos)
+      << failure_reason;
+  EXPECT_GT(world.last_failure_ns(), 0);
+}
+
+TEST(MembershipTest, FinishWakesUnneededSpares) {
+  ThreadWorld world(3, elastic_options(/*spares=*/1));
+  std::atomic<bool> spare_released{false};
+
+  spawn_ranks(3, [&](int my) {
+    if (my == 2) {
+      const auto plan = world.park_for_assignment(my);
+      EXPECT_FALSE(plan.has_value());  // run finished, never assigned
+      spare_released = true;
+      return;
+    }
+    auto comm = world.active_comm(my);
+    std::vector<float> buffer{1.0f};
+    comm->all_reduce(buffer, ReduceOp::kSum);
+    EXPECT_EQ(buffer[0], 2.0f);
+    world.drain_progress(my);
+    world.finish();  // idempotent: both actives may call it
+  });
+
+  EXPECT_TRUE(spare_released.load());
+  EXPECT_EQ(world.epoch(), 0u);
+  EXPECT_EQ(world.fenced_messages(), 0u);
+  EXPECT_EQ(world.rank_state(2), ThreadWorld::RankState::kSpare);
+}
+
+}  // namespace
+}  // namespace axonn::comm

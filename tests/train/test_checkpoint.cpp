@@ -235,5 +235,44 @@ TEST(FindLatestValidStepTest, SkipsTornAndIncompleteSteps) {
   EXPECT_EQ(find_latest_valid_step(dir.string(), 2), 16);
 }
 
+TEST(FindLatestValidStepTest, MixedValidityDirectoryFallsBackPerRankSet) {
+  // A directory mixing healthy, corrupted and partially-written steps: the
+  // restorable step is the newest one where *every* rank's file validates —
+  // one rank's corruption poisons the whole step, not just that rank.
+  const fs::path dir = scratch_dir("mixed");
+  auto write_valid = [&dir](std::uint64_t step, int rank) {
+    CheckpointWriter writer;
+    writer.add_section("alpha", small_payload());
+    writer.write((dir / checkpoint_filename(step, rank)).string());
+  };
+
+  write_valid(4, 0);
+  write_valid(4, 1);
+  write_valid(8, 0);
+  write_valid(8, 1);
+  write_valid(12, 0);
+  write_valid(12, 1);
+  EXPECT_EQ(find_latest_valid_step(dir.string(), 2), 12);
+
+  // Corrupt rank 1's newest file in place (flip a payload byte): rank 0's
+  // half of step 12 is fine, but the step as a whole is not restorable.
+  {
+    const fs::path victim = dir / checkpoint_filename(12, 1);
+    std::fstream f(victim, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-1, std::ios::end);
+    f.put('\xFF');
+  }
+  EXPECT_EQ(find_latest_valid_step(dir.string(), 2), 8);
+
+  // A newer step with only one rank present does not change the verdict.
+  write_valid(16, 0);
+  EXPECT_EQ(find_latest_valid_step(dir.string(), 2), 8);
+
+  // Completing step 16 on rank 1 makes it the newest fully-valid step even
+  // though step 12 below it is still half-corrupt.
+  write_valid(16, 1);
+  EXPECT_EQ(find_latest_valid_step(dir.string(), 2), 16);
+}
+
 }  // namespace
 }  // namespace axonn::train
