@@ -290,36 +290,45 @@ void ChaosComm::barrier() {
   inner_->barrier();
 }
 
-Request ChaosComm::iall_reduce(std::span<float> buffer, ReduceOp op) {
+Request ChaosComm::iall_reduce(std::span<float> buffer, ReduceOp op,
+                               CommPriority priority) {
   begin_collective();
-  return inner_->iall_reduce(buffer, op);
+  return inner_->iall_reduce(buffer, op, priority);
 }
 
 Request ChaosComm::iall_gather(std::span<const float> send,
-                               std::span<float> recv) {
+                               std::span<float> recv, CommPriority priority) {
   begin_collective();
-  return inner_->iall_gather(send, recv);
+  return inner_->iall_gather(send, recv, priority);
 }
 
 Request ChaosComm::iall_gatherv(std::span<const float> send,
                                 std::span<float> recv,
-                                std::span<const std::size_t> recv_counts) {
+                                std::span<const std::size_t> recv_counts,
+                                CommPriority priority) {
   begin_collective();
-  return inner_->iall_gatherv(send, recv, recv_counts);
+  return inner_->iall_gatherv(send, recv, recv_counts, priority);
 }
 
 Request ChaosComm::ireduce_scatter(std::span<const float> send,
-                                   std::span<float> recv, ReduceOp op) {
+                                   std::span<float> recv, ReduceOp op,
+                                   CommPriority priority) {
   begin_collective();
-  return inner_->ireduce_scatter(send, recv, op);
+  return inner_->ireduce_scatter(send, recv, op, priority);
 }
 
 Request ChaosComm::ireduce_scatterv(std::span<const float> send,
                                     std::span<float> recv,
                                     std::span<const std::size_t> counts,
-                                    ReduceOp op) {
+                                    ReduceOp op, CommPriority priority) {
   begin_collective();
-  return inner_->ireduce_scatterv(send, recv, counts, op);
+  return inner_->ireduce_scatterv(send, recv, counts, op, priority);
+}
+
+Request ChaosComm::run_on_stream(std::function<void()> fn,
+                                 CommPriority priority) {
+  // A rank-local host function, not a collective: no chaos schedule step.
+  return inner_->run_on_stream(std::move(fn), priority);
 }
 
 std::unique_ptr<Communicator> ChaosComm::split(int color, int key) {

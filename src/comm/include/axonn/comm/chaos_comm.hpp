@@ -151,16 +151,21 @@ class ChaosComm final : public Communicator {
   void broadcast(std::span<float> buffer, int root) override;
   void barrier() override;
 
-  Request iall_reduce(std::span<float> buffer, ReduceOp op) override;
-  Request iall_gather(std::span<const float> send,
-                      std::span<float> recv) override;
+  Request iall_reduce(std::span<float> buffer, ReduceOp op,
+                      CommPriority priority = CommPriority::kNormal) override;
+  Request iall_gather(std::span<const float> send, std::span<float> recv,
+                      CommPriority priority = CommPriority::kNormal) override;
   Request iall_gatherv(std::span<const float> send, std::span<float> recv,
-                       std::span<const std::size_t> recv_counts) override;
+                       std::span<const std::size_t> recv_counts,
+                       CommPriority priority = CommPriority::kNormal) override;
   Request ireduce_scatter(std::span<const float> send, std::span<float> recv,
-                          ReduceOp op) override;
+                          ReduceOp op,
+                          CommPriority priority = CommPriority::kNormal) override;
   Request ireduce_scatterv(std::span<const float> send, std::span<float> recv,
-                           std::span<const std::size_t> counts,
-                           ReduceOp op) override;
+                           std::span<const std::size_t> counts, ReduceOp op,
+                           CommPriority priority = CommPriority::kNormal) override;
+  Request run_on_stream(std::function<void()> fn,
+                        CommPriority priority = CommPriority::kNormal) override;
 
   std::unique_ptr<Communicator> split(int color, int key) override;
 

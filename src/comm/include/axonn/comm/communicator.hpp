@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <span>
@@ -27,6 +28,26 @@
 namespace axonn::comm {
 
 enum class ReduceOp { kSum, kMax, kMin };
+
+/// Priority class of a nonblocking collective — which progress lane runs it.
+///
+/// The ThreadComm runtime drains each priority class on its own dedicated
+/// FIFO worker (the in-process analogue of issuing to separate CUDA streams
+/// with stream priorities), so a critical-path collective is never serialized
+/// behind a bulk transfer that happens to be ahead of it in a single queue.
+/// Lane assignment must be identical on every member rank for any given
+/// collective (it is, when it is fixed per call site): within one lane the
+/// issue order is cross-rank consistent, which keeps the per-lane FIFO
+/// deadlock-free by the same argument as a single progress stream.
+///   kHigh   — the consumer blocks on the result almost immediately
+///             (e.g. the backward dI all-reduce, OAR: the previous layer's
+///             backward needs it next).
+///   kNormal — prefetches consumed a layer ahead (e.g. the OAG weight
+///             all-gather and its pre-pack).
+///   kBulk   — results not needed until the end of the step (e.g. the dW
+///             reduce-scatter, ORS: consumed at finish_gradients()).
+enum class CommPriority { kHigh = 0, kNormal = 1, kBulk = 2 };
+inline constexpr int kCommPriorityLanes = 3;
 
 /// Byte/operation counters, accumulated per communicator. `wire_bytes` counts
 /// bytes actually moved between ranks (what the network sees, and what the
@@ -123,19 +144,37 @@ class Communicator {
   virtual void barrier() = 0;
 
   /// Nonblocking variants. Default implementations in concrete classes may
-  /// run on a per-rank progress thread (the "communication stream").
-  virtual Request iall_reduce(std::span<float> buffer, ReduceOp op) = 0;
-  virtual Request iall_gather(std::span<const float> send,
-                              std::span<float> recv) = 0;
+  /// run on a per-rank progress thread (the "communication stream");
+  /// `priority` selects the progress lane (see CommPriority) and must be the
+  /// same on every member rank for a given collective.
+  virtual Request iall_reduce(std::span<float> buffer, ReduceOp op,
+                              CommPriority priority = CommPriority::kNormal) = 0;
+  virtual Request iall_gather(std::span<const float> send, std::span<float> recv,
+                              CommPriority priority = CommPriority::kNormal) = 0;
   virtual Request iall_gatherv(std::span<const float> send,
                                std::span<float> recv,
-                               std::span<const std::size_t> recv_counts) = 0;
+                               std::span<const std::size_t> recv_counts,
+                               CommPriority priority = CommPriority::kNormal) = 0;
   virtual Request ireduce_scatter(std::span<const float> send,
-                                  std::span<float> recv, ReduceOp op) = 0;
+                                  std::span<float> recv, ReduceOp op,
+                                  CommPriority priority = CommPriority::kNormal) = 0;
   virtual Request ireduce_scatterv(std::span<const float> send,
                                    std::span<float> recv,
                                    std::span<const std::size_t> counts,
-                                   ReduceOp op) = 0;
+                                   ReduceOp op,
+                                   CommPriority priority = CommPriority::kNormal) = 0;
+
+  /// Runs `fn` on this rank's progress lane for `priority`, FIFO-ordered
+  /// after collectives already issued to the same lane — the in-process
+  /// analogue of cudaLaunchHostFunc on a comm stream. Purely rank-local (no
+  /// peer participates); the default runs inline on the calling thread,
+  /// which is correct wherever there is no progress thread to defer to.
+  virtual Request run_on_stream(std::function<void()> fn,
+                                CommPriority priority = CommPriority::kNormal) {
+    (void)priority;
+    fn();
+    return Request{};
+  }
 
   /// Splits into disjoint sub-communicators by colour; ranks with the same
   /// colour form a group, ordered by key (ties broken by old rank). Must be

@@ -1,0 +1,64 @@
+#pragma once
+
+// Model-driven ring segment sizing (DESIGN.md §12).
+//
+// The chunk-pipelined rings (ring.hpp) split every hop's chunk into segments
+// of s elements so a downstream rank can start forwarding while the upstream
+// rank is still sending — the same latency/bandwidth trade the paper's Eq. 6
+// optimizes when it picks message sizes for the hierarchical collectives.
+// With the alpha-beta cost model behind Eqs. 1–7 (alpha seconds of fixed
+// per-message overhead, beta seconds per element of bandwidth time), a
+// p-rank pipelined ring moving an N-element chunk per hop costs
+//
+//     T(s) = (h - 1 + N / s) * (alpha + s * beta),    h = p - 1 hops,
+//
+// the classic pipelining formula: N/s segments fill the pipe, h - 1 more
+// stage-times drain it. dT/ds = 0 gives the optimum
+//
+//     s* = sqrt(N * alpha / ((h - 1) * beta)).
+//
+// Two regimes fall out that a flat default cannot serve at once:
+//   - p == 2 (h == 1): there is no pipeline to fill — every segment adds
+//     alpha of pure overhead, so the unsegmented schedule is optimal.
+//   - p > 2: s* grows with sqrt(N) and with sqrt(alpha/beta), so small
+//     collectives want small segments (hide latency) and large ones want
+//     large segments (amortize per-message cost).
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace axonn::comm {
+
+/// Alpha-beta transport constants feeding the segment-size model. Defaults
+/// are calibrated to the in-process thread transport (a message costs a
+/// mutex/cv round-trip, ~microseconds; payload moves at memcpy speed); the
+/// perf layer derives machine-specific values from its DimensionBandwidths
+/// (perf/comm_model.hpp).
+struct RingSegmentModel {
+  double alpha_s = 3e-6;          ///< fixed per-message cost (seconds)
+  double beta_s_per_elem = 1e-9;  ///< per-element cost (seconds/element)
+  std::size_t min_segment_elems = 256;  ///< floor: below this, overhead wins
+};
+
+/// Optimal segment size (elements) for a pipelined ring over `ring_size`
+/// ranks whose per-hop chunk holds `chunk_elems` elements. Returns 0 —
+/// the unsegmented schedule — when the ring has no pipeline to fill
+/// (ring_size <= 2) or the chunk is too small to split profitably. Results
+/// of the ring algorithms are bitwise independent of this value; only the
+/// message schedule changes.
+inline std::size_t model_ring_segment_elems(std::size_t chunk_elems,
+                                            int ring_size,
+                                            const RingSegmentModel& model = {}) {
+  const int hops = ring_size - 1;
+  if (hops <= 1 || chunk_elems == 0) return 0;  // no pipeline: unsegmented
+  if (model.alpha_s <= 0.0 || model.beta_s_per_elem <= 0.0) return 0;
+  const double optimum =
+      std::sqrt(static_cast<double>(chunk_elems) * model.alpha_s /
+                (static_cast<double>(hops - 1) * model.beta_s_per_elem));
+  const auto s = static_cast<std::size_t>(optimum);
+  if (s >= chunk_elems) return 0;  // one segment per chunk: don't split
+  return std::clamp(s, model.min_segment_elems, chunk_elems);
+}
+
+}  // namespace axonn::comm

@@ -59,29 +59,39 @@ class SelfComm final : public Communicator {
 
   void barrier() override {}
 
-  Request iall_reduce(std::span<float> buffer, ReduceOp op) override {
+  // Nonblocking variants run synchronously (there is nobody to overlap
+  // with); the priority lane is irrelevant and ignored.
+  Request iall_reduce(std::span<float> buffer, ReduceOp op,
+                      CommPriority = CommPriority::kNormal) override {
     all_reduce(buffer, op);
     return completed_request();
   }
-  Request iall_gather(std::span<const float> send,
-                      std::span<float> recv) override {
+  Request iall_gather(std::span<const float> send, std::span<float> recv,
+                      CommPriority = CommPriority::kNormal) override {
     all_gather(send, recv);
     return completed_request();
   }
   Request iall_gatherv(std::span<const float> send, std::span<float> recv,
-                       std::span<const std::size_t> recv_counts) override {
+                       std::span<const std::size_t> recv_counts,
+                       CommPriority = CommPriority::kNormal) override {
     all_gatherv(send, recv, recv_counts);
     return completed_request();
   }
   Request ireduce_scatter(std::span<const float> send, std::span<float> recv,
-                          ReduceOp op) override {
+                          ReduceOp op,
+                          CommPriority = CommPriority::kNormal) override {
     reduce_scatter(send, recv, op);
     return completed_request();
   }
   Request ireduce_scatterv(std::span<const float> send, std::span<float> recv,
-                           std::span<const std::size_t> counts,
-                           ReduceOp op) override {
+                           std::span<const std::size_t> counts, ReduceOp op,
+                           CommPriority = CommPriority::kNormal) override {
     reduce_scatterv(send, recv, counts, op);
+    return completed_request();
+  }
+  Request run_on_stream(std::function<void()> fn,
+                        CommPriority = CommPriority::kNormal) override {
+    fn();
     return completed_request();
   }
 

@@ -2,14 +2,17 @@
 
 // In-process message-passing runtime: one OS thread per rank.
 //
-// ThreadWorld owns the shared state (mailboxes, the per-rank progress thread
-// that plays the role of the GPU communication stream, the abort flag).
-// ThreadComm is the per-rank handle implementing the Communicator interface
-// with the real ring algorithms from ring.hpp.
+// ThreadWorld owns the shared state (mailboxes, the per-rank progress lanes
+// that play the role of prioritized GPU communication streams, the abort
+// flag). ThreadComm is the per-rank handle implementing the Communicator
+// interface with the real ring algorithms from ring.hpp.
 //
-// Nonblocking collectives are executed on the rank's progress thread so that
-// the issuing thread can keep computing — the same concurrency structure the
-// paper's OAR/ORS/OAG overlap optimizations rely on with NCCL/RCCL streams.
+// Nonblocking collectives are executed on one of the rank's progress lanes
+// (selected by CommPriority) so that the issuing thread can keep computing —
+// the same concurrency structure the paper's OAR/ORS/OAG overlap
+// optimizations rely on with NCCL/RCCL streams, with the lane split playing
+// the role of stream priorities: a critical-path dI all-reduce never queues
+// behind a bulk weight-gradient reduce-scatter.
 // Collectives on one communicator must be issued in the same order by every
 // member rank (the MPI/NCCL ordering contract); distinct communicators are
 // independent.
@@ -28,6 +31,7 @@
 #include <vector>
 
 #include "axonn/comm/communicator.hpp"
+#include "axonn/comm/segment_model.hpp"
 #include "axonn/integrity/integrity.hpp"
 
 namespace axonn::comm {
@@ -50,8 +54,18 @@ struct WorldOptions {
   /// Chunk-pipelining segment size (elements) for the ring collectives; 0
   /// runs the unsegmented algorithms (see ring.hpp). Results are bitwise
   /// independent of this value. Overridable by the AXONN_RING_SEGMENT
-  /// environment variable (element count; takes precedence when set).
+  /// environment variable (an element count, or "auto" to enable
+  /// ring_segment_auto; takes precedence when set).
   std::size_t ring_segment_elems = kDefaultRingSegmentElems;
+  /// Model-driven segment sizing (DESIGN.md §12): size each ring collective's
+  /// segments from the Eq. 1–7 alpha-beta model (segment_model.hpp) — per
+  /// collective, from its chunk size and ring size — instead of the flat
+  /// ring_segment_elems. Two-rank rings run unsegmented (no pipeline to
+  /// fill). Off by default: the flat value keeps message counts stable for
+  /// tests that pin exact wire traffic.
+  bool ring_segment_auto = false;
+  /// Transport constants for ring_segment_auto.
+  RingSegmentModel ring_segment_model;
   /// Self-healing ring transport (see DESIGN.md §9). kDetect stamps every
   /// ring message (segment) with a crc32 word; a receiver-side mismatch
   /// throws DataCorruptionError. kHeal additionally NACKs: the sender keeps
@@ -123,6 +137,21 @@ class ThreadWorld {
   /// The ring segment size in effect (see WorldOptions::ring_segment_elems).
   std::size_t ring_segment_elems() const {
     return ring_segment_elems_.load(std::memory_order_relaxed);
+  }
+
+  /// Model-driven segment sizing in effect (WorldOptions::ring_segment_auto
+  /// or AXONN_RING_SEGMENT=auto).
+  bool ring_segment_auto() const {
+    return ring_segment_auto_.load(std::memory_order_relaxed);
+  }
+  /// Same contract as set_ring_segment_elems: every member rank must observe
+  /// the same value for any given collective.
+  void set_ring_segment_auto(bool ring_auto) {
+    ring_segment_auto_.store(ring_auto, std::memory_order_relaxed);
+  }
+  /// Transport constants for the auto mode (fixed at construction).
+  const RingSegmentModel& ring_segment_model() const {
+    return segment_model_;
   }
 
   /// The CRC protection level in effect (WorldOptions::ring_crc after the
@@ -240,10 +269,10 @@ class ThreadWorld {
   /// (name "active.e<epoch>"). The caller must currently occupy a slot.
   std::unique_ptr<ThreadComm> active_comm(int my_world_rank);
 
-  /// Blocks until every task queued on `my_world_rank`'s progress stream has
-  /// run. Call before destroying communicators whose collectives may still
-  /// be queued (the tasks fail fast once a failure is pending, but they must
-  /// finish before the objects they reference unwind).
+  /// Blocks until every task queued on any of `my_world_rank`'s progress
+  /// lanes has run. Call before destroying communicators whose collectives
+  /// may still be queued (the tasks fail fast once a failure is pending, but
+  /// they must finish before the objects they reference unwind).
   void drain_progress(int my_world_rank);
 
   /// Provenance note appended to watchdog/corruption error messages (e.g.
@@ -287,12 +316,20 @@ class ThreadWorld {
     std::map<MessageKey, std::deque<std::vector<float>>> queues;
   };
 
-  // The per-rank progress "stream": a worker thread draining FIFO tasks.
+  // One progress lane: a worker thread draining FIFO tasks. Each rank owns
+  // kCommPriorityLanes of these (one per CommPriority), so a critical-path
+  // collective never queues behind a bulk transfer — the in-process analogue
+  // of prioritized GPU comm streams. Workers are spawned lazily on the first
+  // task posted to the lane (most ranks only ever use kNormal), and FIFO
+  // order within a lane is cross-rank consistent whenever lane assignment is
+  // fixed per call site, which keeps each lane deadlock-free by the same
+  // argument as the original single stream.
   struct ProgressStream {
     std::mutex mutex;
     std::condition_variable cv;
     std::deque<std::function<void()>> tasks;
     std::thread worker;
+    bool started = false;   ///< worker spawned (guarded by mutex)
     bool stopping = false;
   };
 
@@ -335,11 +372,17 @@ class ThreadWorld {
   std::uint64_t subcomm_id(std::uint64_t parent_id, std::uint64_t generation,
                            int color);
 
-  void enqueue_task(int world_rank, std::function<void()> task);
+  void enqueue_task(int world_rank, CommPriority priority,
+                    std::function<void()> task);
   void progress_loop(int rank, ProgressStream& stream);
+  ProgressStream& lane(int world_rank, CommPriority priority) {
+    return *streams_[static_cast<std::size_t>(world_rank) * kCommPriorityLanes +
+                     static_cast<std::size_t>(priority)];
+  }
 
   int size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  // rank-major, lane-minor: streams_[rank * kCommPriorityLanes + priority].
   std::vector<std::unique_ptr<ProgressStream>> streams_;
 
   std::mutex registry_mutex_;
@@ -352,6 +395,8 @@ class ThreadWorld {
   std::string abort_reason_;
   std::atomic<long long> timeout_ms_{0};
   std::atomic<std::size_t> ring_segment_elems_{kDefaultRingSegmentElems};
+  std::atomic<bool> ring_segment_auto_{false};
+  RingSegmentModel segment_model_;
 
   integrity::IntegrityMode ring_crc_mode_ = integrity::IntegrityMode::kOff;
   int crc_max_retries_ = 3;
@@ -431,16 +476,21 @@ class ThreadComm final : public Communicator {
   void broadcast(std::span<float> buffer, int root) override;
   void barrier() override;
 
-  Request iall_reduce(std::span<float> buffer, ReduceOp op) override;
-  Request iall_gather(std::span<const float> send,
-                      std::span<float> recv) override;
+  Request iall_reduce(std::span<float> buffer, ReduceOp op,
+                      CommPriority priority = CommPriority::kNormal) override;
+  Request iall_gather(std::span<const float> send, std::span<float> recv,
+                      CommPriority priority = CommPriority::kNormal) override;
   Request iall_gatherv(std::span<const float> send, std::span<float> recv,
-                       std::span<const std::size_t> recv_counts) override;
+                       std::span<const std::size_t> recv_counts,
+                       CommPriority priority = CommPriority::kNormal) override;
   Request ireduce_scatter(std::span<const float> send, std::span<float> recv,
-                          ReduceOp op) override;
+                          ReduceOp op,
+                          CommPriority priority = CommPriority::kNormal) override;
   Request ireduce_scatterv(std::span<const float> send, std::span<float> recv,
-                           std::span<const std::size_t> counts,
-                           ReduceOp op) override;
+                           std::span<const std::size_t> counts, ReduceOp op,
+                           CommPriority priority = CommPriority::kNormal) override;
+  Request run_on_stream(std::function<void()> fn,
+                        CommPriority priority = CommPriority::kNormal) override;
 
   std::unique_ptr<Communicator> split(int color, int key) override;
 
@@ -491,6 +541,17 @@ class ThreadComm final : public Communicator {
 
   std::uint64_t next_seq();
   std::size_t segment_elems() const { return world_->ring_segment_elems(); }
+  /// Segment size for one collective whose per-hop chunk holds `chunk_elems`
+  /// elements: the Eq. 1–7 model value in auto mode, else the flat world
+  /// setting. Deterministic from (chunk_elems, size()), so every member rank
+  /// picks the same schedule.
+  std::size_t segment_for(std::size_t chunk_elems) const {
+    if (world_->ring_segment_auto()) {
+      return model_ring_segment_elems(chunk_elems, size(),
+                                      world_->ring_segment_model());
+    }
+    return segment_elems();
+  }
   void add_wire_bytes(std::uint64_t bytes, std::uint64_t crc_bytes = 0);
   void bump(std::uint64_t CommStats::*counter);
 
@@ -499,9 +560,10 @@ class ThreadComm final : public Communicator {
   void trace_wire_total();
 
   // Executes `body` (which runs a ring algorithm) on the rank's progress
-  // stream, returning a Request. `op` names the collective in the trace
-  // (the task body is recorded as a comm-stream span).
-  Request post_async(const char* op, std::function<void()> body);
+  // lane for `priority`, returning a Request. `op` names the collective in
+  // the trace (the task body is recorded as a comm-stream span).
+  Request post_async(const char* op, CommPriority priority,
+                     std::function<void()> body);
 
   ThreadWorld* world_;
   std::uint64_t comm_id_;

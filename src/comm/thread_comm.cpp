@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <exception>
 #include <future>
+#include <string_view>
 #include <utility>
 
 #include "axonn/base/crc32.hpp"
@@ -71,14 +72,22 @@ ThreadWorld::ThreadWorld(int size, WorldOptions options) : size_(size) {
   timeout_ms_.store(options.collective_timeout.count(),
                     std::memory_order_relaxed);
   std::size_t segment = options.ring_segment_elems;
+  bool segment_auto = options.ring_segment_auto;
   if (const char* env = std::getenv("AXONN_RING_SEGMENT")) {
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(env, &end, 10);
-    if (end != env && *end == '\0') {
-      segment = static_cast<std::size_t>(parsed);
+    if (std::string_view(env) == "auto") {
+      segment_auto = true;
+    } else {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0') {
+        segment = static_cast<std::size_t>(parsed);
+        segment_auto = false;
+      }
     }
   }
   ring_segment_elems_.store(segment, std::memory_order_relaxed);
+  ring_segment_auto_.store(segment_auto, std::memory_order_relaxed);
+  segment_model_ = options.ring_segment_model;
   ring_crc_mode_ = integrity::effective_mode(options.ring_crc);
   crc_max_retries_ = options.crc_max_retries;
   elastic_ = options.elastic;
@@ -111,14 +120,14 @@ ThreadWorld::ThreadWorld(int size, WorldOptions options) : size_(size) {
     }
   }
   mailboxes_.reserve(static_cast<std::size_t>(size));
-  streams_.reserve(static_cast<std::size_t>(size));
+  streams_.reserve(static_cast<std::size_t>(size) * kCommPriorityLanes);
   for (int r = 0; r < size; ++r) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
-    streams_.push_back(std::make_unique<ProgressStream>());
-  }
-  for (int r = 0; r < size; ++r) {
-    ProgressStream& stream = *streams_[static_cast<std::size_t>(r)];
-    stream.worker = std::thread([this, r, &stream] { progress_loop(r, stream); });
+    // One progress lane per priority class; workers spawn lazily on first
+    // use (enqueue_task), so worlds that never overlap pay for no threads.
+    for (int l = 0; l < kCommPriorityLanes; ++l) {
+      streams_.push_back(std::make_unique<ProgressStream>());
+    }
   }
 }
 
@@ -340,11 +349,18 @@ std::uint64_t ThreadWorld::subcomm_id(std::uint64_t parent_id,
   return it->second;
 }
 
-void ThreadWorld::enqueue_task(int world_rank, std::function<void()> task) {
-  ProgressStream& stream = *streams_[static_cast<std::size_t>(world_rank)];
+void ThreadWorld::enqueue_task(int world_rank, CommPriority priority,
+                               std::function<void()> task) {
+  ProgressStream& stream = lane(world_rank, priority);
   {
     std::lock_guard<std::mutex> lock(stream.mutex);
     stream.tasks.push_back(std::move(task));
+    if (!stream.started) {
+      stream.started = true;
+      ProgressStream* s = &stream;
+      stream.worker =
+          std::thread([this, world_rank, s] { progress_loop(world_rank, *s); });
+    }
   }
   stream.cv.notify_all();
 }
@@ -668,10 +684,21 @@ std::unique_ptr<ThreadComm> ThreadWorld::active_comm(int my_world_rank) {
 }
 
 void ThreadWorld::drain_progress(int my_world_rank) {
-  auto done = std::make_shared<std::promise<void>>();
-  std::future<void> drained = done->get_future();
-  enqueue_task(my_world_rank, [done] { done->set_value(); });
-  drained.wait();
+  // Sentinel every lane that has a worker (only the rank's own thread posts
+  // to its lanes, so an unstarted lane cannot start concurrently), then wait
+  // for all sentinels: tasks already queued on any lane run first.
+  std::vector<std::future<void>> drained;
+  for (int l = 0; l < kCommPriorityLanes; ++l) {
+    const auto priority = static_cast<CommPriority>(l);
+    {
+      std::lock_guard<std::mutex> lock(lane(my_world_rank, priority).mutex);
+      if (!lane(my_world_rank, priority).started) continue;
+    }
+    auto done = std::make_shared<std::promise<void>>();
+    drained.push_back(done->get_future());
+    enqueue_task(my_world_rank, priority, [done] { done->set_value(); });
+  }
+  for (auto& d : drained) d.wait();
 }
 
 void ThreadWorld::set_fault_note(const std::string& note) {
@@ -872,7 +899,8 @@ void ThreadComm::trace_wire_total() {
                static_cast<double>(total));
 }
 
-Request ThreadComm::post_async(const char* op, std::function<void()> body) {
+Request ThreadComm::post_async(const char* op, CommPriority priority,
+                               std::function<void()> body) {
   // The task re-checks the abort flag when the progress worker picks it up:
   // a collective queued behind others when the world aborts must fail its
   // future promptly rather than run a ring algorithm whose peers are gone
@@ -893,14 +921,31 @@ Request ThreadComm::post_async(const char* op, std::function<void()> body) {
         trace_wire_total();
       });
   std::shared_future<void> done = task->get_future().share();
-  world_->enqueue_task(members_[static_cast<std::size_t>(rank_)],
+  world_->enqueue_task(members_[static_cast<std::size_t>(rank_)], priority,
                        [task] { (*task)(); });
   return Request(std::move(done));
+}
+
+Request ThreadComm::run_on_stream(std::function<void()> fn,
+                                  CommPriority priority) {
+  // A rank-local host function on the lane: FIFO-ordered after collectives
+  // already posted there (e.g. packing a weight block right after its
+  // all-gather lands). No peer participates, so no sequence number.
+  return post_async("host_fn", priority, std::move(fn));
 }
 
 namespace {
 std::vector<std::size_t> equal_counts(int parts, std::size_t each) {
   return std::vector<std::size_t>(static_cast<std::size_t>(parts), each);
+}
+
+// Rank-invariant chunk-size hint for the segment model: per-rank counts
+// differ in the v-variants, so the model must see the same N on every member
+// rank (mismatched segment schedules would mismatch message counts).
+std::size_t mean_count(std::span<const std::size_t> counts) {
+  std::size_t total = 0;
+  for (const std::size_t c : counts) total += c;
+  return counts.empty() ? 0 : total / counts.size();
 }
 }  // namespace
 
@@ -910,7 +955,8 @@ void ThreadComm::all_reduce(std::span<float> buffer, ReduceOp op) {
   obs::SpanGuard span;
   open_comm_span(span, "all_reduce", name_);
   Transport t(this, next_seq());
-  ring_all_reduce(t, buffer, op, segment_elems());
+  ring_all_reduce(t, buffer, op,
+                  segment_for(buffer.size() / static_cast<std::size_t>(size())));
   span.close();
   trace_wire_total();
 }
@@ -925,7 +971,7 @@ void ThreadComm::all_gather(std::span<const float> send,
   obs::SpanGuard span;
   open_comm_span(span, "all_gather", name_);
   Transport t(this, next_seq());
-  ring_all_gatherv(t, send, recv, counts, segment_elems());
+  ring_all_gatherv(t, send, recv, counts, segment_for(send.size()));
   span.close();
   trace_wire_total();
 }
@@ -937,7 +983,8 @@ void ThreadComm::all_gatherv(std::span<const float> send, std::span<float> recv,
   obs::SpanGuard span;
   open_comm_span(span, "all_gatherv", name_);
   Transport t(this, next_seq());
-  ring_all_gatherv(t, send, recv, recv_counts, segment_elems());
+  ring_all_gatherv(t, send, recv, recv_counts,
+                   segment_for(mean_count(recv_counts)));
   span.close();
   trace_wire_total();
 }
@@ -952,7 +999,7 @@ void ThreadComm::reduce_scatter(std::span<const float> send,
   obs::SpanGuard span;
   open_comm_span(span, "reduce_scatter", name_);
   Transport t(this, next_seq());
-  ring_reduce_scatterv(t, send, recv, counts, op, segment_elems());
+  ring_reduce_scatterv(t, send, recv, counts, op, segment_for(recv.size()));
   span.close();
   trace_wire_total();
 }
@@ -966,7 +1013,8 @@ void ThreadComm::reduce_scatterv(std::span<const float> send,
   obs::SpanGuard span;
   open_comm_span(span, "reduce_scatterv", name_);
   Transport t(this, next_seq());
-  ring_reduce_scatterv(t, send, recv, counts, op, segment_elems());
+  ring_reduce_scatterv(t, send, recv, counts, op,
+                       segment_for(mean_count(counts)));
   span.close();
   trace_wire_total();
 }
@@ -991,69 +1039,82 @@ void ThreadComm::barrier() {
   ring_all_reduce(t, std::span<float>(&token, 1), ReduceOp::kSum);
 }
 
-Request ThreadComm::iall_reduce(std::span<float> buffer, ReduceOp op) {
+Request ThreadComm::iall_reduce(std::span<float> buffer, ReduceOp op,
+                                CommPriority priority) {
   bump(&CommStats::all_reduce_calls);
   const std::uint64_t seq = next_seq();
-  const std::size_t seg = segment_elems();
-  return post_async("iall_reduce", [this, buffer, op, seq, seg] {
+  // Ring all-reduce moves one 1/p chunk per hop — the model's N.
+  const std::size_t seg =
+      segment_for(buffer.size() / static_cast<std::size_t>(size()));
+  return post_async("iall_reduce", priority, [this, buffer, op, seq, seg] {
     Transport t(this, seq);
     ring_all_reduce(t, buffer, op, seg);
   });
 }
 
 Request ThreadComm::iall_gather(std::span<const float> send,
-                                std::span<float> recv) {
+                                std::span<float> recv, CommPriority priority) {
   AXONN_CHECK_MSG(recv.size() == send.size() * static_cast<std::size_t>(size()),
                   "iall_gather recv size must be size() * send size");
   bump(&CommStats::all_gather_calls);
   const std::uint64_t seq = next_seq();
   auto counts = equal_counts(size(), send.size());
-  const std::size_t seg = segment_elems();
-  return post_async("iall_gather", [this, send, recv, counts = std::move(counts), seq, seg] {
-    Transport t(this, seq);
-    ring_all_gatherv(t, send, recv, counts, seg);
-  });
+  const std::size_t seg = segment_for(send.size());
+  return post_async(
+      "iall_gather", priority,
+      [this, send, recv, counts = std::move(counts), seq, seg] {
+        Transport t(this, seq);
+        ring_all_gatherv(t, send, recv, counts, seg);
+      });
 }
 
 Request ThreadComm::iall_gatherv(std::span<const float> send,
                                  std::span<float> recv,
-                                 std::span<const std::size_t> recv_counts) {
+                                 std::span<const std::size_t> recv_counts,
+                                 CommPriority priority) {
   bump(&CommStats::all_gather_calls);
   const std::uint64_t seq = next_seq();
   std::vector<std::size_t> counts(recv_counts.begin(), recv_counts.end());
-  const std::size_t seg = segment_elems();
-  return post_async("iall_gatherv", [this, send, recv, counts = std::move(counts), seq, seg] {
-    Transport t(this, seq);
-    ring_all_gatherv(t, send, recv, counts, seg);
-  });
+  const std::size_t seg = segment_for(mean_count(recv_counts));
+  return post_async(
+      "iall_gatherv", priority,
+      [this, send, recv, counts = std::move(counts), seq, seg] {
+        Transport t(this, seq);
+        ring_all_gatherv(t, send, recv, counts, seg);
+      });
 }
 
 Request ThreadComm::ireduce_scatter(std::span<const float> send,
-                                    std::span<float> recv, ReduceOp op) {
+                                    std::span<float> recv, ReduceOp op,
+                                    CommPriority priority) {
   AXONN_CHECK_MSG(send.size() == recv.size() * static_cast<std::size_t>(size()),
                   "ireduce_scatter send size must be size() * recv size");
   bump(&CommStats::reduce_scatter_calls);
   const std::uint64_t seq = next_seq();
   auto counts = equal_counts(size(), recv.size());
-  const std::size_t seg = segment_elems();
-  return post_async("ireduce_scatter", [this, send, recv, counts = std::move(counts), op, seq, seg] {
-    Transport t(this, seq);
-    ring_reduce_scatterv(t, send, recv, counts, op, seg);
-  });
+  const std::size_t seg = segment_for(recv.size());
+  return post_async(
+      "ireduce_scatter", priority,
+      [this, send, recv, counts = std::move(counts), op, seq, seg] {
+        Transport t(this, seq);
+        ring_reduce_scatterv(t, send, recv, counts, op, seg);
+      });
 }
 
 Request ThreadComm::ireduce_scatterv(std::span<const float> send,
                                      std::span<float> recv,
                                      std::span<const std::size_t> counts_in,
-                                     ReduceOp op) {
+                                     ReduceOp op, CommPriority priority) {
   bump(&CommStats::reduce_scatter_calls);
   const std::uint64_t seq = next_seq();
   std::vector<std::size_t> counts(counts_in.begin(), counts_in.end());
-  const std::size_t seg = segment_elems();
-  return post_async("ireduce_scatterv", [this, send, recv, counts = std::move(counts), op, seq, seg] {
-    Transport t(this, seq);
-    ring_reduce_scatterv(t, send, recv, counts, op, seg);
-  });
+  const std::size_t seg = segment_for(mean_count(counts_in));
+  return post_async(
+      "ireduce_scatterv", priority,
+      [this, send, recv, counts = std::move(counts), op, seq, seg] {
+        Transport t(this, seq);
+        ring_reduce_scatterv(t, send, recv, counts, op, seg);
+      });
 }
 
 std::unique_ptr<Communicator> ThreadComm::split(int color, int key) {

@@ -143,12 +143,49 @@ Matrix TensorParallelFC::multiply(GemmMode mode, const Matrix& a,
   return c;
 }
 
+void TensorParallelFC::discard_stale_prefetch() {
+  if (pending_weight_gather_) {
+    pending_weight_gather_->wait();
+    pending_weight_gather_.reset();
+  }
+  if (pending_weight_pack_) {
+    pending_weight_pack_->wait();
+    pending_weight_pack_.reset();
+  }
+  prefetch_packed_n_.clear();
+}
+
 void TensorParallelFC::begin_weight_gather() {
-  if (weight_cache_valid_ || pending_weight_gather_) return;
-  cached_weight_block_ = Matrix(in_range_.size(), out_range_.size());
+  if (weight_cache_valid_) return;
+  if (pending_weight_gather_) {
+    if (prefetch_version_ == weight_version_) return;  // still fresh
+    // The weights changed under the in-flight prefetch (an optimizer step
+    // between begin_weight_gather() and the next forward): drain it — its
+    // buffers are lane-owned until completion — and reissue against the new
+    // shard. Symmetric on every Z rank (same invalidation history), so the
+    // collective order stays consistent.
+    discard_stale_prefetch();
+  }
+  // Snapshot the shard on this (the owning) thread: the progress lane reads
+  // only this copy, so a later in-place weight update cannot race the gather
+  // or leak pre-update values into it.
+  prefetch_send_buffer_ = weight_shard_;
+  prefetch_block_ = Matrix(in_range_.size(), out_range_.size());
+  prefetch_version_ = weight_version_;
   pending_weight_gather_ = grid_.z_comm().iall_gatherv(
-      std::span<const float>(weight_shard_.storage()),
-      std::span<float>(cached_weight_block_.storage()), z_elem_counts_);
+      std::span<const float>(prefetch_send_buffer_.storage()),
+      std::span<float>(prefetch_block_.storage()), z_elem_counts_);
+  // Pre-pack the forward (NN) panel on the same lane: FIFO order puts it
+  // right after the gather lands, so the prefetch arrives ready for the
+  // tiled kernel with no pack on the critical path. Tuned layers pack
+  // lazily as before (the winning backend is shape-dependent).
+  if (!tuner_ && options_.gemm_backend == GemmBackend::kTiled) {
+    pending_weight_pack_ = grid_.z_comm().run_on_stream([this] {
+      obs::SpanGuard span(obs::kCatCompute, "prefetch_pack_weight");
+      prefetch_packed_n_ =
+          pack_b(prefetch_block_, /*transpose=*/false, options_.mixed_precision);
+    });
+  }
 }
 
 void TensorParallelFC::gather_weights_into_cache() {
@@ -157,17 +194,37 @@ void TensorParallelFC::gather_weights_into_cache() {
   packed_weight_n_.clear();
   packed_weight_t_.clear();
   if (pending_weight_gather_) {
-    // OAG window closes: time the compute thread spends here is the exposed
-    // remainder of the prefetched all-gather.
-    obs::SpanGuard wait(obs::kCatWait, "AG_z.wait");
-    pending_weight_gather_->wait();
-    pending_weight_gather_.reset();
-  } else {
-    cached_weight_block_ = Matrix(in_range_.size(), out_range_.size());
-    grid_.z_comm().all_gatherv(
-        std::span<const float>(weight_shard_.storage()),
-        std::span<float>(cached_weight_block_.storage()), z_elem_counts_);
+    const bool fresh = prefetch_version_ == weight_version_;
+    {
+      // OAG window closes: time the compute thread spends here is the
+      // exposed remainder of the prefetched all-gather. Wait the gather
+      // first so a transport error surfaces from the collective, not the
+      // dependent pack.
+      obs::SpanGuard wait(obs::kCatWait, "AG_z.wait");
+      pending_weight_gather_->wait();
+      pending_weight_gather_.reset();
+      if (pending_weight_pack_) {
+        pending_weight_pack_->wait();
+        pending_weight_pack_.reset();
+      }
+    }
+    if (fresh) {
+      cached_weight_block_ = std::move(prefetch_block_);
+      packed_weight_n_ = std::move(prefetch_packed_n_);
+      prefetch_packed_n_.clear();
+      weight_cache_valid_ = true;
+      return;
+    }
+    // Stale (invalidated after issue): the gathered block reflects
+    // pre-update weights — drop it and fall through to a fresh blocking
+    // gather of the current shard. This is the bug the version pair exists
+    // to close: the old path adopted whatever the prefetch brought back.
+    prefetch_packed_n_.clear();
   }
+  cached_weight_block_ = Matrix(in_range_.size(), out_range_.size());
+  grid_.z_comm().all_gatherv(
+      std::span<const float>(weight_shard_.storage()),
+      std::span<float>(cached_weight_block_.storage()), z_elem_counts_);
   weight_cache_valid_ = true;
 }
 
@@ -206,9 +263,12 @@ Matrix TensorParallelFC::backward(const Matrix& grad_output_local) {
 
   std::optional<comm::Request> dI_request;
   if (options_.overlap_input_grad_all_reduce) {
-    // Line 12 issued asynchronously (OAR)...
+    // Line 12 issued asynchronously (OAR) on the high-priority lane: the
+    // consumer blocks on it right after the dW GEMM, so it must never queue
+    // behind a bulk reduce-scatter from a later (in backward order) layer.
     dI_request = col_comm().iall_reduce(std::span<float>(grad_input.storage()),
-                                        comm::ReduceOp::kSum);
+                                        comm::ReduceOp::kSum,
+                                        comm::CommPriority::kHigh);
   } else {
     col_comm().all_reduce(std::span<float>(grad_input.storage()),
                           comm::ReduceOp::kSum);
@@ -229,10 +289,13 @@ Matrix TensorParallelFC::backward(const Matrix& grad_output_local) {
   // Line 14: dW_shard = reduce-scatter_z(dW_hat).
   rs_recv_buffer_ = Matrix(weight_shard_.rows(), weight_shard_.cols());
   if (options_.overlap_weight_grad_reduce_scatter) {
+    // ORS rides the bulk lane: nobody reads the result until
+    // finish_gradients(), so it must never delay a dI all-reduce or an OAG
+    // prefetch sharing the rank's progress engine.
     pending_reduce_scatter_ = grid_.z_comm().ireduce_scatterv(
         std::span<const float>(rs_send_buffer_.storage()),
         std::span<float>(rs_recv_buffer_.storage()), z_elem_counts_,
-        comm::ReduceOp::kSum);
+        comm::ReduceOp::kSum, comm::CommPriority::kBulk);
   } else {
     grid_.z_comm().reduce_scatterv(
         std::span<const float>(rs_send_buffer_.storage()),

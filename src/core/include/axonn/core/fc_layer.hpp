@@ -99,7 +99,14 @@ class TensorParallelFC {
   Range input_row_range(std::size_t total_rows) const;
 
   /// OAG: start the weight all-gather for the next forward pass. Idempotent;
-  /// forward() consumes the pending gather.
+  /// forward() consumes the pending gather. Safe to interleave with weight
+  /// updates: the gather reads a snapshot of the shard taken here (on the
+  /// calling thread), lands in a prefetch buffer that is never the in-use
+  /// cache, and is version-checked at consumption — a gather made stale by
+  /// invalidate_weight_cache() is drained, discarded and reissued rather
+  /// than adopted. Collective over the Z group: every member rank must call
+  /// it in the same order with the same invalidation history (true for the
+  /// SPMD training loop).
   void begin_weight_gather();
 
   /// Algorithm 1 lines 1-7. input_local: (m_local x in_local).
@@ -132,8 +139,13 @@ class TensorParallelFC {
   /// panels, which are derived from the gathered block. Must be called after
   /// mutating the shard through a retained pointer (e.g. an optimizer step);
   /// mutable_weight_shard() does this automatically for direct access.
+  /// Non-blocking: an in-flight OAG prefetch keeps running (it reads its own
+  /// snapshot of the shard, never the live storage), but the version bump
+  /// marks it stale so it is discarded — never adopted — at the next
+  /// begin_weight_gather()/forward().
   void invalidate_weight_cache() {
     weight_cache_valid_ = false;
+    ++weight_version_;
     packed_weight_n_.clear();
     packed_weight_t_.clear();
   }
@@ -185,6 +197,10 @@ class TensorParallelFC {
   /// the gathered weight block lazily on first use.
   const PackedB* weight_pack_for(GemmMode mode);
   void gather_weights_into_cache();
+  /// Completes and drops an in-flight prefetch whose snapshot predates the
+  /// current weight version (the buffers must not be reused while the
+  /// progress lane still writes them).
+  void discard_stale_prefetch();
 
   Grid4D& grid_;
   std::size_t in_features_;
@@ -210,8 +226,23 @@ class TensorParallelFC {
   PackedB packed_weight_n_;
   PackedB packed_weight_t_;
 
+  // OAG prefetch double-buffer (DESIGN.md §12). The async gather owns these
+  // three buffers exclusively until its Request completes: it reads
+  // prefetch_send_buffer_ (a snapshot of the shard copied on the issuing
+  // thread — the progress lane never touches the live weight_shard_, so an
+  // optimizer step cannot race it) and writes prefetch_block_ (never the
+  // in-use cached_weight_block_). The version pair detects staleness:
+  // invalidate_weight_cache() bumps weight_version_; a prefetch stamped with
+  // an older prefetch_version_ is drained and discarded, never adopted.
+  Matrix prefetch_send_buffer_;
+  Matrix prefetch_block_;
+  PackedB prefetch_packed_n_;  ///< pre-packed on the lane after the gather
+  std::uint64_t weight_version_ = 0;
+  std::uint64_t prefetch_version_ = 0;
+
   // In-flight collectives.
   std::optional<comm::Request> pending_weight_gather_;
+  std::optional<comm::Request> pending_weight_pack_;  ///< same lane, after gather
   std::optional<comm::Request> pending_reduce_scatter_;
   Matrix rs_send_buffer_;  ///< must outlive the async reduce-scatter
   Matrix rs_recv_buffer_;

@@ -23,6 +23,17 @@ DimensionBandwidths dimension_bandwidths(const sim::MachineConfig& machine,
   return beta;
 }
 
+comm::RingSegmentModel ring_segment_model(const sim::MachineConfig& machine,
+                                          double dimension_bandwidth) {
+  comm::RingSegmentModel model;
+  model.alpha_s = machine.message_latency_s;
+  const double bw = dimension_bandwidth > 0.0 ? dimension_bandwidth
+                                              : machine.internode_bandwidth;
+  // The transport moves float payloads; beta is seconds per element.
+  model.beta_s_per_elem = static_cast<double>(sizeof(float)) / bw;
+  return model;
+}
+
 LayerCommPrediction predict_layer(double m_rows, double k, double n,
                                   bool transposed, const sim::GridShape& grid,
                                   const DimensionBandwidths& beta) {

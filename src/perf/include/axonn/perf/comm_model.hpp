@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "axonn/comm/segment_model.hpp"
 #include "axonn/model/gpt.hpp"
 #include "axonn/sim/bandwidth.hpp"
 #include "axonn/sim/grid_shape.hpp"
@@ -52,6 +53,18 @@ struct DimensionBandwidths {
 DimensionBandwidths dimension_bandwidths(const sim::MachineConfig& machine,
                                          const sim::IntraNodeBandwidthDB& db,
                                          const sim::GridShape& grid);
+
+/// Ring pipelining granularity from the same alpha-beta cost terms the grid
+/// ranker uses: alpha is the machine's per-message startup latency (the term
+/// Assumption-3 drops from Eqs. 1-5 but which dominates small segments) and
+/// beta comes from the dimension's effective bandwidth, converted to
+/// seconds per float element. The transport minimizes
+/// T(s) = (h - 1 + N/s)(alpha + s*beta) over segment size s — see
+/// comm/segment_model.hpp. `dimension_bandwidth` is bytes/s for the grid
+/// dimension the ring spans (a DimensionBandwidths field); non-positive
+/// values fall back to the machine's inter-node bandwidth.
+comm::RingSegmentModel ring_segment_model(const sim::MachineConfig& machine,
+                                          double dimension_bandwidth);
 
 /// Eqs. 1–5 for one FC layer with weight k x n and m input rows
 /// (m = batch_tokens / Gdata), element size 2 bytes (bf16).

@@ -168,6 +168,35 @@ TEST(ElasticTrainingTest, HangIsDetectedByHeartbeatsAndRecovered) {
   EXPECT_EQ(recovered.final_loss, reference.final_loss);
 }
 
+TEST(ElasticTrainingTest, OagPrefetchCrossesEpochFenceBitIdentical) {
+  // The overlap engine keeps weight-gather prefetches (and their lane-side
+  // pre-packs) in flight across FC layers; a crash can therefore land while
+  // prefetched collectives are pending on the z communicator. The epoch
+  // fence must drop the stale-epoch messages and the survivors' replay must
+  // still be bit-identical — for several crash points, so the fence is hit
+  // in different phases of the step (forward OAG window, backward OAR/ORS).
+  const auto reference = run_resilient_training(
+      elastic_config(scratch_dir("fence_ref"), /*gz=*/3, /*spares=*/1));
+  EXPECT_EQ(reference.restarts, 0);
+
+  for (const std::uint64_t crash_at : {18u, 25u, 31u}) {
+    auto config = elastic_config(
+        scratch_dir("fence_" + std::to_string(crash_at)), /*gz=*/3,
+        /*spares=*/1);
+    config.enable_chaos = true;
+    config.chaos.seed = 11;
+    config.chaos.crash_rank = 1;
+    config.chaos.crash_at_collective = crash_at;
+
+    const auto recovered = run_resilient_training(config);
+    EXPECT_EQ(recovered.restarts, 0) << "crash_at=" << crash_at;
+    EXPECT_EQ(recovered.epoch_bumps, 1u) << "crash_at=" << crash_at;
+    EXPECT_EQ(recovered.spare_swaps, 1u) << "crash_at=" << crash_at;
+    EXPECT_EQ(recovered.final_loss, reference.final_loss)
+        << "crash_at=" << crash_at;
+  }
+}
+
 TEST(ReplicaStoreTest, BuddyMappingAndCommonStep) {
   EXPECT_EQ(ReplicaStore::buddy_slot(0, 3), 1);
   EXPECT_EQ(ReplicaStore::buddy_slot(1, 3), 2);
