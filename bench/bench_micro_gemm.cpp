@@ -13,10 +13,12 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "axonn/base/rng.hpp"
 #include "axonn/tensor/gemm.hpp"
+#include "axonn/tensor/gemm_dispatch.hpp"
 #include "axonn/tensor/gemm_tiled.hpp"
 #include "json_out.hpp"
 
@@ -75,6 +77,23 @@ void BM_GemmTiledPacked(benchmark::State& state, GemmMode mode) {
   report_gflops(state, d);
 }
 
+// Intra-rank threading (DESIGN.md §13): the prepacked NN product at a fixed
+// worker-lane budget. Identical math and bitwise-identical output at every
+// lane count, so the series differ only in wall time.
+void BM_GemmTiledThreads(benchmark::State& state, int threads) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const Matrix a = square_operand(d, 5);
+  const Matrix b = square_operand(d, 6);
+  const PackedB pack = pack_b(b, false, false);
+  Matrix c(d, d);
+  GemmThreadScope scope(threads);
+  for (auto _ : state) {
+    gemm_tiled_packed(false, 1.0f, a, pack, 0.0f, c, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  report_gflops(state, d);
+}
+
 // Pack cost itself — what the weight cache amortizes away.
 void BM_PackB(benchmark::State& state) {
   const auto d = static_cast<std::size_t>(state.range(0));
@@ -103,16 +122,20 @@ AXONN_GEMM_BENCH(Tiled, TN);
 
 #undef AXONN_GEMM_BENCH
 
+// The bf16 grid runs the full size ladder including the 512 headline size —
+// anything the fp32 acceptance gates, the bf16 series must cover too.
 BENCHMARK_CAPTURE(BM_GemmBf16, Reference_NN, GemmBackend::kReference,
                   GemmMode::kNN)
     ->Name("gemm_bf16/Reference/NN")
     ->Arg(128)
     ->Arg(256)
+    ->Arg(512)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_GemmBf16, Tiled_NN, GemmBackend::kTiled, GemmMode::kNN)
     ->Name("gemm_bf16/Tiled/NN")
     ->Arg(128)
     ->Arg(256)
+    ->Arg(512)
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_CAPTURE(BM_GemmTiledPacked, NN, GemmMode::kNN)
@@ -125,6 +148,19 @@ BENCHMARK_CAPTURE(BM_GemmTiledPacked, NT, GemmMode::kNT)
     ->Arg(256)
     ->Arg(512)
     ->Unit(benchmark::kMillisecond);
+
+#define AXONN_GEMM_THREADS_BENCH(t)                             \
+  BENCHMARK_CAPTURE(BM_GemmTiledThreads, T##t, t)               \
+      ->Name("gemm/TiledT" #t "/NN")                            \
+      ->Arg(256)                                                \
+      ->Arg(512)                                                \
+      ->Unit(benchmark::kMillisecond)
+
+AXONN_GEMM_THREADS_BENCH(1);
+AXONN_GEMM_THREADS_BENCH(2);
+AXONN_GEMM_THREADS_BENCH(4);
+
+#undef AXONN_GEMM_THREADS_BENCH
 
 BENCHMARK(BM_PackB)->Name("pack_b")->Arg(512)->Unit(benchmark::kMillisecond);
 
@@ -177,6 +213,18 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   axonn::bench::JsonSeriesWriter json("micro_gemm");
+  // Build/host flavor stamp: bench_compare.py refuses to diff across
+  // differing non-underscore keys (a portable-tier run vs a native one is a
+  // different machine, not a regression).
+  json.set_flavor("isa", axonn::to_string(axonn::active_gemm_isa()));
+#if defined(AXONN_BENCH_NATIVE_ARCH)
+  json.set_flavor("native_arch", "on");
+#else
+  json.set_flavor("native_arch", "off");
+#endif
+  json.set_flavor("_hw_threads",
+                  std::to_string(std::thread::hardware_concurrency()));
+  json.set_flavor("_native_bf16", axonn::gemm_native_bf16() ? "yes" : "no");
   SeriesReporter reporter(json);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
@@ -189,6 +237,27 @@ int main(int argc, char** argv) {
     const double speedup = ref / tiled;
     std::printf("\ntiled speedup at 512^3 fp32 NN: %.2fx (target >= 4x) %s\n",
                 speedup, speedup >= 4.0 ? "PASS" : "FAIL");
+  }
+
+  // Threading acceptance: >= 4x at 512^3 fp32 from worker lanes alone
+  // (same kernels, 4 lanes vs 1). Only meaningful with >= 4 real cores —
+  // on smaller hosts the lanes time-slice and the run reports SKIP.
+  const double t1 = reporter.seconds("gemm/TiledT1/NN/512");
+  const double t4 = reporter.seconds("gemm/TiledT4/NN/512");
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (t1 > 0 && t4 > 0) {
+    const double speedup = t1 / t4;
+    if (hw < 4) {
+      std::printf(
+          "threaded speedup at 512^3 fp32 NN: %.2fx (4 lanes vs 1) SKIP "
+          "(needs >= 4 cores, host has %u)\n",
+          speedup, hw);
+    } else {
+      std::printf(
+          "threaded speedup at 512^3 fp32 NN: %.2fx (4 lanes vs 1, target "
+          ">= 4x) %s\n",
+          speedup, speedup >= 4.0 ? "PASS" : "FAIL");
+    }
   }
   if (!json_path.empty()) json.write_file(json_path);
   return 0;

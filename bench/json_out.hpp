@@ -5,8 +5,15 @@
 // be tracked across PRs. Schema:
 //
 //   {"benchmark": "<name>",
+//    "flavor": {"isa": "...", "native_arch": "...", "_hw_threads": "..."},
 //    "series": [{"name": "...", "units": "...",
 //                "points": [{"x": ..., "y": ...}, ...]}, ...]}
+//
+// "flavor" (optional) stamps the build/host configuration the numbers were
+// measured under. tools/bench_compare.py refuses to diff files whose flavors
+// disagree — a portable-tier smoke run versus a native-arch run is not a
+// regression, it is a different machine. Keys with a leading underscore are
+// informational only and excluded from that comparison.
 //
 // Human-readable tables on stdout are unchanged; JSON is additive.
 
@@ -14,6 +21,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace axonn::bench {
@@ -28,6 +36,18 @@ class JsonSeriesWriter {
     points_.push_back(Point{series, units, x, y});
   }
 
+  /// Adds (or overwrites) one build-flavor key. Prefix the key with '_' for
+  /// host facts that should not gate comparisons (core counts, bf16 mode).
+  void set_flavor(const std::string& key, const std::string& value) {
+    for (auto& kv : flavor_) {
+      if (kv.first == key) {
+        kv.second = value;
+        return;
+      }
+    }
+    flavor_.emplace_back(key, value);
+  }
+
   bool empty() const { return points_.empty(); }
 
   /// Writes the collected series; returns false (after a stderr note) if
@@ -38,7 +58,16 @@ class JsonSeriesWriter {
       std::cerr << "cannot write bench JSON to " << path << "\n";
       return false;
     }
-    out << "{\"benchmark\":" << quoted(benchmark_name_) << ",\"series\":[";
+    out << "{\"benchmark\":" << quoted(benchmark_name_);
+    if (!flavor_.empty()) {
+      out << ",\"flavor\":{";
+      for (std::size_t i = 0; i < flavor_.size(); ++i) {
+        if (i) out << ",";
+        out << quoted(flavor_[i].first) << ":" << quoted(flavor_[i].second);
+      }
+      out << "}";
+    }
+    out << ",\"series\":[";
     // Group points by (series, units) preserving first-seen order.
     std::vector<std::size_t> order;
     for (std::size_t i = 0; i < points_.size(); ++i) {
@@ -85,6 +114,7 @@ class JsonSeriesWriter {
   }
 
   std::string benchmark_name_;
+  std::vector<std::pair<std::string, std::string>> flavor_;
   std::vector<Point> points_;
 };
 

@@ -3,7 +3,9 @@
 #   1. tier-1: plain tree, full ctest (ROADMAP.md's recipe), then the
 #      elastic-recovery acceptance label (`ctest -L elastic`) on its own so
 #      a membership/epoch regression is named by the gate that owns it
-#   2. ASan tree, `ctest -L integrity` (the SDC-defense suites)
+#   2. ASan tree, `ctest -L integrity` (the SDC-defense suites), then
+#      `ctest -L isa` with AXONN_GEMM_ISA=portable (the GEMM dispatch layer
+#      pinned to its portable oracle tier)
 #   3. TSan tree, `ctest -L tsan` (comm, fault-tolerance, elastic membership,
 #      and the obs/metrics suites — the registry's sharded snapshot path and
 #      the membership state machine race for real there)
@@ -52,6 +54,13 @@ if [[ "$skip_sanitizers" == 0 ]]; then
   cmake -B build-asan -S . -DAXONN_SANITIZE=address >/dev/null
   cmake --build build-asan -j "$jobs"
   ctest --test-dir build-asan -L integrity --output-on-failure -j "$jobs"
+
+  stage "ASan tree: ISA dispatch forced portable (AXONN_GEMM_ISA=portable)"
+  # The portable micro-kernel tier is the correctness oracle every wider
+  # tier is tested against; pin the whole dispatch layer to it and rerun
+  # the worker-pool/ISA suites so the oracle path itself stays ASan-clean.
+  AXONN_GEMM_ISA=portable \
+    ctest --test-dir build-asan -L isa --output-on-failure -j "$jobs"
 
   stage "TSan tree: ctest -L tsan"
   cmake -B build-tsan -S . -DAXONN_SANITIZE=thread >/dev/null
@@ -103,7 +112,20 @@ if [[ "$skip_bench" == 0 ]]; then
             --threshold 40 --min-abs 15 \
             "$baseline_dir/$f" "$f"
           ;;
-        BENCH_micro_gemm.json|BENCH_micro_comm.json)
+        BENCH_micro_gemm.json)
+          # Threaded-GEMM gate (ISSUE 8): the intra-rank worker-lane series
+          # must not collapse relative to the baseline — a dead pool (lanes
+          # silently serializing through a lock) or a broken task grid shows
+          # up as a multi-x cliff in gemm/TiledT*, well past the cliff-only
+          # threshold. Run before the broad gate so a threading regression is
+          # named by the gate that owns it. bench_compare refuses outright if
+          # the build/host flavor stamp changed (different ISA tier or
+          # native-arch setting: a different machine, not a regression).
+          python3 tools/bench_compare.py \
+            --series '^gemm/TiledT[0-9]+/' --threshold 120 \
+            "$baseline_dir/$f" "$f"
+          gate_args=(--threshold 120) ;;
+        BENCH_micro_comm.json)
           gate_args=(--threshold 120) ;;
         BENCH_recovery.json)
           # MTTR on a loaded CI host swings with thread scheduling; gate only

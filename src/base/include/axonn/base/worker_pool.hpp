@@ -1,0 +1,75 @@
+#pragma once
+
+// Intra-rank worker team: a lazily-spawned, parked-when-idle set of helper
+// threads for data-parallel loops inside one rank (DESIGN.md §13).
+//
+// In the thread-rank runtime every rank IS a thread, and each rank may also
+// own up to kCommPriorityLanes comm-progress workers (DESIGN.md §12) — so a
+// process-global work-stealing pool would let one rank's GEMM starve another
+// rank's critical-path collective. Instead each calling thread owns its own
+// team (WorkerTeam::this_thread()): lane 0 is the caller, lanes 1..N-1 are
+// helper threads spawned on first use and parked on a condition variable
+// between jobs. Teams never share work, so two ranks' GEMMs contend only for
+// cores, bounded by the per-rank budget knob (gemm_threads() in
+// tensor/gemm_dispatch.hpp).
+//
+// The job contract is a fixed-lane SPMD region: run(lanes, fn) invokes
+// fn(lane) for lane in [0, lanes) — fn(0) on the caller — and returns when
+// every lane has. Work partitioning (which lane owns which tile) is the
+// caller's business; the pool guarantees only that each lane runs exactly
+// once per job. Exceptions thrown by helper lanes are captured and the first
+// one is rethrown on the caller after the job completes.
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace axonn {
+
+class WorkerTeam {
+ public:
+  WorkerTeam() = default;
+  /// Joins all helper threads (wakes them with a stop flag first).
+  ~WorkerTeam();
+
+  WorkerTeam(const WorkerTeam&) = delete;
+  WorkerTeam& operator=(const WorkerTeam&) = delete;
+
+  /// Runs fn(0..lanes-1), fn(0) on the calling thread. lanes <= 1 calls
+  /// fn(0) inline with no locking — the serial fast path. Helper threads are
+  /// spawned lazily up to lanes-1 and reused (parked) across calls. Not
+  /// reentrant: fn must not call run() on the same team.
+  void run(int lanes, const std::function<void(int)>& fn);
+
+  /// Helper threads spawned so far (never shrinks until destruction).
+  int spawned() const;
+
+  /// The calling thread's team. Each thread that runs parallel regions gets
+  /// its own lazily-constructed instance, torn down (threads joined) when the
+  /// owning thread exits.
+  static WorkerTeam& this_thread();
+
+ private:
+  void worker_loop(int index);
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;  ///< workers park here between jobs
+  std::condition_variable done_;  ///< caller waits here for lane completion
+  std::vector<std::thread> workers_;
+
+  // Current job, guarded by mutex_. generation_ bumps per job; a worker runs
+  // the job iff its index is below participants_ and it has not seen this
+  // generation yet.
+  std::uint64_t generation_ = 0;
+  int participants_ = 0;  ///< helper lanes in the current job (lanes - 1)
+  int remaining_ = 0;     ///< helper lanes still running
+  const std::function<void(int)>* job_ = nullptr;
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+}  // namespace axonn

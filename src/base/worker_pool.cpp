@@ -1,0 +1,111 @@
+#include "axonn/base/worker_pool.hpp"
+
+#include "axonn/base/metrics.hpp"
+
+namespace axonn {
+
+namespace {
+
+// gemm.pool.* registry mirrors (DESIGN.md §13): team lifecycle events are
+// rare (spawn once, park/unpark per job), so plain Counter handles suffice.
+obs::metrics::Counter& spawned_counter() {
+  static obs::metrics::Counter c("gemm.pool.workers_spawned");
+  return c;
+}
+obs::metrics::Counter& unpark_counter() {
+  static obs::metrics::Counter c("gemm.pool.unparks");
+  return c;
+}
+obs::metrics::Counter& park_counter() {
+  static obs::metrics::Counter c("gemm.pool.parks");
+  return c;
+}
+
+}  // namespace
+
+WorkerTeam::~WorkerTeam() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+int WorkerTeam::spawned() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(workers_.size());
+}
+
+void WorkerTeam::worker_loop(int index) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [&] {
+      return stopping_ || (generation_ != seen && index < participants_);
+    });
+    if (stopping_) return;
+    seen = generation_;
+    const std::function<void(int)>* job = job_;
+    unpark_counter().add();
+    lock.unlock();
+    try {
+      (*job)(index + 1);  // lane 0 is the caller
+    } catch (...) {
+      std::lock_guard<std::mutex> elock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    lock.lock();
+    park_counter().add();
+    if (--remaining_ == 0) done_.notify_all();
+  }
+}
+
+void WorkerTeam::run(int lanes, const std::function<void(int)>& fn) {
+  if (lanes <= 1) {
+    fn(0);
+    return;
+  }
+  const int helpers = lanes - 1;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (static_cast<int>(workers_.size()) < helpers) {
+      const int index = static_cast<int>(workers_.size());
+      workers_.emplace_back([this, index] { worker_loop(index); });
+      spawned_counter().add();
+    }
+    job_ = &fn;
+    participants_ = helpers;
+    remaining_ = helpers;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  wake_.notify_all();
+  // Lane 0 runs on the caller; its exception propagates directly, but only
+  // after the helper lanes drain — they hold references into fn's closure.
+  std::exception_ptr caller_error;
+  try {
+    fn(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  std::exception_ptr helper_error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return remaining_ == 0; });
+    helper_error = first_error_;
+    first_error_ = nullptr;
+    job_ = nullptr;
+  }
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (helper_error) std::rethrow_exception(helper_error);
+}
+
+WorkerTeam& WorkerTeam::this_thread() {
+  thread_local WorkerTeam team;
+  return team;
+}
+
+}  // namespace axonn

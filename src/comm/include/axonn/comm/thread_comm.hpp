@@ -102,6 +102,17 @@ struct WorldOptions {
   /// Reconfiguration refuses to shrink below this many active ranks (the
   /// world aborts instead).
   int min_active = 1;
+
+  /// Intra-rank GEMM worker-lane budget installed process-wide at world
+  /// construction (set_gemm_threads() in tensor/gemm_dispatch.hpp):
+  ///   0   leave the ambient budget (AXONN_GEMM_THREADS or 1) in effect;
+  ///  -1   auto: max(1, (hardware_concurrency - 1) / size) — ranks are
+  ///       threads here, and the reserved core keeps the per-lane
+  ///       comm-progress workers from queueing behind a fully subscribed
+  ///       GEMM (never oversubscribe, DESIGN.md §13);
+  ///  >0   exact lanes per rank.
+  /// Results are bitwise identical at any value — it is a pure perf knob.
+  int gemm_threads = 0;
 };
 
 /// Shared state for a group of thread ranks. Construct one, then either use

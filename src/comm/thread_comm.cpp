@@ -15,6 +15,7 @@
 #include "axonn/base/trace.hpp"
 #include "axonn/comm/fault.hpp"
 #include "axonn/comm/ring.hpp"
+#include "axonn/tensor/gemm_dispatch.hpp"
 
 namespace axonn::comm {
 
@@ -90,6 +91,10 @@ ThreadWorld::ThreadWorld(int size, WorldOptions options) : size_(size) {
   segment_model_ = options.ring_segment_model;
   ring_crc_mode_ = integrity::effective_mode(options.ring_crc);
   crc_max_retries_ = options.crc_max_retries;
+  if (options.gemm_threads != 0) {
+    set_gemm_threads(options.gemm_threads > 0 ? options.gemm_threads
+                                              : auto_gemm_threads(size));
+  }
   elastic_ = options.elastic;
   heartbeat_ms_ = options.heartbeat_timeout.count();
   allow_shrink_ = options.allow_shrink;

@@ -78,6 +78,11 @@ Matrix TensorParallelFC::multiply(GemmMode mode, const Matrix& a,
   // backend) variant for this (mode, shape) on the first batch and runs the
   // winner thereafter — this is the layer's real hot path, not a side
   // calibration.
+  //
+  // The per-layer lane budget (if any) wraps the whole dispatch, including
+  // the tuner's timing runs, so tuning decisions are made at the thread
+  // count the layer will actually run with.
+  GemmThreadScope gemm_lanes(options_.gemm_threads);
   const GemmShape shape = gemm_shape(mode, a, b);
   const PackedB* pack = nullptr;
   if (b_is_weight) {

@@ -60,6 +60,12 @@ struct FCOptions {
   /// packed-panel backend, reusing the layer's pack-once weight panel cache
   /// for the forward (NN) and dI (NT) products.
   GemmBackend gemm_backend = GemmBackend::kReference;
+  /// Intra-rank GEMM worker lanes for this layer's three GEMMs: a
+  /// GemmThreadScope installed around multiply() while > 0, overriding the
+  /// ambient budget (WorldOptions::gemm_threads / AXONN_GEMM_THREADS).
+  /// 0 (default) defers to the ambient budget. Bitwise-neutral — the tiled
+  /// backend's output is identical at any lane count (DESIGN.md §13).
+  int gemm_threads = 0;
   /// Weight init: N(0, init_std^2), identical on every rank by seed.
   float init_std = 0.02f;
   /// ABFT (Huang–Abraham checksum) verification around the layer's three

@@ -143,12 +143,18 @@ Matrix KernelTuner::run(GemmMode semantic_mode, const Matrix& a,
       obs::counter(obs::kCatTuner,
                    std::string("tuner_backend_") + to_string(choice.backend),
                    same_backend);
-      char line[160];
+      // The tiled backend's timing (and thus the decision) depends on the
+      // dispatched micro-kernel tier; stamp it so traces from different
+      // hosts/overrides stay attributable.
+      obs::counter(obs::kCatTuner,
+                   std::string("tuner_isa_") + to_string(active_gemm_isa()),
+                   static_cast<int>(decisions_.size()));
+      char line[176];
       std::snprintf(line, sizeof(line),
-                    "tune %s (m=%zu n=%zu k=%zu) -> %s/%s kernel (%.2fx)",
+                    "tune %s (m=%zu n=%zu k=%zu) -> %s/%s kernel (%.2fx, %s)",
                     to_string(semantic_mode), key.m, key.n, key.k,
                     to_string(choice.backend), to_string(choice.kernel_mode),
-                    choice.speedup());
+                    choice.speedup(), to_string(active_gemm_isa()));
       obs::instant(obs::kCatTuner, line);
     }
   }

@@ -1,0 +1,56 @@
+#pragma once
+
+// Per-rank sustained-GEMM-rate calibration for the Eq. 1–7 perf model
+// (DESIGN.md §13).
+//
+// The analytical model's compute terms divide flops by a machine's
+// advertised peak scaled by the GemmEfficiencyModel — numbers calibrated
+// from the paper's published A100/MI250X/H100 rates. When the model is asked
+// about *this* host (config search for a local run, the simulator's
+// what-if sweeps), those constants are fiction: the honest number is
+// whatever the tiled backend actually sustains with the dispatched ISA tier
+// and the configured worker lanes. calibrate_gemm_rate() measures exactly
+// that — the same kernels, packing and thread budget the training hot path
+// uses — and apply_gemm_calibration() folds it into a MachineConfig so
+// gemm_seconds() (and everything stacked on it: Eq. 2/4/6 compute terms,
+// best_configuration(), the simulator) predicts from measurement instead of
+// spec sheets. This is the 4D-perf-estimator discipline of arXiv 2411.06465:
+// feed measured rates back into the search loop so it stays honest.
+
+#include <cstddef>
+
+#include "axonn/sim/machine.hpp"
+#include "axonn/tensor/gemm.hpp"
+
+namespace axonn::perf {
+
+/// What one calibration run measured, with enough provenance to refuse
+/// stale application (a calibration taken under a different tier/threads is
+/// a different machine as far as the model is concerned).
+struct GemmCalibration {
+  double sustained_gflops = 0;  ///< best-of-repeats, 2*m*n*k / seconds / 1e9
+  std::size_t dim = 0;          ///< square problem size measured
+  GemmBackend backend = GemmBackend::kTiled;
+  GemmIsa isa = GemmIsa::kPortable;  ///< tier dispatched during measurement
+  int threads = 1;                   ///< lane budget during measurement
+  bool bf16 = false;
+};
+
+/// Times `repeats` NN tiled GEMMs of dim^3 (after one untimed warmup that
+/// also absorbs lazy worker spawns) under the ambient ISA tier and thread
+/// budget, and reports the best rate. Deterministic operand fill; ~dim^3
+/// flops per repeat, so dim=256 keeps the whole call in the low milliseconds
+/// on anything modern.
+GemmCalibration calibrate_gemm_rate(std::size_t dim = 256, int repeats = 3,
+                                    bool bf16 = false);
+
+/// Rewrites `machine`'s peak-rate fields so its efficiency-scaled sustained
+/// rate at large dimensions equals the measured rate: empirical_peak_flops
+/// becomes the measurement and advertised_peak_flops is back-derived through
+/// the machine's own gemm.peak_fraction (the model keeps its shape/mode
+/// roll-offs — only the absolute scale is replaced). The name gains a
+/// "+calibrated" suffix so reports show provenance.
+void apply_gemm_calibration(sim::MachineConfig& machine,
+                            const GemmCalibration& cal);
+
+}  // namespace axonn::perf

@@ -120,10 +120,12 @@ void reset_gemm_dispatch_stats() {
 namespace detail {
 
 GemmDispatchScope::GemmDispatchScope(GemmBackend backend, GemmMode mode,
-                                     const GemmShape& shape, bool bf16) {
+                                     const GemmShape& shape, bool bf16,
+                                     GemmIsa isa, int threads) {
   DispatchState& st = t_dispatch;
   if (st.depth++ == 0) {
-    st.last = GemmStats{backend, mode, shape, gemm_flops(shape), bf16};
+    st.last =
+        GemmStats{backend, mode, shape, gemm_flops(shape), bf16, isa, threads};
     st.count += 1;
     st.flops += st.last.flops;
   }
@@ -197,17 +199,33 @@ const GemmBackendInfo& gemm_backend_info(GemmBackend backend) {
   throw Error("unknown GEMM backend");
 }
 
+namespace {
+
+// The reference backend has no ISA-specific kernels or worker lanes; only
+// the tiled backend's dispatch state is meaningful in GemmStats.
+GemmIsa stats_isa(GemmBackend backend) {
+  return backend == GemmBackend::kTiled ? active_gemm_isa()
+                                        : GemmIsa::kPortable;
+}
+int stats_threads(GemmBackend backend) {
+  return backend == GemmBackend::kTiled ? gemm_threads() : 1;
+}
+
+}  // namespace
+
 void gemm(GemmBackend backend, GemmMode mode, float alpha, const Matrix& a,
           const Matrix& b, float beta, Matrix& c) {
   detail::GemmDispatchScope stats(backend, mode, gemm_shape(mode, a, b),
-                                  /*bf16=*/false);
+                                  /*bf16=*/false, stats_isa(backend),
+                                  stats_threads(backend));
   gemm_backend_info(backend).run_fp32(mode, alpha, a, b, beta, c);
 }
 
 void gemm_bf16(GemmBackend backend, GemmMode mode, float alpha,
                const Matrix& a, const Matrix& b, float beta, Matrix& c) {
   detail::GemmDispatchScope stats(backend, mode, gemm_shape(mode, a, b),
-                                  /*bf16=*/true);
+                                  /*bf16=*/true, stats_isa(backend),
+                                  stats_threads(backend));
   gemm_backend_info(backend).run_bf16(mode, alpha, a, b, beta, c);
 }
 

@@ -1,0 +1,165 @@
+#include "axonn/tensor/gemm_dispatch.hpp"
+
+#include "gemm_kernels.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+namespace axonn {
+
+namespace {
+
+// Which tiers this binary carries. The portable tier is unconditional; the
+// wider tiers exist only when CMake found the compiler flags (per-TU
+// -mavx2/-mavx512*, see src/tensor/CMakeLists.txt).
+constexpr bool kHaveAvx2 =
+#if defined(AXONN_HAVE_AVX2_KERNELS)
+    true;
+#else
+    false;
+#endif
+constexpr bool kHaveAvx512 =
+#if defined(AXONN_HAVE_AVX512_KERNELS)
+    true;
+#else
+    false;
+#endif
+
+bool cpu_supports(const char* feature) {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  __builtin_cpu_init();
+  if (std::strcmp(feature, "avx2") == 0) return __builtin_cpu_supports("avx2");
+  if (std::strcmp(feature, "avx512") == 0) {
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512bw") &&
+           __builtin_cpu_supports("avx512vl");
+  }
+  return false;
+#else
+  (void)feature;
+  return false;
+#endif
+}
+
+GemmIsa parse_isa_env(const char* value, GemmIsa fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  if (std::strcmp(value, "portable") == 0) return GemmIsa::kPortable;
+  if (std::strcmp(value, "avx2") == 0) return GemmIsa::kAvx2;
+  if (std::strcmp(value, "avx512") == 0) return GemmIsa::kAvx512;
+  std::fprintf(stderr,
+               "[axonn] AXONN_GEMM_ISA=%s not recognized "
+               "(expected portable|avx2|avx512); ignoring\n",
+               value);
+  return fallback;
+}
+
+GemmIsa min_isa(GemmIsa a, GemmIsa b) {
+  return static_cast<int>(a) < static_cast<int>(b) ? a : b;
+}
+
+// force_gemm_isa() state: -1 = no forced tier, else the GemmIsa value.
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+const char* to_string(GemmIsa isa) {
+  switch (isa) {
+    case GemmIsa::kPortable:
+      return "portable";
+    case GemmIsa::kAvx2:
+      return "avx2";
+    case GemmIsa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+GemmIsa detected_gemm_isa() {
+  static const GemmIsa detected = [] {
+    if (kHaveAvx512 && cpu_supports("avx512")) return GemmIsa::kAvx512;
+    if (kHaveAvx2 && cpu_supports("avx2")) return GemmIsa::kAvx2;
+    return GemmIsa::kPortable;
+  }();
+  return detected;
+}
+
+GemmIsa active_gemm_isa() {
+  const int forced = g_forced.load(std::memory_order_acquire);
+  if (forced >= 0) {
+    return min_isa(static_cast<GemmIsa>(forced), detected_gemm_isa());
+  }
+  static const GemmIsa from_env =
+      min_isa(parse_isa_env(std::getenv("AXONN_GEMM_ISA"), detected_gemm_isa()),
+              detected_gemm_isa());
+  return from_env;
+}
+
+void force_gemm_isa(GemmIsa isa) {
+  g_forced.store(static_cast<int>(isa), std::memory_order_release);
+}
+
+void reset_gemm_isa() { g_forced.store(-1, std::memory_order_release); }
+
+bool gemm_native_bf16() { return detail::active_gemm_kernels().native_bf16; }
+
+// ---------------------------------------------------------------------------
+// Thread budget
+// ---------------------------------------------------------------------------
+
+namespace {
+
+int parse_threads_env() {
+  const char* value = std::getenv("AXONN_GEMM_THREADS");
+  if (value == nullptr || *value == '\0') return 1;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 1 || parsed > 1024) {
+    std::fprintf(stderr,
+                 "[axonn] AXONN_GEMM_THREADS=%s not a thread count in "
+                 "[1, 1024]; using 1\n",
+                 value);
+    return 1;
+  }
+  return static_cast<int>(parsed);
+}
+
+// 0 = defer to AXONN_GEMM_THREADS / default.
+std::atomic<int> g_global_threads{0};
+
+// Innermost GemmThreadScope override on this thread; 0 = none.
+thread_local int t_scope_threads = 0;
+
+}  // namespace
+
+int gemm_threads() {
+  if (t_scope_threads > 0) return t_scope_threads;
+  const int global = g_global_threads.load(std::memory_order_acquire);
+  if (global > 0) return global;
+  static const int from_env = parse_threads_env();
+  return from_env;
+}
+
+void set_gemm_threads(int threads) {
+  g_global_threads.store(threads > 0 ? threads : 0,
+                         std::memory_order_release);
+}
+
+int auto_gemm_threads(int ranks) {
+  if (ranks < 1) ranks = 1;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw <= 1) return 1;
+  const int budget = (hw - 1) / ranks;  // reserve a core for comm lanes
+  return budget > 0 ? budget : 1;
+}
+
+GemmThreadScope::GemmThreadScope(int threads) : previous_(t_scope_threads) {
+  if (threads > 0) t_scope_threads = threads;
+}
+
+GemmThreadScope::~GemmThreadScope() { t_scope_threads = previous_; }
+
+}  // namespace axonn

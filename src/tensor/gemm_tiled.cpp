@@ -1,9 +1,13 @@
 #include "axonn/tensor/gemm_tiled.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "axonn/base/error.hpp"
-#include "axonn/tensor/bf16.hpp"
+#include "axonn/base/metrics.hpp"
+#include "axonn/base/worker_pool.hpp"
+#include "axonn/tensor/gemm_dispatch.hpp"
+#include "gemm_kernels.hpp"
 
 namespace axonn {
 
@@ -13,19 +17,35 @@ inline std::size_t ceil_div(std::size_t a, std::size_t b) {
   return (a + b - 1) / b;
 }
 
+// Threaded task grid (DESIGN.md §13): a task is one (kBlockM row block,
+// kGroupNTiles column-tile group) rectangle of C. The grid is a pure function
+// of the problem shape — never of the thread count — and task t is owned by
+// lane t % lanes, so which lane computes a task changes with the budget but
+// the work inside it (and the kb-ascending order of += into its disjoint C
+// rectangle) never does: output is bitwise identical at any thread count.
+// 8 tiles x kTileNR = 128 columns per group keeps A-pack duplication across
+// tasks under ~1% of the FMA work while giving 512^2 x 512 a 6x4 = 24-task
+// grid — enough slack to balance 4..8 lanes.
+constexpr std::size_t kGroupNTiles = 8;
+
+// gemm.pool.* registry entries recorded per threaded call; the spawn/park
+// counters live with the WorkerTeam in src/base.
+obs::metrics::Counter& tiles_counter() {
+  static obs::metrics::Counter c("gemm.pool.tiles");
+  return c;
+}
+obs::metrics::Histogram& imbalance_hist() {
+  static obs::metrics::Histogram h("gemm.pool.imbalance_pct");
+  return h;
+}
+
 // Packs op(A)[i0..i0+mc) x [l0..l0+kc) into row panels of kTileMR, each
 // stored l-major (panel[l * kTileMR + i]) and zero-padded past mc so the
-// micro-kernel runs full tiles unconditionally.
-template <bool kRound>
+// micro-kernel runs full tiles unconditionally. bf16 rounding is applied by
+// the caller to the packed buffer afterwards (contiguous, so the dispatched
+// round_bf16 kernel vectorizes; the padding zeros round to zero).
 void pack_a_block(const Matrix& a, bool trans_a, std::size_t i0,
                   std::size_t mc, std::size_t l0, std::size_t kc, float* buf) {
-  const auto maybe_round = [](float v) {
-    if constexpr (kRound) {
-      return bf16_round(v);
-    } else {
-      return v;
-    }
-  };
   const std::size_t m_tiles = ceil_div(mc, kTileMR);
   for (std::size_t it = 0; it < m_tiles; ++it) {
     const std::size_t i_base = i0 + it * kTileMR;
@@ -35,47 +55,20 @@ void pack_a_block(const Matrix& a, bool trans_a, std::size_t i0,
       float* out = panel + l * kTileMR;
       if (!trans_a) {
         for (std::size_t ii = 0; ii < kTileMR; ++ii) {
-          out[ii] = ii < mr ? maybe_round(a(i_base + ii, l0 + l)) : 0.0f;
+          out[ii] = ii < mr ? a(i_base + ii, l0 + l) : 0.0f;
         }
       } else {
         const float* src = a.row(l0 + l) + i_base;  // op(A)(i, l) = A(l, i)
         for (std::size_t ii = 0; ii < kTileMR; ++ii) {
-          out[ii] = ii < mr ? maybe_round(src[ii]) : 0.0f;
+          out[ii] = ii < mr ? src[ii] : 0.0f;
         }
       }
     }
   }
 }
 
-// One kTileMR x kTileNR tile of C over a k-slab: acc holds the tile in fp32.
-// Fixed trip counts on i/j let the compiler unroll fully and keep acc in
-// vector registers; the j loop over the contiguous packed-B row becomes
-// broadcast-FMA vector code.
-inline void micro_kernel(std::size_t kc, const float* __restrict a_panel,
-                         const float* __restrict b_panel,
-                         float (&acc)[kTileMR * kTileNR]) {
-  for (std::size_t l = 0; l < kc; ++l) {
-    const float* a = a_panel + l * kTileMR;
-    const float* b = b_panel + l * kTileNR;
-    for (std::size_t i = 0; i < kTileMR; ++i) {
-      const float av = a[i];
-      for (std::size_t j = 0; j < kTileNR; ++j) {
-        acc[i * kTileNR + j] += av * b[j];
-      }
-    }
-  }
-}
-
-template <bool kRound>
 void pack_b_impl(const Matrix& b, bool transpose, std::size_t k, std::size_t n,
                  std::size_t padded_n, float* dst) {
-  const auto maybe_round = [](float v) {
-    if constexpr (kRound) {
-      return bf16_round(v);
-    } else {
-      return v;
-    }
-  };
   for (std::size_t l0 = 0; l0 < k; l0 += kBlockK) {
     const std::size_t kc = std::min(kBlockK, k - l0);
     for (std::size_t j0 = 0; j0 < padded_n; j0 += kTileNR) {
@@ -83,15 +76,28 @@ void pack_b_impl(const Matrix& b, bool transpose, std::size_t k, std::size_t n,
       for (std::size_t l = 0; l < kc; ++l) {
         if (!transpose) {
           const float* src = b.row(l0 + l) + j0;
-          for (std::size_t j = 0; j < jn; ++j) dst[j] = maybe_round(src[j]);
+          for (std::size_t j = 0; j < jn; ++j) dst[j] = src[j];
         } else {
           for (std::size_t j = 0; j < jn; ++j) {
-            dst[j] = maybe_round(b(j0 + j, l0 + l));  // op(B)(l, j) = B(j, l)
+            dst[j] = b(j0 + j, l0 + l);  // op(B)(l, j) = B(j, l)
           }
         }
         for (std::size_t j = jn; j < kTileNR; ++j) dst[j] = 0.0f;
         dst += kTileNR;
       }
+    }
+  }
+}
+
+// C[i_base.., j0..] += alpha * acc tile, clipped to the mr x jn valid region.
+inline void add_tile(float alpha, const float* __restrict acc, Matrix& c,
+                     std::size_t i_base, std::size_t mr, std::size_t j0,
+                     std::size_t jn) {
+  for (std::size_t ii = 0; ii < mr; ++ii) {
+    float* crow = c.row(i_base + ii) + j0;
+    const float* arow = acc + ii * kTileNR;
+    for (std::size_t j = 0; j < jn; ++j) {
+      crow[j] += alpha * arow[j];
     }
   }
 }
@@ -120,12 +126,10 @@ PackedB pack_b(const Matrix& b, bool transpose, bool round_bf16) {
   out.rounded_bf16_ = round_bf16;
   out.data_.assign(out.k_ * out.padded_n_, 0.0f);
   if (out.data_.empty()) return out;
+  pack_b_impl(b, transpose, out.k_, out.n_, out.padded_n_, out.data_.data());
   if (round_bf16) {
-    pack_b_impl<true>(b, transpose, out.k_, out.n_, out.padded_n_,
-                      out.data_.data());
-  } else {
-    pack_b_impl<false>(b, transpose, out.k_, out.n_, out.padded_n_,
-                       out.data_.data());
+    const detail::GemmMicroKernels& kernels = detail::active_gemm_kernels();
+    kernels.round_bf16(out.data_.data(), out.data_.data(), out.data_.size());
   }
   return out;
 }
@@ -139,11 +143,14 @@ void gemm_tiled_packed(bool trans_a, float alpha, const Matrix& a,
                   "tiled GEMM inner dimension does not match packed op(B)");
   AXONN_CHECK_MSG(c.rows() == m && c.cols() == packed_b.n(),
                   "GEMM output shape does not match operands");
+  const detail::GemmMicroKernels& kernels = detail::active_gemm_kernels();
+  const int budget = gemm_threads();
   // op(B)'s transposition was resolved at pack time, so the recorded mode
   // can only reflect op(A); prepacked calls report kNN/kTN.
   detail::GemmDispatchScope stats(
       GemmBackend::kTiled, trans_a ? GemmMode::kTN : GemmMode::kNN,
-      GemmShape{m, packed_b.n(), packed_b.k()}, round_bf16);
+      GemmShape{m, packed_b.n(), packed_b.k()}, round_bf16, active_gemm_isa(),
+      budget);
   if (beta == 0.0f) {
     c.set_zero();
   } else if (beta != 1.0f) {
@@ -154,36 +161,92 @@ void gemm_tiled_packed(bool trans_a, float alpha, const Matrix& a,
     return;
   }
 
-  AlignedVector<float> a_pack(ceil_div(kBlockM, kTileMR) * kTileMR * kBlockK);
+  const std::size_t n = packed_b.n();
   const std::size_t n_tiles = packed_b.n_tiles();
-  for (std::size_t kb = 0; kb < packed_b.k_blocks(); ++kb) {
-    const std::size_t l0 = kb * kBlockK;
-    const std::size_t kc = packed_b.k_block_rows(kb);
-    for (std::size_t i0 = 0; i0 < m; i0 += kBlockM) {
+  const std::size_t k_blocks = packed_b.k_blocks();
+  const std::size_t m_blocks = ceil_div(m, kBlockM);
+  const std::size_t groups = ceil_div(n_tiles, kGroupNTiles);
+  const std::size_t tasks = m_blocks * groups;
+  const int lanes = static_cast<int>(
+      std::min<std::size_t>(tasks, static_cast<std::size_t>(budget)));
+
+  std::vector<std::size_t> lane_tiles(static_cast<std::size_t>(lanes), 0);
+  auto run_lane = [&](int lane) {
+    // Worker-local A pack: tasks sharing a row block each pack their own
+    // copy, trading ~groups/(2n) duplicated pack work for zero sharing.
+    AlignedVector<float> a_pack(ceil_div(kBlockM, kTileMR) * kTileMR *
+                                kBlockK);
+    std::size_t my_tiles = 0;
+    for (std::size_t t = static_cast<std::size_t>(lane); t < tasks;
+         t += static_cast<std::size_t>(lanes)) {
+      const std::size_t mi = t / groups;
+      const std::size_t g = t % groups;
+      const std::size_t i0 = mi * kBlockM;
       const std::size_t mc = std::min(kBlockM, m - i0);
-      if (round_bf16) {
-        pack_a_block<true>(a, trans_a, i0, mc, l0, kc, a_pack.data());
-      } else {
-        pack_a_block<false>(a, trans_a, i0, mc, l0, kc, a_pack.data());
-      }
       const std::size_t m_tiles = ceil_div(mc, kTileMR);
-      for (std::size_t jt = 0; jt < n_tiles; ++jt) {
-        const float* b_panel = packed_b.panel(kb, jt);
-        const std::size_t j0 = jt * kTileNR;
-        const std::size_t jn = std::min(kTileNR, packed_b.n() - j0);
-        for (std::size_t it = 0; it < m_tiles; ++it) {
-          float acc[kTileMR * kTileNR] = {};
-          micro_kernel(kc, a_pack.data() + it * (kc * kTileMR), b_panel, acc);
-          const std::size_t i_base = i0 + it * kTileMR;
-          const std::size_t mr = std::min(kTileMR, i0 + mc - i_base);
-          for (std::size_t ii = 0; ii < mr; ++ii) {
-            float* crow = c.row(i_base + ii) + j0;
-            for (std::size_t j = 0; j < jn; ++j) {
-              crow[j] += alpha * acc[ii * kTileNR + j];
+      const std::size_t jt_begin = g * kGroupNTiles;
+      const std::size_t jt_end = std::min(jt_begin + kGroupNTiles, n_tiles);
+      for (std::size_t kb = 0; kb < k_blocks; ++kb) {
+        const std::size_t l0 = kb * kBlockK;
+        const std::size_t kc = packed_b.k_block_rows(kb);
+        pack_a_block(a, trans_a, i0, mc, l0, kc, a_pack.data());
+        if (round_bf16) {
+          kernels.round_bf16(a_pack.data(), a_pack.data(),
+                             m_tiles * kc * kTileMR);
+        }
+        std::size_t jt = jt_begin;
+        if (kernels.tile2 != nullptr) {
+          for (; jt + 1 < jt_end; jt += 2) {
+            const float* b0 = packed_b.panel(kb, jt);
+            const float* b1 = packed_b.panel(kb, jt + 1);
+            const std::size_t j0 = jt * kTileNR;
+            const std::size_t jn0 = std::min(kTileNR, n - j0);
+            const std::size_t j1 = j0 + kTileNR;
+            const std::size_t jn1 = std::min(kTileNR, n - j1);
+            for (std::size_t it = 0; it < m_tiles; ++it) {
+              alignas(64) float acc[2 * kTileMR * kTileNR];
+              kernels.tile2(kc, a_pack.data() + it * (kc * kTileMR), b0, b1,
+                            acc);
+              const std::size_t i_base = i0 + it * kTileMR;
+              const std::size_t mr = std::min(kTileMR, i0 + mc - i_base);
+              add_tile(alpha, acc, c, i_base, mr, j0, jn0);
+              add_tile(alpha, acc + kTileMR * kTileNR, c, i_base, mr, j1,
+                       jn1);
+              my_tiles += 2;
             }
           }
         }
+        for (; jt < jt_end; ++jt) {
+          const float* b_panel = packed_b.panel(kb, jt);
+          const std::size_t j0 = jt * kTileNR;
+          const std::size_t jn = std::min(kTileNR, n - j0);
+          for (std::size_t it = 0; it < m_tiles; ++it) {
+            alignas(64) float acc[kTileMR * kTileNR];
+            kernels.tile1(kc, a_pack.data() + it * (kc * kTileMR), b_panel,
+                          acc);
+            const std::size_t i_base = i0 + it * kTileMR;
+            const std::size_t mr = std::min(kTileMR, i0 + mc - i_base);
+            add_tile(alpha, acc, c, i_base, mr, j0, jn);
+            my_tiles += 1;
+          }
+        }
       }
+    }
+    lane_tiles[static_cast<std::size_t>(lane)] = my_tiles;
+  };
+
+  WorkerTeam::this_thread().run(lanes, run_lane);
+
+  std::size_t total = 0;
+  for (std::size_t count : lane_tiles) total += count;
+  tiles_counter().add(static_cast<double>(total));
+  if (lanes > 1) {
+    const auto [lo, hi] = std::minmax_element(lane_tiles.begin(),
+                                              lane_tiles.end());
+    if (*hi > 0) {
+      imbalance_hist().observe(100.0 *
+                               static_cast<double>(*hi - *lo) /
+                               static_cast<double>(*hi));
     }
   }
 }
@@ -191,7 +254,8 @@ void gemm_tiled_packed(bool trans_a, float alpha, const Matrix& a,
 void gemm_tiled(GemmMode mode, float alpha, const Matrix& a, const Matrix& b,
                 float beta, Matrix& c, bool round_bf16) {
   detail::GemmDispatchScope stats(GemmBackend::kTiled, mode,
-                                  gemm_shape(mode, a, b), round_bf16);
+                                  gemm_shape(mode, a, b), round_bf16,
+                                  active_gemm_isa(), gemm_threads());
   const PackedB packed = pack_b(b, gemm_transposes_b(mode), round_bf16);
   gemm_tiled_packed(gemm_transposes_a(mode), alpha, a, packed, beta, c,
                     round_bf16);

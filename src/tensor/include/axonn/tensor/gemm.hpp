@@ -13,6 +13,7 @@
 #include <span>
 #include <string>
 
+#include "axonn/tensor/gemm_dispatch.hpp"
 #include "axonn/tensor/matrix.hpp"
 
 namespace axonn {
@@ -120,6 +121,12 @@ struct GemmStats {
   GemmShape shape;
   std::uint64_t flops = 0;  ///< gemm_flops(shape)
   bool bf16 = false;        ///< operands rounded through bf16
+  /// Micro-kernel tier the tiled backend dispatched to (kPortable for the
+  /// reference backend, which has no ISA-specific kernels).
+  GemmIsa isa = GemmIsa::kPortable;
+  /// Intra-rank thread budget in effect at dispatch (gemm_threads(); the
+  /// tiled backend may use fewer lanes when the task grid is smaller).
+  int threads = 1;
 };
 
 /// Stats of the most recent GEMM dispatched on the calling thread.
@@ -144,7 +151,8 @@ namespace detail {
 class GemmDispatchScope {
  public:
   GemmDispatchScope(GemmBackend backend, GemmMode mode, const GemmShape& shape,
-                    bool bf16);
+                    bool bf16, GemmIsa isa = GemmIsa::kPortable,
+                    int threads = 1);
   ~GemmDispatchScope();
   GemmDispatchScope(const GemmDispatchScope&) = delete;
   GemmDispatchScope& operator=(const GemmDispatchScope&) = delete;

@@ -1,0 +1,67 @@
+// Threaded GEMM concurrent with live comm-progress lanes (DESIGN.md §13).
+//
+// The worst concurrency mix the runtime supports: every rank thread fans its
+// tiled GEMMs out over a WorkerTeam while the §12 overlap engine's priority
+// lanes are simultaneously gathering prefetched weights (OAG), reduce-
+// scattering weight grads (ORS) and all-reducing input grads (OAR). The pool
+// lanes touch only pack buffers and disjoint C tiles; the comm lanes touch
+// only comm buffers — so under ThreadSanitizer (`ctest -L tsan` in an
+// AXONN_SANITIZE=thread tree) this must be race-free, and because both
+// threading and overlap are bitwise-neutral individually, the combined run
+// must reproduce the serial non-overlapped output exactly.
+
+#include <gtest/gtest.h>
+
+#include "axonn/comm/thread_comm.hpp"
+#include "axonn/core/mlp.hpp"
+#include "axonn/tensor/gemm_dispatch.hpp"
+
+namespace axonn::core {
+namespace {
+
+constexpr std::uint64_t kSeed = 777;
+const std::vector<std::size_t> kDims{12, 16, 8};
+constexpr std::size_t kRows = 8;
+
+Matrix make_input(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::randn(rows, cols, rng);
+}
+
+TEST(GemmCommOverlapTest, ThreadedGemmWithActiveCommLanesStaysBitwise) {
+  const Matrix full_input = make_input(kRows, kDims.front(), 31);
+  const Matrix full_dout = make_input(kRows, kDims.back(), 32);
+  Matrix serial_out, threaded_out;
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool threaded = pass == 1;
+    comm::WorldOptions world_options;
+    // Pass 1: two worker lanes per rank (set through the world knob, the
+    // production path) AND every overlap lane live at once.
+    world_options.gemm_threads = threaded ? 2 : 1;
+    comm::run_ranks(
+        8,
+        [&](comm::Communicator& world) {
+          Grid4D grid(world, sim::GridShape{2, 2, 2, 1});
+          MLPOptions options;
+          options.gemm_backend = GemmBackend::kTiled;
+          options.overlap_input_grad_all_reduce = threaded;
+          options.overlap_weight_grad_reduce_scatter = threaded;
+          options.overlap_weight_all_gather = threaded;
+          TensorParallelMLP mlp(grid, kDims, kSeed, options);
+          const Matrix out = mlp.forward(mlp.scatter_input(full_input));
+          const auto& last = mlp.layer(1);
+          mlp.backward(full_dout.block(last.input_row_range(kRows),
+                                       last.output_col_range()));
+          mlp.sync_gradients_data_parallel();
+          if (world.rank() == 0) {
+            (threaded ? threaded_out : serial_out) = out;
+          }
+        },
+        world_options);
+  }
+  set_gemm_threads(0);  // the world knob writes the process-global budget
+  EXPECT_EQ(Matrix::max_abs_diff(serial_out, threaded_out), 0.0f);
+}
+
+}  // namespace
+}  // namespace axonn::core

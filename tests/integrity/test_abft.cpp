@@ -14,6 +14,7 @@
 #include "axonn/comm/thread_comm.hpp"
 #include "axonn/core/fc_layer.hpp"
 #include "axonn/tensor/gemm.hpp"
+#include "axonn/tensor/gemm_dispatch.hpp"
 #include "axonn/tensor/gemm_tiled.hpp"
 
 namespace axonn::integrity {
@@ -158,6 +159,42 @@ TEST(AbftTest, HealRecoversBitIdenticalResult) {
   EXPECT_EQ(after.sdc_detected - before.sdc_detected, faults);
   EXPECT_EQ(after.sdc_recovered - before.sdc_recovered, faults);
   EXPECT_GE(after.abft_recomputes - before.abft_recomputes, faults);
+}
+
+TEST(AbftTest, ThreadedTiledPathsDetectAndHealOnEveryIsaTier) {
+  // ABFT checksums are computed on the finished C, so neither the worker-
+  // lane count nor the dispatched micro-kernel tier may change detect/heal
+  // behavior: clean threaded GEMMs never false-positive, an injected fault
+  // heals to the threaded run's own bitwise result — on the forced-portable
+  // oracle tier and on whatever this host dispatches natively, bf16 included.
+  for (GemmIsa tier : {GemmIsa::kPortable, detected_gemm_isa()}) {
+    force_gemm_isa(tier);
+    GemmThreadScope lanes(4);
+    Rng rng(0x7EAD);
+    for (const GemmCase& c : all_cases()) {
+      if (c.backend != GemmBackend::kTiled) continue;
+      const Matrix a = make_a(c, rng);
+      const Matrix b = make_b(c, rng);
+      Matrix clean(c.m, c.n);
+      run_kernel(c, a, b, clean);
+
+      AbftOptions opts;
+      opts.mode = IntegrityMode::kDetect;
+      Matrix out(c.m, c.n);
+      EXPECT_NO_THROW(checked(c, opts, a, b, out))
+          << to_string(tier) << " m=" << c.m << " n=" << c.n << " k=" << c.k
+          << " mode " << to_string(c.mode) << " bf16=" << c.bf16;
+      EXPECT_EQ(out.storage(), clean.storage());
+
+      opts.mode = IntegrityMode::kHeal;
+      Matrix healed(c.m, c.n);
+      arm_abft_fault({});
+      EXPECT_NO_THROW(checked(c, opts, a, b, healed));
+      EXPECT_EQ(healed.storage(), clean.storage())
+          << to_string(tier) << " heal diverged at m=" << c.m << " n=" << c.n;
+    }
+  }
+  reset_gemm_isa();
 }
 
 TEST(AbftTest, HealRestoresAccumulatorWhenBetaNonZero) {

@@ -1,0 +1,56 @@
+// Per-rank sustained-GEMM-rate calibration (DESIGN.md §13): the measured
+// rate replaces the spec-sheet compute constants of Eqs. 1-7.
+
+#include "axonn/perf/gemm_calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "axonn/tensor/gemm_dispatch.hpp"
+
+namespace axonn::perf {
+namespace {
+
+TEST(GemmCalibrationTest, MeasuresThePathItClaimsToMeasure) {
+  GemmThreadScope lanes(2);
+  const GemmCalibration cal = calibrate_gemm_rate(64, 2);
+  EXPECT_GT(cal.sustained_gflops, 0.0);
+  EXPECT_EQ(cal.dim, 64u);
+  EXPECT_EQ(cal.backend, GemmBackend::kTiled);
+  // Provenance must reflect the ambient dispatch state during measurement.
+  EXPECT_EQ(cal.isa, active_gemm_isa());
+  EXPECT_EQ(cal.threads, 2);
+  EXPECT_FALSE(cal.bf16);
+  EXPECT_TRUE(calibrate_gemm_rate(64, 2, true).bf16);
+}
+
+TEST(GemmCalibrationTest, ApplyRescalesThroughTheMachinesOwnPeakFraction) {
+  sim::MachineConfig machine = sim::frontier();
+  GemmCalibration cal;
+  cal.sustained_gflops = 50.0;  // 5e10 flops/s
+  cal.dim = 256;
+  apply_gemm_calibration(machine, cal);
+  EXPECT_DOUBLE_EQ(machine.empirical_peak_flops, 5e10);
+  EXPECT_DOUBLE_EQ(machine.advertised_peak_flops,
+                   5e10 / machine.gemm.peak_fraction);
+  EXPECT_NE(machine.name.find("+calibrated"), std::string::npos);
+}
+
+TEST(GemmCalibrationTest, CalibratedMachinePredictsNearTheMeasuredRate) {
+  // At the calibration dim the efficiency model's size roll-off is already
+  // folded into peak_fraction's back-derivation only at the large-dim limit,
+  // so predictions at large dims approach the measurement from below.
+  sim::MachineConfig machine = sim::frontier();
+  const GemmCalibration cal = calibrate_gemm_rate(64, 2);
+  apply_gemm_calibration(machine, cal);
+  const std::uint64_t big = 4096;
+  const double secs = machine.gemm_seconds(GemmMode::kNN, big, big, big);
+  const double predicted_gflops =
+      2.0 * static_cast<double>(big * big * big) / secs * 1e-9;
+  EXPECT_GT(predicted_gflops, 0.0);
+  EXPECT_LE(predicted_gflops, cal.sustained_gflops * 1.01);
+}
+
+}  // namespace
+}  // namespace axonn::perf

@@ -3,7 +3,14 @@
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
-                     [--series REGEX] [--min-abs SECONDS]
+                     [--series REGEX] [--min-abs SECONDS] [--ignore-flavor]
+
+Files may carry a "flavor" object stamping the build/host configuration the
+numbers were measured under (ISA tier, native-arch on/off). When both files
+have one and any non-underscore key differs, the comparison is refused (exit
+2): a portable-tier smoke run against a native-arch baseline measures two
+different machines, not a regression. Keys with a leading underscore are
+informational and never gate. --ignore-flavor overrides the refusal.
 
 Every series present in both files is compared point by point (matched by x).
 For "lower is better" units (the default: seconds and everything else), a
@@ -36,11 +43,20 @@ def load(path):
     if "series" not in doc or not isinstance(doc["series"], list):
         print(f"bench_compare: {path} has no 'series' array", file=sys.stderr)
         sys.exit(2)
+    flavor = doc.get("flavor", {})
+    if not isinstance(flavor, dict):
+        print(f"bench_compare: {path} has a malformed 'flavor'", file=sys.stderr)
+        sys.exit(2)
     series = {}
     for s in doc["series"]:
         points = {p["x"]: p["y"] for p in s.get("points", [])}
         series[s["name"]] = {"units": s.get("units", "s"), "points": points}
-    return doc.get("benchmark", "?"), series
+    return doc.get("benchmark", "?"), series, flavor
+
+
+def gating_flavor(flavor):
+    """Non-underscore keys: the part of the stamp that must match to compare."""
+    return {k: v for k, v in flavor.items() if not k.startswith("_")}
 
 
 def main():
@@ -67,10 +83,25 @@ def main():
         metavar="DELTA",
         help="ignore regressions with absolute delta below this (default: 1e-4)",
     )
+    ap.add_argument(
+        "--ignore-flavor",
+        action="store_true",
+        help="compare even when the build/host flavor stamps differ",
+    )
     args = ap.parse_args()
 
-    base_name, base = load(args.baseline)
-    cur_name, cur = load(args.current)
+    base_name, base, base_flavor = load(args.baseline)
+    cur_name, cur, cur_flavor = load(args.current)
+    if base_flavor and cur_flavor:
+        bg, cg = gating_flavor(base_flavor), gating_flavor(cur_flavor)
+        if bg != cg and not args.ignore_flavor:
+            print(
+                f"bench_compare: flavor mismatch — baseline {bg} vs current "
+                f"{cg}; these runs measured different build/host "
+                f"configurations (use --ignore-flavor to force)",
+                file=sys.stderr,
+            )
+            sys.exit(2)
     if base_name != cur_name:
         print(
             f"bench_compare: comparing different benchmarks "
