@@ -49,6 +49,11 @@ ctest --test-dir build --output-on-failure -j "$jobs" -LE bench
 stage "tier-1: elastic-recovery acceptance (ctest -L elastic)"
 ctest --test-dir build -L elastic --output-on-failure -j "$jobs"
 
+stage "tier-1: memory observability (ctest -L mem)"
+# The arena ledger + the memory-model cross-validation (<= 10% per-tag gate
+# on a real tiny-GPT run) named by the gate that owns them.
+ctest --test-dir build -L mem --output-on-failure -j "$jobs"
+
 if [[ "$skip_sanitizers" == 0 ]]; then
   stage "ASan tree: ctest -L integrity"
   cmake -B build-asan -S . -DAXONN_SANITIZE=address >/dev/null
@@ -61,6 +66,12 @@ if [[ "$skip_sanitizers" == 0 ]]; then
   # the worker-pool/ISA suites so the oracle path itself stays ASan-clean.
   AXONN_GEMM_ISA=portable \
     ctest --test-dir build-asan -L isa --output-on-failure -j "$jobs"
+
+  stage "ASan tree: ctest -L mem"
+  # The arena falls back to plain tracked malloc/free under ASan (pooling
+  # would hide use-after-free behind the free lists); the mem suites must be
+  # clean in that configuration, with the pool tests skipping themselves.
+  ctest --test-dir build-asan -L mem --output-on-failure -j "$jobs"
 
   stage "TSan tree: ctest -L tsan"
   cmake -B build-tsan -S . -DAXONN_SANITIZE=thread >/dev/null
@@ -75,12 +86,12 @@ if [[ "$skip_bench" == 0 ]]; then
   baseline_dir="$(mktemp -d)"
   trap 'rm -rf "$baseline_dir"' EXIT
   for f in BENCH_micro_gemm.json BENCH_micro_comm.json BENCH_fig5_overlap.json \
-           BENCH_recovery.json; do
+           BENCH_recovery.json BENCH_memory.json; do
     [[ -f "$f" ]] && cp "$f" "$baseline_dir/"
   done
   ctest --test-dir build -L bench --output-on-failure
   for f in BENCH_micro_gemm.json BENCH_micro_comm.json BENCH_fig5_overlap.json \
-           BENCH_recovery.json; do
+           BENCH_recovery.json BENCH_memory.json; do
     if [[ -f "$baseline_dir/$f" ]]; then
       # fig5's derived ratio series (overlap efficiency, pipelining reduction
       # pct) divide tiny timed quantities and swing wildly in a 7-iteration
@@ -133,6 +144,21 @@ if [[ "$skip_bench" == 0 ]]; then
           # jitter never trips it. bench_recovery itself hard-fails if elastic
           # MTTR is not strictly below the full-restart baseline.
           gate_args=(--series '^mttr_' --threshold 300 --min-abs 100) ;;
+        BENCH_memory.json)
+          # Memory-observability gates (ISSUE 10). The estimator's per-tag
+          # relative error must not drift more than 5 percentage points —
+          # most tags are checked in at exactly 0, so the absolute floor is
+          # the whole gate there. Run before the broad gate so a model
+          # divergence is named by the gate that owns it.
+          python3 tools/bench_compare.py \
+            --series '^mem/model_rel_error/' --threshold 50 --min-abs 0.05 \
+            "$baseline_dir/$f" "$f"
+          # The per-tag high-water marks are byte-deterministic (same tiny
+          # GPT, same step count, thread-rank world), so a tight threshold
+          # holds the memory trajectory; the 4 KiB floor forgives header
+          # rounding. The timing/overhead series stay ungated here because
+          # bench_memory itself hard-fails when track overhead exceeds 5%.
+          gate_args=(--series '^mem/hwm/' --threshold 25 --min-abs 4096) ;;
       esac
       python3 tools/bench_compare.py "${gate_args[@]+"${gate_args[@]}"}" \
         "$baseline_dir/$f" "$f"

@@ -45,8 +45,11 @@ using Id = std::uint32_t;
 
 /// Registers `name` with `kind` (idempotent) and returns its dense id.
 /// Throws std::invalid_argument if `name` is already registered with a
-/// different kind.
-Id register_metric(const std::string& name, Kind kind);
+/// different kind. `help` is a one-line description emitted as a Prometheus
+/// `# HELP` line; the first non-empty help registered for a name wins, so
+/// re-registration from another call site never clobbers a description.
+Id register_metric(const std::string& name, Kind kind,
+                   const std::string& help = {});
 
 /// Recording primitives. No-ops while disabled; cheap (thread-shard) when on.
 void add(Id id, double delta);      ///< counter += delta
@@ -64,8 +67,8 @@ void set_forced(Id id, double value);
 
 class Counter {
  public:
-  explicit Counter(const std::string& name)
-      : id_(register_metric(name, Kind::kCounter)) {}
+  explicit Counter(const std::string& name, const std::string& help = {})
+      : id_(register_metric(name, Kind::kCounter, help)) {}
   void add(double delta = 1.0) const {
     if (enabled()) metrics::add(id_, delta);
   }
@@ -77,8 +80,8 @@ class Counter {
 
 class Gauge {
  public:
-  explicit Gauge(const std::string& name)
-      : id_(register_metric(name, Kind::kGauge)) {}
+  explicit Gauge(const std::string& name, const std::string& help = {})
+      : id_(register_metric(name, Kind::kGauge, help)) {}
   void set(double value) const {
     if (enabled()) metrics::set(id_, value);
   }
@@ -91,8 +94,8 @@ class Gauge {
 
 class Histogram {
  public:
-  explicit Histogram(const std::string& name)
-      : id_(register_metric(name, Kind::kHistogram)) {}
+  explicit Histogram(const std::string& name, const std::string& help = {})
+      : id_(register_metric(name, Kind::kHistogram, help)) {}
   void observe(double value) const {
     if (enabled()) metrics::observe(id_, value);
   }
@@ -131,6 +134,7 @@ struct HistogramData {
 
 struct MetricValue {
   std::string name;
+  std::string help;  ///< empty when no description was registered
   Kind kind = Kind::kCounter;
   double value = 0;  ///< counter total or gauge value
   HistogramData hist;  ///< kHistogram only
@@ -152,11 +156,24 @@ MetricsSnapshot snapshot();
 void reset();
 
 /// Prometheus text exposition format. Metric names are prefixed "axonn_" and
-/// sanitized ([^a-zA-Z0-9_] -> '_').
+/// sanitized ([^a-zA-Z0-9_] -> '_'); registered descriptions come out as
+/// `# HELP` lines ahead of each `# TYPE`.
 void write_prometheus(std::ostream& out, const MetricsSnapshot& snap);
 
-/// snapshot() -> file. Returns false (and logs a warning) on I/O failure.
+/// Runs export hooks, then snapshot() -> file. Returns false (and logs a
+/// warning) on I/O failure.
 bool write_prometheus_file(const std::string& path);
+
+/// Registers a callback run by run_export_hooks() — and therefore before
+/// every write_prometheus_file() — so subsystems that keep their own atomic
+/// counters off the hot path (the mem arena, integrity::Counters) can mirror
+/// them into the registry right before a scrape. Hooks run in registration
+/// order, must be idempotent, and must not register further hooks.
+void add_export_hook(void (*hook)());
+
+/// Invokes every registered export hook (manual flush for callers that use
+/// snapshot()/write_prometheus() directly).
+void run_export_hooks();
 
 // ---------------------------------------------------------------------------
 // Exposed-communication stall clock

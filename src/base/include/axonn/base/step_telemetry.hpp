@@ -42,9 +42,10 @@ enum class StepField : int {
   kGemmGflop,        ///< GEMM work issued this step, Gflop
   kWireMB,           ///< wire bytes sent this step, MB (payload + CRC)
   kIntegrityEvents,  ///< SDC detections (process-global counter delta)
+  kMemHwmMB,         ///< arena total high-water MB (process-global gauge)
   kLoss,             ///< per-rank loss as seen by the trainer
 };
-inline constexpr int kNumStepFields = 7;
+inline constexpr int kNumStepFields = 8;
 const char* to_string(StepField field);
 
 struct StepStat {

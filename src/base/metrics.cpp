@@ -26,6 +26,7 @@ std::atomic<std::uint64_t> g_gauge_seq{0};
 
 struct Descriptor {
   std::string name;
+  std::string help;
   Kind kind;
 };
 
@@ -113,21 +114,25 @@ const char* to_string(Kind kind) {
   return "?";
 }
 
-Id register_metric(const std::string& name, Kind kind) {
+Id register_metric(const std::string& name, Kind kind,
+                   const std::string& help) {
   NameTable& t = names();
   std::lock_guard<std::mutex> lock(t.mutex);
   auto it = t.by_name.find(name);
   if (it != t.by_name.end()) {
-    const Descriptor& d = t.descriptors[it->second];
+    Descriptor& d = t.descriptors[it->second];
     if (d.kind != kind) {
       throw std::invalid_argument("metric '" + name + "' already registered as " +
                                   to_string(d.kind) + ", re-registered as " +
                                   to_string(kind));
     }
+    // First non-empty description wins; a later call site may still attach
+    // one to a metric that was registered bare.
+    if (d.help.empty() && !help.empty()) d.help = help;
     return it->second;
   }
   const Id id = static_cast<Id>(t.descriptors.size());
-  t.descriptors.push_back({name, kind});
+  t.descriptors.push_back({name, help, kind});
   t.by_name.emplace(name, id);
   return id;
 }
@@ -205,6 +210,7 @@ MetricsSnapshot snapshot() {
     for (const Descriptor& d : t.descriptors) {
       MetricValue v;
       v.name = d.name;
+      v.help = d.help;
       v.kind = d.kind;
       snap.values.push_back(std::move(v));
     }
@@ -273,11 +279,60 @@ std::string prometheus_name(const std::string& name) {
   return out;
 }
 
+// HELP text runs to end of line in the exposition format, so the only
+// characters needing escapes are backslash and newline.
+std::string prometheus_help(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char ch : help) {
+    if (ch == '\\') {
+      out += "\\\\";
+    } else if (ch == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+struct ExportHooks {
+  std::mutex mutex;
+  std::vector<void (*)()> hooks;
+};
+
+ExportHooks& export_hooks() {
+  static ExportHooks* h = new ExportHooks;  // leaked: outlives all threads
+  return *h;
+}
+
 }  // namespace
+
+void add_export_hook(void (*hook)()) {
+  if (hook == nullptr) return;
+  ExportHooks& h = export_hooks();
+  std::lock_guard<std::mutex> lock(h.mutex);
+  h.hooks.push_back(hook);
+}
+
+void run_export_hooks() {
+  // Copy under the lock, run outside it: a hook calling snapshot()/set_forced
+  // must not deadlock against a concurrent add_export_hook().
+  std::vector<void (*)()> hooks;
+  {
+    ExportHooks& h = export_hooks();
+    std::lock_guard<std::mutex> lock(h.mutex);
+    hooks = h.hooks;
+  }
+  for (void (*hook)() : hooks) hook();
+}
 
 void write_prometheus(std::ostream& out, const MetricsSnapshot& snap) {
   for (const MetricValue& v : snap.values) {
     const std::string name = prometheus_name(v.name);
+    if (!v.help.empty()) {
+      out << "# HELP " << name << ' ' << prometheus_help(v.help) << '\n';
+    }
     out << "# TYPE " << name << ' ' << to_string(v.kind) << '\n';
     switch (v.kind) {
       case Kind::kCounter:
@@ -304,6 +359,7 @@ void write_prometheus(std::ostream& out, const MetricsSnapshot& snap) {
 }
 
 bool write_prometheus_file(const std::string& path) {
+  run_export_hooks();
   std::ofstream out(path);
   if (!out) {
     AXONN_LOG_WARN << "metrics: cannot open '" << path << "' for writing";
@@ -339,7 +395,9 @@ StallTimer::~StallTimer() {
   if (start_s_ < 0) return;
   const double elapsed = steady_seconds() - start_s_;
   t_stall_seconds += elapsed;
-  static Counter stall_total("comm.stall_s");
+  static Counter stall_total(
+      "comm.stall_s",
+      "wall seconds threads spent stalled in blocking comm (StallTimer)");
   stall_total.add(elapsed);
 }
 

@@ -23,6 +23,7 @@ const char* to_string(StepField field) {
     case StepField::kGemmGflop: return "gemm_gflop";
     case StepField::kWireMB: return "wire_mb";
     case StepField::kIntegrityEvents: return "integrity_events";
+    case StepField::kMemHwmMB: return "mem_hwm_mb";
     case StepField::kLoss: return "loss";
   }
   return "?";

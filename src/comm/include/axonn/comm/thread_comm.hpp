@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "axonn/base/arena.hpp"
 #include "axonn/comm/communicator.hpp"
 #include "axonn/comm/segment_model.hpp"
 #include "axonn/integrity/integrity.hpp"
@@ -37,6 +38,12 @@
 namespace axonn::comm {
 
 class ThreadComm;
+
+/// Wire frame storage (ring segments, CRC-framed messages, retained
+/// retransmission copies): routed through axonn::mem so in-flight comm bytes
+/// show up under the comm_buffers tag. Allocation sites wrap themselves in
+/// ArenaScope(kCommBuffers).
+using FrameBuffer = mem::TrackedVector<float>;
 
 /// Default ring pipelining granularity: 2048 floats = 8 KiB per segment,
 /// small enough to put several segments in flight per chunk at the message
@@ -324,7 +331,7 @@ class ThreadWorld {
   struct Mailbox {
     std::mutex mutex;
     std::condition_variable cv;
-    std::map<MessageKey, std::deque<std::vector<float>>> queues;
+    std::map<MessageKey, std::deque<FrameBuffer>> queues;
   };
 
   // One progress lane: a worker thread draining FIFO tasks. Each rank owns
@@ -345,9 +352,9 @@ class ThreadWorld {
   };
 
   void deliver(int dest_world_rank, const MessageKey& key,
-               std::vector<float> payload);
-  std::vector<float> collect(int my_world_rank, const MessageKey& key,
-                             const RecvContext& context);
+               FrameBuffer payload);
+  FrameBuffer collect(int my_world_rank, const MessageKey& key,
+                      const RecvContext& context);
 
   /// One in-flight CRC-framed message, addressable for NACK/retransmit.
   struct RetainedKey {
@@ -358,7 +365,7 @@ class ThreadWorld {
   };
 
   /// Stores the clean framed copy the sender keeps while kHeal is active.
-  void retain(const RetainedKey& rkey, std::vector<float> frame);
+  void retain(const RetainedKey& rkey, FrameBuffer frame);
   /// Drops the retained copy — the receiver's CRC verified, i.e. the ACK.
   void release_retained(const RetainedKey& rkey);
   /// Synchronous NACK: returns a fresh copy of the retained frame with the
@@ -367,8 +374,8 @@ class ThreadWorld {
   /// thread — the in-process analogue of a NACK packet plus the sender's
   /// retransmission, delivered directly so later segments queued in the
   /// mailbox keep their order.
-  std::vector<float> retransmit(const RetainedKey& rkey,
-                                const WireContext& context);
+  FrameBuffer retransmit(const RetainedKey& rkey,
+                         const WireContext& context);
 
   /// Applies the installed wire-fault hook (if any) to `payload`.
   void apply_wire_hook(const WireContext& context, std::span<float> payload);
@@ -419,7 +426,7 @@ class ThreadWorld {
   std::shared_ptr<const WireFaultHook> wire_hook_;
 
   mutable std::mutex retained_mutex_;
-  std::map<RetainedKey, std::vector<float>> retained_;
+  std::map<RetainedKey, FrameBuffer> retained_;
 
   // --- Elastic membership state -------------------------------------------
   //

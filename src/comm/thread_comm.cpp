@@ -51,7 +51,7 @@ float crc_stamp(std::span<const float> payload) {
       crc32(payload.data(), payload.size() * sizeof(float)));
 }
 
-bool crc_frame_ok(const std::vector<float>& frame) {
+bool crc_frame_ok(const FrameBuffer& frame) {
   const std::span<const float> payload(frame.data(), frame.size() - 1);
   return std::bit_cast<std::uint32_t>(frame.back()) ==
          crc32(payload.data(), payload.size() * sizeof(float));
@@ -195,7 +195,7 @@ void ThreadWorld::throw_aborted() {
 }
 
 void ThreadWorld::deliver(int dest_world_rank, const MessageKey& key,
-                          std::vector<float> payload) {
+                          FrameBuffer payload) {
   // Epoch fence, delivery side: traffic stamped before the latest
   // reconfiguration must never reach a post-reconfiguration receive (a stale
   // ring segment could silently corrupt a same-shape collective at the new
@@ -213,9 +213,8 @@ void ThreadWorld::deliver(int dest_world_rank, const MessageKey& key,
   mailbox.cv.notify_all();
 }
 
-std::vector<float> ThreadWorld::collect(int my_world_rank,
-                                        const MessageKey& key,
-                                        const RecvContext& context) {
+FrameBuffer ThreadWorld::collect(int my_world_rank, const MessageKey& key,
+                                 const RecvContext& context) {
   Mailbox& mailbox = *mailboxes_[static_cast<std::size_t>(my_world_rank)];
   const long long budget_ms = timeout_ms_.load(std::memory_order_relaxed);
   const auto deadline =
@@ -285,7 +284,7 @@ std::vector<float> ThreadWorld::collect(int my_world_rank,
     lock.lock();
   }
   auto it = mailbox.queues.find(key);
-  std::vector<float> payload = std::move(it->second.front());
+  FrameBuffer payload = std::move(it->second.front());
   it->second.pop_front();
   if (it->second.empty()) mailbox.queues.erase(it);
   return payload;
@@ -318,7 +317,7 @@ std::size_t ThreadWorld::retained_messages() const {
   return retained_.size();
 }
 
-void ThreadWorld::retain(const RetainedKey& rkey, std::vector<float> frame) {
+void ThreadWorld::retain(const RetainedKey& rkey, FrameBuffer frame) {
   std::lock_guard<std::mutex> lock(retained_mutex_);
   retained_[rkey] = std::move(frame);
 }
@@ -328,9 +327,10 @@ void ThreadWorld::release_retained(const RetainedKey& rkey) {
   retained_.erase(rkey);
 }
 
-std::vector<float> ThreadWorld::retransmit(const RetainedKey& rkey,
-                                           const WireContext& context) {
-  std::vector<float> frame;
+FrameBuffer ThreadWorld::retransmit(const RetainedKey& rkey,
+                                    const WireContext& context) {
+  const mem::ArenaScope scope(mem::Tag::kCommBuffers);
+  FrameBuffer frame;
   {
     std::lock_guard<std::mutex> lock(retained_mutex_);
     const auto it = retained_.find(rkey);
@@ -750,7 +750,8 @@ void ThreadComm::Transport::send_to(int dest, std::span<const float> data) {
   const int dest_world = comm_->members_[static_cast<std::size_t>(dest)];
   const std::uint64_t msg_index = sent_[static_cast<std::size_t>(dest)]++;
 
-  std::vector<float> frame(data.begin(), data.end());
+  const mem::ArenaScope mem_scope(mem::Tag::kCommBuffers);
+  FrameBuffer frame(data.begin(), data.end());
   std::uint64_t crc_bytes = 0;
   if (crc_) {
     frame.push_back(crc_stamp(data));
@@ -784,8 +785,7 @@ void ThreadComm::Transport::recv_from(int src, std::span<float> out) {
       comm_->members_[static_cast<std::size_t>(comm_->rank_)];
   const ThreadWorld::RecvContext context{&comm_->name_, seq_, src_world};
   const std::uint64_t msg_index = rcvd_[static_cast<std::size_t>(src)]++;
-  std::vector<float> frame =
-      comm_->world_->collect(my_world, key, context);
+  FrameBuffer frame = comm_->world_->collect(my_world, key, context);
   if (!crc_) {
     AXONN_CHECK_MSG(frame.size() == out.size(),
                     "ring message size mismatch — mismatched collective call?");

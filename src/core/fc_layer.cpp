@@ -3,6 +3,7 @@
 #include <span>
 #include <string>
 
+#include "axonn/base/arena.hpp"
 #include "axonn/base/error.hpp"
 #include "axonn/base/trace.hpp"
 
@@ -27,7 +28,10 @@ TensorParallelFC::TensorParallelFC(Grid4D& grid, std::size_t in_features,
 
   // Every rank draws the same full weight from the seed, then keeps only its
   // block's Z-shard. This guarantees all shards are consistent views of one
-  // global W without any startup communication.
+  // global W without any startup communication. The full-matrix draw and its
+  // block are construction-time transients, but they are still charged to the
+  // weights tag — they dominate the weights HWM at init.
+  const mem::ArenaScope scope(mem::Tag::kWeights);
   Rng rng(seed);
   const Matrix full =
       Matrix::randn(in_features, out_features, rng, 0.0f, options_.init_std);
@@ -43,7 +47,11 @@ TensorParallelFC::TensorParallelFC(Grid4D& grid, std::size_t in_features,
   const Range my_rows = chunk_range(block.rows(), gz,
                                     static_cast<std::size_t>(grid_.z()));
   weight_shard_ = block.block(my_rows, Range{0, block.cols()});
-  weight_grad_shard_ = Matrix::zeros(weight_shard_.rows(), weight_shard_.cols());
+  {
+    const mem::ArenaScope grad_scope(mem::Tag::kGrads);
+    weight_grad_shard_ =
+        Matrix::zeros(weight_shard_.rows(), weight_shard_.cols());
+  }
 }
 
 Matrix TensorParallelFC::scatter_input(const Matrix& full_input) const {
@@ -174,6 +182,7 @@ void TensorParallelFC::begin_weight_gather() {
   // Snapshot the shard on this (the owning) thread: the progress lane reads
   // only this copy, so a later in-place weight update cannot race the gather
   // or leak pre-update values into it.
+  const mem::ArenaScope scope(mem::Tag::kWeights);
   prefetch_send_buffer_ = weight_shard_;
   prefetch_block_ = Matrix(in_range_.size(), out_range_.size());
   prefetch_version_ = weight_version_;
@@ -226,6 +235,7 @@ void TensorParallelFC::gather_weights_into_cache() {
     // to close: the old path adopted whatever the prefetch brought back.
     prefetch_packed_n_.clear();
   }
+  const mem::ArenaScope scope(mem::Tag::kWeights);
   cached_weight_block_ = Matrix(in_range_.size(), out_range_.size());
   grid_.z_comm().all_gatherv(
       std::span<const float>(weight_shard_.storage()),
@@ -291,8 +301,13 @@ Matrix TensorParallelFC::backward(const Matrix& grad_output_local) {
     dI_request->wait();
   }
 
-  // Line 14: dW_shard = reduce-scatter_z(dW_hat).
-  rs_recv_buffer_ = Matrix(weight_shard_.rows(), weight_shard_.cols());
+  // Line 14: dW_shard = reduce-scatter_z(dW_hat). The receive staging buffer
+  // is comm plumbing, not a gradient tensor (the send side stays on the
+  // activations tag: it is a GEMM output like any other).
+  {
+    const mem::ArenaScope scope(mem::Tag::kCommBuffers);
+    rs_recv_buffer_ = Matrix(weight_shard_.rows(), weight_shard_.cols());
+  }
   if (options_.overlap_weight_grad_reduce_scatter) {
     // ORS rides the bulk lane: nobody reads the result until
     // finish_gradients(), so it must never delay a dI all-reduce or an OAG

@@ -74,8 +74,60 @@ void Counters::reset() {
   step_replays.store(0, std::memory_order_relaxed);
 }
 
+namespace {
+
+// Mirrors the full Counters struct into the metrics registry as forced
+// gauges so one Prometheus scrape sees every integrity number, not just the
+// two the note_* hot paths increment. Gauges, not registry counters: the
+// atomics are the source of truth (they run with metrics disabled and can be
+// reset by tests), so the registry copy is a snapshot, not an accumulator.
+void publish_integrity_metrics() {
+  namespace metrics = obs::metrics;
+  static const metrics::Gauge gauges[] = {
+      metrics::Gauge("integrity.sdc_detected_total",
+                     "corruption detections across all defenses"),
+      metrics::Gauge("integrity.sdc_recovered_total",
+                     "detections healed in-run"),
+      metrics::Gauge("integrity.abft_checks_total",
+                     "checksummed GEMMs verified"),
+      metrics::Gauge("integrity.abft_mismatches_total",
+                     "GEMM checksum disagreements"),
+      metrics::Gauge("integrity.abft_recomputes_total",
+                     "heal-mode GEMM re-executions"),
+      metrics::Gauge("integrity.ring_crc_checks_total",
+                     "CRC-verified ring messages"),
+      metrics::Gauge("integrity.ring_retransmits_total",
+                     "NACKed ring segments re-sent"),
+      metrics::Gauge("integrity.wire_faults_injected_total",
+                     "ChaosComm wire-level bit flips injected"),
+      metrics::Gauge("integrity.sentinel_checks_total",
+                     "per-step sentinel health evaluations"),
+      metrics::Gauge("integrity.sentinel_unhealthy_total",
+                     "consensus-unhealthy training steps"),
+      metrics::Gauge("integrity.step_replays_total",
+                     "journal rollback + replay events"),
+  };
+  const CountersSnapshot s = counters().snapshot();
+  const std::uint64_t values[] = {
+      s.sdc_detected,     s.sdc_recovered,        s.abft_checks,
+      s.abft_mismatches,  s.abft_recomputes,      s.ring_crc_checks,
+      s.ring_retransmits, s.wire_faults_injected, s.sentinel_checks,
+      s.sentinel_unhealthy, s.step_replays,
+  };
+  for (std::size_t i = 0; i < std::size(values); ++i) {
+    gauges[i].set_forced(static_cast<double>(values[i]));
+  }
+}
+
+}  // namespace
+
 Counters& counters() {
   static Counters instance;
+  static const bool hooked = [] {
+    obs::metrics::add_export_hook(&publish_integrity_metrics);
+    return true;
+  }();
+  (void)hooked;
   return instance;
 }
 

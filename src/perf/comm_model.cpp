@@ -102,12 +102,17 @@ double predict_comm_time(const model::TrainingJob& job,
 std::vector<RankedConfig> rank_configurations(
     const model::TrainingJob& job, const sim::MachineConfig& machine,
     const sim::IntraNodeBandwidthDB& db, std::int64_t total_gpus,
-    bool require_memory_fit) {
+    bool require_memory_fit, double per_rank_mem_budget_bytes) {
   std::vector<RankedConfig> ranked;
   for (const sim::GridShape& grid : sim::enumerate_grids(total_gpus)) {
     RankedConfig rc;
     rc.grid = grid;
-    rc.memory_feasible = sim::fits_in_memory(job, machine, grid);
+    rc.predicted_mem_bytes =
+        model::memory_per_gpu(job, grid.gx, grid.gy, grid.gz, grid.gdata)
+            .total();
+    rc.memory_feasible = sim::fits_in_memory(job, machine, grid) &&
+                         (per_rank_mem_budget_bytes <= 0 ||
+                          rc.predicted_mem_bytes <= per_rank_mem_budget_bytes);
     if (require_memory_fit && !rc.memory_feasible) continue;
     rc.predicted_comm_s = predict_comm_time(job, machine, db, grid);
     ranked.push_back(rc);

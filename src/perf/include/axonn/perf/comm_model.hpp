@@ -82,17 +82,22 @@ double predict_comm_time(const model::TrainingJob& job,
 struct RankedConfig {
   sim::GridShape grid;
   double predicted_comm_s = 0;
+  /// model::memory_per_gpu().total() for this grid — the per-rank footprint
+  /// the feasibility filter compares against the machine/budget.
+  double predicted_mem_bytes = 0;
   bool memory_feasible = true;
 };
 
 /// Enumerates every power-of-two grid over `total_gpus`, predicts each, and
 /// returns them sorted fastest-first. When `require_memory_fit` is set,
 /// infeasible configurations are dropped (the paper only runs feasible
-/// ones).
+/// ones). A positive `per_rank_mem_budget_bytes` additionally caps the
+/// predicted per-rank footprint — tighter than the machine's HBM when an
+/// operator reserves headroom, looser when testing hypothetical machines.
 std::vector<RankedConfig> rank_configurations(
     const model::TrainingJob& job, const sim::MachineConfig& machine,
     const sim::IntraNodeBandwidthDB& db, std::int64_t total_gpus,
-    bool require_memory_fit = true);
+    bool require_memory_fit = true, double per_rank_mem_budget_bytes = 0);
 
 /// The best configuration by the model — the paper's "Perf model" bars use
 /// the best of the model's top-10 measured empirically; benches typically

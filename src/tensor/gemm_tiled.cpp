@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "axonn/base/arena.hpp"
 #include "axonn/base/error.hpp"
 #include "axonn/base/metrics.hpp"
 #include "axonn/base/worker_pool.hpp"
@@ -124,6 +125,10 @@ PackedB pack_b(const Matrix& b, bool transpose, bool round_bf16) {
   out.n_ = transpose ? b.rows() : b.cols();
   out.padded_n_ = ceil_div(out.n_, kTileNR) * kTileNR;
   out.rounded_bf16_ = round_bf16;
+  // Panels tag themselves: packs happen lazily under whatever scope the
+  // triggering GEMM runs in (usually activations), but the bytes belong to
+  // the packed-panel budget.
+  const mem::ArenaScope scope(mem::Tag::kPackedPanels);
   out.data_.assign(out.k_ * out.padded_n_, 0.0f);
   if (out.data_.empty()) return out;
   pack_b_impl(b, transpose, out.k_, out.n_, out.padded_n_, out.data_.data());
@@ -174,8 +179,9 @@ void gemm_tiled_packed(bool trans_a, float alpha, const Matrix& a,
   auto run_lane = [&](int lane) {
     // Worker-local A pack: tasks sharing a row block each pack their own
     // copy, trading ~groups/(2n) duplicated pack work for zero sharing.
-    AlignedVector<float> a_pack(ceil_div(kBlockM, kTileMR) * kTileMR *
-                                kBlockK);
+    const mem::ArenaScope scope(mem::Tag::kPackedPanels);
+    mem::TrackedVector<float> a_pack(ceil_div(kBlockM, kTileMR) * kTileMR *
+                                     kBlockK);
     std::size_t my_tiles = 0;
     for (std::size_t t = static_cast<std::size_t>(lane); t < tasks;
          t += static_cast<std::size_t>(lanes)) {

@@ -32,7 +32,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "axonn/base/aligned.hpp"
+#include "axonn/base/arena.hpp"
 #include "axonn/tensor/gemm.hpp"
 #include "axonn/tensor/matrix.hpp"
 
@@ -76,7 +76,7 @@ class PackedB {
   std::size_t n_ = 0;
   std::size_t padded_n_ = 0;
   bool rounded_bf16_ = false;
-  AlignedVector<float> data_;
+  mem::TrackedVector<float> data_;  ///< charged to mem::Tag::kPackedPanels
 };
 
 /// Packs op(B) (= B or B^T) into panels. O(k*n) — one pass over the operand.

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "axonn/base/aligned.hpp"
+#include "axonn/base/arena.hpp"
 #include "axonn/base/error.hpp"
 #include "axonn/base/partition.hpp"
 #include "axonn/base/rng.hpp"
@@ -21,9 +22,11 @@ namespace axonn {
 
 class Matrix {
  public:
-  /// Storage is cache-line aligned (see base/aligned.hpp) so GEMM panel
-  /// packing and vector loads start on 64-byte boundaries.
-  using Storage = AlignedVector<float>;
+  /// Storage is cache-line aligned (see base/arena.hpp) so GEMM panel
+  /// packing and vector loads start on 64-byte boundaries, and routed
+  /// through axonn::mem so every tensor is charged to the ambient
+  /// ArenaScope tag (weights, activations, grads, ...).
+  using Storage = mem::TrackedVector<float>;
 
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols)

@@ -1,5 +1,6 @@
 #include "axonn/train/adam.hpp"
 
+#include "axonn/base/arena.hpp"
 #include "axonn/base/trace.hpp"
 
 #include <algorithm>
@@ -12,6 +13,8 @@ std::size_t Adam::add_param(Matrix* weight, Matrix* grad) {
   AXONN_CHECK_MSG(weight->rows() == grad->rows() &&
                       weight->cols() == grad->cols(),
                   "weight and gradient shapes must match");
+  // The two moment tensors are the optimizer-state memory budget.
+  const mem::ArenaScope scope(mem::Tag::kAdam);
   Slot slot{weight, grad, Matrix::zeros(weight->rows(), weight->cols()),
             Matrix::zeros(weight->rows(), weight->cols())};
   params_.push_back(std::move(slot));

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <span>
 
+#include "axonn/base/arena.hpp"
 #include "axonn/base/error.hpp"
 #include "axonn/base/trace.hpp"
 
@@ -36,20 +37,27 @@ GPTModel::GPTModel(core::Grid4D& grid, const TinyGPTConfig& config)
   AXONN_CHECK(config.hidden % config.heads == 0);
   head_dim_ = config.hidden / config.heads;
 
+  // Construction charges the weights tag; gradient tensors get their own
+  // scope so the grads budget is visible separately from step one.
+  const mem::ArenaScope weights_scope(mem::Tag::kWeights);
   const auto h = static_cast<std::size_t>(config.hidden);
   Rng rng(hash_combine(config.seed, 0xE3BEDull));
   tok_emb_ = Matrix::randn(static_cast<std::size_t>(config.vocab), h, rng,
                            0.0f, config.init_std);
   pos_emb_ = Matrix::randn(static_cast<std::size_t>(config.max_seq), h, rng,
                            0.0f, config.init_std);
-  tok_emb_grad_ = Matrix::zeros(tok_emb_.rows(), h);
-  pos_emb_grad_ = Matrix::zeros(pos_emb_.rows(), h);
+  {
+    const mem::ArenaScope grads_scope(mem::Tag::kGrads);
+    tok_emb_grad_ = Matrix::zeros(tok_emb_.rows(), h);
+    pos_emb_grad_ = Matrix::zeros(pos_emb_.rows(), h);
+  }
 
   core::FCOptions fc;
   fc.mixed_precision = config.mixed_precision;
   fc.overlap_input_grad_all_reduce = config.overlap_collectives;
   fc.overlap_weight_grad_reduce_scatter = config.overlap_collectives;
   fc.kernel_tuning = config.kernel_tuning;
+  fc.gemm_backend = config.gemm_backend;
   fc.init_std = config.init_std;
   fc.abft = config.abft;
 
@@ -60,10 +68,13 @@ GPTModel::GPTModel(core::Grid4D& grid, const TinyGPTConfig& config)
     block.ln1_beta = Matrix::zeros(1, h);
     block.ln2_gamma = Matrix::full(1, h, 1.0f);
     block.ln2_beta = Matrix::zeros(1, h);
-    block.ln1_gamma_grad = Matrix::zeros(1, h);
-    block.ln1_beta_grad = Matrix::zeros(1, h);
-    block.ln2_gamma_grad = Matrix::zeros(1, h);
-    block.ln2_beta_grad = Matrix::zeros(1, h);
+    {
+      const mem::ArenaScope grads_scope(mem::Tag::kGrads);
+      block.ln1_gamma_grad = Matrix::zeros(1, h);
+      block.ln1_beta_grad = Matrix::zeros(1, h);
+      block.ln2_gamma_grad = Matrix::zeros(1, h);
+      block.ln2_beta_grad = Matrix::zeros(1, h);
+    }
     const std::uint64_t ls = hash_combine(config.seed, l);
     block.qkv = std::make_unique<core::TensorParallelFC>(
         grid, h, 3 * h, hash_combine(ls, 1), fc);
@@ -77,11 +88,14 @@ GPTModel::GPTModel(core::Grid4D& grid, const TinyGPTConfig& config)
 
   final_gamma_ = Matrix::full(1, h, 1.0f);
   final_beta_ = Matrix::zeros(1, h);
-  final_gamma_grad_ = Matrix::zeros(1, h);
-  final_beta_grad_ = Matrix::zeros(1, h);
   lm_head_ = Matrix::randn(h, static_cast<std::size_t>(config.vocab), rng,
                            0.0f, config.init_std);
-  lm_head_grad_ = Matrix::zeros(h, static_cast<std::size_t>(config.vocab));
+  {
+    const mem::ArenaScope grads_scope(mem::Tag::kGrads);
+    final_gamma_grad_ = Matrix::zeros(1, h);
+    final_beta_grad_ = Matrix::zeros(1, h);
+    lm_head_grad_ = Matrix::zeros(h, static_cast<std::size_t>(config.vocab));
+  }
 }
 
 std::uint64_t GPTModel::parameter_count() const {
@@ -359,6 +373,10 @@ Matrix GPTModel::forward_logits(const std::vector<TokenSeq>& sequences,
                                 LayerNormCache* final_ln_cache,
                                 Matrix* final_in, Matrix* final_out) {
   AXONN_CHECK(!sequences.empty());
+  // All forward-pass tensors are activations unless an inner scope (packed
+  // panels, comm staging) says otherwise. Covers generate/probe callers that
+  // bypass train_step.
+  const mem::ArenaScope scope(mem::Tag::kActivations);
   const Matrix x0 = embed(sequences, input_len);
   if (x0_out) *x0_out = x0;
   Matrix x = forward_blocks(x0, sequences.size(), input_len, caches);
@@ -374,8 +392,12 @@ Matrix GPTModel::forward_logits(const std::vector<TokenSeq>& sequences,
 
 float GPTModel::train_step(const std::vector<TokenSeq>& sequences,
                            const GoldfishConfig* goldfish) {
-  // One flight-recorder iteration window per training step (Fig. 5).
+  // One flight-recorder iteration window per training step (Fig. 5). The
+  // whole step runs under the activations tag: forward caches, backward d_*
+  // temporaries, attention probs — anything a longer-lived subsystem owns
+  // re-tags itself in an inner scope.
   obs::IterationScope iteration;
+  const mem::ArenaScope scope(mem::Tag::kActivations);
   AXONN_CHECK(!sequences.empty());
   const std::size_t full_len = sequences.front().size();
   for (const auto& seq : sequences) {

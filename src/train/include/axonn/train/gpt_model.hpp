@@ -43,6 +43,11 @@ struct TinyGPTConfig {
   bool overlap_collectives = true;
   /// §V-C kernel tuning on the FC sublayers' GEMMs (see FCOptions).
   bool kernel_tuning = false;
+  /// Fixed GEMM backend for the FC sublayers when kernel_tuning is off
+  /// (ignored otherwise — the tuner picks per shape). kTiled exercises the
+  /// packed-panel path deterministically, which the memory benches/checker
+  /// use to make the packed_panels tag observable.
+  GemmBackend gemm_backend = GemmBackend::kReference;
   /// ABFT checksum verification on every FC GEMM (see FCOptions::abft and
   /// DESIGN.md §9). Off by default; AXONN_INTEGRITY overrides per process.
   integrity::AbftOptions abft;

@@ -32,6 +32,7 @@
 #include <span>
 #include <vector>
 
+#include "axonn/base/arena.hpp"
 #include "axonn/train/adam.hpp"
 #include "axonn/train/checkpoint.hpp"
 #include "axonn/train/gpt_model.hpp"
@@ -74,7 +75,10 @@ class ReplicaStore {
  private:
   struct Entry {
     std::uint64_t step = 0;
-    std::vector<std::byte> bytes;
+    // Retained replica blobs are the only checkpoint bytes that stay
+    // resident, so they are charged to the journal arena tag; the transient
+    // encode/decode copies on the push/restore paths are not.
+    mem::TrackedVector<std::byte> bytes;
   };
 
   mutable std::mutex mutex_;

@@ -25,11 +25,13 @@ void ReplicaStore::push(int slot, std::uint64_t step,
                         std::vector<std::byte> blob) {
   std::lock_guard<std::mutex> lock(mutex_);
   AXONN_CHECK(slot >= 0 && slot < static_cast<int>(history_.size()));
+  const mem::ArenaScope scope(mem::Tag::kJournal);
   auto& h = history_[static_cast<std::size_t>(slot)];
   if (!h.empty() && h.back().step == step) {
-    h.back().bytes = std::move(blob);  // re-push of the same step: replace
+    // Re-push of the same step: replace.
+    h.back().bytes.assign(blob.begin(), blob.end());
   } else {
-    h.push_back({step, std::move(blob)});
+    h.push_back({step, {blob.begin(), blob.end()}});
     while (h.size() > 2) h.pop_front();
   }
   ++pushes_;
@@ -65,7 +67,7 @@ std::vector<std::byte> ReplicaStore::blob(int slot, std::uint64_t step) const {
   AXONN_CHECK(slot >= 0 && slot < static_cast<int>(history_.size()));
   const auto& h = history_[static_cast<std::size_t>(slot)];
   for (const Entry& e : h) {
-    if (e.step == step) return e.bytes;
+    if (e.step == step) return {e.bytes.begin(), e.bytes.end()};
   }
   throw CheckpointError("replica store holds no blob for slot " +
                         std::to_string(slot) + " at step " +

@@ -4,6 +4,7 @@
 #include <span>
 #include <string>
 
+#include "axonn/base/arena.hpp"
 #include "axonn/base/log.hpp"
 #include "axonn/base/trace.hpp"
 
@@ -36,6 +37,9 @@ TrainingSentinel::TrainingSentinel(const SentinelConfig& config,
 
 void TrainingSentinel::journal(const TrainCursor& cursor) {
   if (!enabled()) return;
+  // Snapshot copies (weights + both Adam moments, journal_depth deep) are
+  // the journal budget — ~3x the parameter bytes per retained snapshot.
+  const mem::ArenaScope scope(mem::Tag::kJournal);
   Snapshot snap;
   snap.step = cursor.step;
   snap.cursor = cursor;

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "axonn/base/arena.hpp"
 #include "axonn/core/grid4d.hpp"
 #include "axonn/integrity/integrity.hpp"
 #include "axonn/tensor/gemm.hpp"
@@ -72,6 +73,11 @@ obs::StepTelemetry StepTelemetryCollector::end_step(std::uint64_t step,
   slot(obs::StepField::kGemmGflop) = static_cast<float>(gflop);
   slot(obs::StepField::kWireMB) = static_cast<float>(wire_mb);
   slot(obs::StepField::kIntegrityEvents) = static_cast<float>(integrity_events);
+  // Process-global like the integrity counter: the arena's total HWM since
+  // the last reset_high_water_marks(), so operators see peak footprint per
+  // step window without a per-rank attribution (ranks are threads here).
+  slot(obs::StepField::kMemHwmMB) =
+      static_cast<float>(static_cast<double>(mem::total_hwm_bytes()) * 1e-6);
   slot(obs::StepField::kLoss) = loss;
 
   // The fold: one fixed-layout all-reduce, every slot owned by exactly one

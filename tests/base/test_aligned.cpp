@@ -1,0 +1,67 @@
+#include "axonn/base/aligned.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace axonn {
+namespace {
+
+TEST(AlignedAllocator, EverySizeIsCacheAligned) {
+  AlignedAllocator<float> alloc;
+  // Odd, prime, power-of-two, tiny and tile-sized counts: the guarantee is
+  // unconditional, not an artifact of round sizes.
+  for (const std::size_t n : {1u, 2u, 3u, 7u, 13u, 16u, 17u, 63u, 64u, 65u,
+                              96u, 1000u, 4096u, 4097u}) {
+    float* p = alloc.allocate(n);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(is_cache_aligned(p)) << "n=" << n;
+    p[0] = 1.0f;
+    p[n - 1] = 2.0f;  // touch both ends: the span is really usable
+    alloc.deallocate(p, n);
+  }
+}
+
+TEST(AlignedAllocator, DoubleAndByteElementsAligned) {
+  AlignedAllocator<double> d_alloc;
+  double* d = d_alloc.allocate(5);
+  EXPECT_TRUE(is_cache_aligned(d));
+  d_alloc.deallocate(d, 5);
+
+  AlignedAllocator<std::uint8_t> b_alloc;
+  std::uint8_t* b = b_alloc.allocate(3);
+  EXPECT_TRUE(is_cache_aligned(b));
+  b_alloc.deallocate(b, 3);
+}
+
+TEST(AlignedAllocator, OverflowingCountThrowsBadAlloc) {
+  AlignedAllocator<float> alloc;
+  // n * sizeof(T) would wrap: must throw, not allocate a tiny block.
+  const std::size_t huge = std::numeric_limits<std::size_t>::max() / 2;
+  EXPECT_THROW(static_cast<void>(alloc.allocate(huge)), std::bad_alloc);
+}
+
+TEST(AlignedAllocator, RebindCompareEqualAndInterchangeable) {
+  // All instances are stateless and equal: containers may splice/swap
+  // storage across allocator copies and rebound types.
+  AlignedAllocator<float> a;
+  AlignedAllocator<float> b;
+  EXPECT_TRUE(a == b);
+
+  using Rebound = AlignedAllocator<float>::rebind<double>::other;
+  static_assert(std::is_same_v<Rebound, AlignedAllocator<double>>);
+  Rebound r(a);  // converting constructor compiles and is equal
+  EXPECT_TRUE(r == AlignedAllocator<double>());
+}
+
+TEST(AlignedVector, StorageIsAligned) {
+  AlignedVector<float> v(129, 1.0f);
+  EXPECT_TRUE(is_cache_aligned(v.data()));
+  v.resize(301);
+  EXPECT_TRUE(is_cache_aligned(v.data()));
+}
+
+}  // namespace
+}  // namespace axonn
